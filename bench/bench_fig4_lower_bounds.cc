@@ -1,0 +1,79 @@
+// Figure 4 / Lemmas 5.1-5.2: realized competitive-ratio lower bounds for
+// every online policy against the adaptive adversaries.
+//
+// (a) Average response: the ratio must grow (roughly linearly) with the
+//     stream length M — no online algorithm is constant-competitive.
+// (b) Max response: every policy is forced to 3 while the realized instance
+//     admits 2 — the 3/2 bound of Lemma 5.2.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/exact.h"
+#include "workload/adversarial.h"
+
+namespace flowsched::bench {
+namespace {
+
+void ArtAdversarySweep(CsvWriter& csv) {
+  const BenchScale bs = GetBenchScale();
+  const int T = 6;
+  const std::vector<int> streams = bs == BenchScale::kFull
+                                       ? std::vector<int>{24, 48, 96, 192, 384}
+                                       : std::vector<int>{24, 48, 96};
+  PrintHeader("Lemma 5.1 / Figure 4(a): average response adversary",
+              "T=" + std::to_string(T) +
+                  "; ratio = policy total response / offline bound; grows "
+                  "with M (unbounded competitiveness)");
+  TextTable table({"policy", "M", "policy_total", "offline_bound", "ratio"});
+  for (const std::string& name : AllPolicyNames()) {
+    for (const int M : streams) {
+      ArtLowerBoundAdversary adversary(T, M);
+      auto policy = MakePolicy(name);
+      const SimulationResult r =
+          Simulate(ArtLowerBoundAdversary::Switch(), adversary, *policy);
+      const double ratio =
+          r.metrics.total_response / adversary.OfflineTotalResponse();
+      table.Row(name, M, r.metrics.total_response,
+                adversary.OfflineTotalResponse(), ratio);
+      csv.Row("art", name, M, r.metrics.total_response,
+              adversary.OfflineTotalResponse(), ratio);
+    }
+  }
+  table.Print(std::cout);
+}
+
+void MrtAdversarySweep(CsvWriter& csv) {
+  PrintHeader("Lemma 5.2 / Figure 4(b): max response adversary",
+              "every policy is forced to >= 3 while OPT = 2 (ratio 3/2)");
+  TextTable table({"policy", "policy_max", "exact_opt", "ratio"});
+  for (const std::string& name : AllPolicyNames()) {
+    MrtLowerBoundAdversary adversary;
+    auto policy = MakePolicy(name);
+    const SimulationResult r =
+        Simulate(MrtLowerBoundAdversary::Switch(), adversary, *policy);
+    const auto opt = ExactMinMaxResponse(r.realized, 4);
+    const double exact = opt.has_value() ? static_cast<double>(*opt) : 0.0;
+    table.Row(name, r.metrics.max_response, exact,
+              r.metrics.max_response / exact);
+    csv.Row("mrt", name, 0, r.metrics.max_response, exact,
+            r.metrics.max_response / exact);
+  }
+  table.Print(std::cout);
+}
+
+void Run() {
+  auto file = OpenCsv("fig4_lower_bounds");
+  CsvWriter csv(file);
+  csv.Row("series", "policy", "M", "policy_value", "reference", "ratio");
+  ArtAdversarySweep(csv);
+  MrtAdversarySweep(csv);
+  std::cout << "\nCSV: bench_out/fig4_lower_bounds.csv\n";
+}
+
+}  // namespace
+}  // namespace flowsched::bench
+
+int main() {
+  flowsched::bench::Run();
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Figure 6 reproduction: average response time of the online heuristics
+// (MaxCard / MinRTime / MaxWeight) against the LP (1)-(4) lower bound.
+//
+// The paper plots, per M ∈ {50,...,600} on a 150x150 switch, the average
+// response time versus T ∈ {10..20} (LP-compared) and T ∈ {40..100}
+// (heuristics only). We reproduce the same per-port load ratios on a scaled
+// switch for the LP-compared grid (the LP at 150 ports took the authors >3h
+// per point on Gurobi) and also run the heuristics at the paper's full
+// scale. Expected shape (paper §5.2.3): all heuristics within ~2x of the LP,
+// MaxWeight/MaxCard best, MinRTime worst, gap narrowing as M grows.
+//
+// FLOWSCHED_BENCH_SCALE={quick,default,full} controls sweep sizes.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/art_lp.h"
+#include "util/stopwatch.h"
+
+namespace flowsched::bench {
+namespace {
+
+const std::vector<std::string> kHeuristics = {"maxcard", "minrtime",
+                                              "maxweight"};
+
+void LpComparedSweep(const SweepScale& scale, CsvWriter& csv) {
+  for (const double ratio : kPaperLoadRatios) {
+    PrintHeader("Figure 6 panel " + PanelLabel(ratio),
+                "scaled switch " + std::to_string(scale.ports) + "x" +
+                    std::to_string(scale.ports) +
+                    ", avg response vs T; LP = lower bound (1)-(4)");
+    TextTable table({"T", "n", "LP", "MaxCard", "MinRTime", "MaxWeight",
+                     "MaxCard/LP", "MinRTime/LP", "MaxWeight/LP"});
+    for (const int rounds : scale.lp_rounds) {
+      double lp_avg = 0.0;
+      double n_avg = 0.0;
+      std::vector<double> heur(kHeuristics.size(), 0.0);
+      // LP per trial (the bound is instance-specific); trials in parallel.
+#if defined(FLOWSCHED_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic)
+#endif
+      for (int trial = 0; trial < scale.trials; ++trial) {
+        PoissonConfig cfg;
+        cfg.num_inputs = cfg.num_outputs = scale.ports;
+        cfg.mean_arrivals_per_round = ratio * scale.ports;
+        cfg.num_rounds = rounds;
+        cfg.seed = 7777 + 1000003ULL * trial;
+        const Instance instance = GeneratePoisson(cfg);
+        const ArtLpResult lp = SolveArtLp(instance);
+        const double lp_per_flow =
+            instance.num_flows() == 0
+                ? 0.0
+                : lp.total_fractional_response / instance.num_flows();
+#if defined(FLOWSCHED_HAVE_OPENMP)
+#pragma omp critical
+#endif
+        {
+          lp_avg += lp_per_flow / scale.trials;
+          n_avg += static_cast<double>(instance.num_flows()) / scale.trials;
+        }
+      }
+      const PolicySweepResult sim = RunPolicies(
+          kHeuristics, scale.ports, ratio, rounds, scale.trials, 7777);
+      for (std::size_t i = 0; i < kHeuristics.size(); ++i) {
+        heur[i] = sim.avg_response[i];
+      }
+      table.Row(rounds, static_cast<int>(n_avg), lp_avg, heur[0], heur[1],
+                heur[2], heur[0] / lp_avg, heur[1] / lp_avg, heur[2] / lp_avg);
+      csv.Row("lp_compared", ratio, rounds, lp_avg, heur[0], heur[1], heur[2]);
+    }
+    table.Print(std::cout);
+  }
+}
+
+void HeuristicOnlySweep(const SweepScale& scale, CsvWriter& csv) {
+  PrintHeader("Figure 6 extension (heuristics only, scaled switch)",
+              "longer T; the LP is omitted as in the paper's T>20 runs");
+  TextTable table({"M/m", "T", "MaxCard", "MinRTime", "MaxWeight"});
+  for (const double ratio : kPaperLoadRatios) {
+    for (const int rounds : scale.heur_rounds) {
+      const PolicySweepResult sim = RunPolicies(
+          kHeuristics, scale.ports, ratio, rounds, scale.trials, 8888);
+      table.Row(ratio, rounds, sim.avg_response[0], sim.avg_response[1],
+                sim.avg_response[2]);
+      csv.Row("heur_scaled", ratio, rounds, 0.0, sim.avg_response[0],
+              sim.avg_response[1], sim.avg_response[2]);
+    }
+  }
+  table.Print(std::cout);
+}
+
+void FullScaleSweep(const SweepScale& scale, CsvWriter& csv) {
+  PrintHeader("Figure 6 at paper scale (150x150, heuristics only)",
+              "the paper's switch size; average response per policy");
+  TextTable table({"M", "T", "MaxCard", "MinRTime", "MaxWeight"});
+  for (const double ratio : scale.full_ratios) {
+    for (const int rounds : scale.full_rounds) {
+      const PolicySweepResult sim =
+          RunPolicies(kHeuristics, scale.full_ports, ratio, rounds,
+                      scale.full_trials, 9999);
+      table.Row(static_cast<int>(ratio * scale.full_ports), rounds,
+                sim.avg_response[0], sim.avg_response[1], sim.avg_response[2]);
+      csv.Row("heur_full", ratio, rounds, 0.0, sim.avg_response[0],
+              sim.avg_response[1], sim.avg_response[2]);
+    }
+  }
+  table.Print(std::cout);
+}
+
+void Run() {
+  const SweepScale scale = ScaleFor(GetBenchScale());
+  auto file = OpenCsv("fig6_art");
+  CsvWriter csv(file);
+  csv.Row("series", "load_ratio", "T", "lp_avg", "maxcard", "minrtime",
+          "maxweight");
+  Stopwatch watch;
+  LpComparedSweep(scale, csv);
+  HeuristicOnlySweep(scale, csv);
+  FullScaleSweep(scale, csv);
+  std::cout << "\n[fig6] total " << watch.ElapsedSeconds()
+            << "s; CSV: bench_out/fig6_art.csv\n";
+}
+
+}  // namespace
+}  // namespace flowsched::bench
+
+int main() {
+  flowsched::bench::Run();
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Figure 7 reproduction: maximum response time of the online heuristics
+// against the LP (19)-(21) lower bound (binary search for the smallest
+// feasible rho, seeded by the best heuristic, exactly as §5.2.2 describes).
+//
+// Expected shape (paper §5.2.3): MinRTime consistently best (close to the
+// LP bound), MaxWeight worst, all heuristics within ~2.5x of the LP, and
+// the spread between heuristics widening with M.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/mrt_lp.h"
+#include "util/stopwatch.h"
+
+namespace flowsched::bench {
+namespace {
+
+const std::vector<std::string> kHeuristics = {"maxcard", "minrtime",
+                                              "maxweight"};
+
+// Smallest rho with a feasible fractional schedule, searched downward from
+// the best heuristic value (the paper's binary-search scheme).
+Round LpMinRho(const Instance& instance, Round heuristic_best) {
+  Round lo = 1;
+  Round hi = std::max<Round>(heuristic_best, 1);
+  for (;;) {
+    const auto sol = SolveTimeConstrained(
+        instance, WindowsForMaxResponse(instance, hi));
+    if (sol.feasible) break;
+    lo = hi + 1;
+    hi *= 2;
+  }
+  Round best = hi;
+  while (lo < best) {
+    const Round mid = lo + (best - lo) / 2;
+    const auto sol = SolveTimeConstrained(
+        instance, WindowsForMaxResponse(instance, mid));
+    if (sol.feasible) {
+      best = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return best;
+}
+
+void LpComparedSweep(const SweepScale& scale, CsvWriter& csv) {
+  for (const double ratio : kPaperLoadRatios) {
+    PrintHeader("Figure 7 panel " + PanelLabel(ratio),
+                "scaled switch " + std::to_string(scale.ports) + "x" +
+                    std::to_string(scale.ports) +
+                    ", max response vs T; LP = min feasible rho");
+    TextTable table({"T", "LP", "MaxCard", "MinRTime", "MaxWeight",
+                     "MaxCard/LP", "MinRTime/LP", "MaxWeight/LP"});
+    for (const int rounds : scale.lp_rounds) {
+      double lp_avg = 0.0;
+      std::vector<double> heur(kHeuristics.size(), 0.0);
+#if defined(FLOWSCHED_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic)
+#endif
+      for (int trial = 0; trial < scale.trials; ++trial) {
+        PoissonConfig cfg;
+        cfg.num_inputs = cfg.num_outputs = scale.ports;
+        cfg.mean_arrivals_per_round = ratio * scale.ports;
+        cfg.num_rounds = rounds;
+        cfg.seed = 4242 + 1000003ULL * trial;
+        const Instance instance = GeneratePoisson(cfg);
+        // Heuristics on this trial's instance.
+        std::vector<double> trial_heur(kHeuristics.size(), 0.0);
+        Round best_heur = instance.SafeHorizon();
+        for (std::size_t i = 0; i < kHeuristics.size(); ++i) {
+          auto policy = MakePolicy(kHeuristics[i], cfg.seed);
+          const SimulationResult r = Simulate(instance, *policy);
+          trial_heur[i] = r.metrics.max_response;
+          best_heur = std::min<Round>(
+              best_heur, static_cast<Round>(r.metrics.max_response));
+        }
+        const Round rho =
+            instance.num_flows() == 0 ? 1 : LpMinRho(instance, best_heur);
+#if defined(FLOWSCHED_HAVE_OPENMP)
+#pragma omp critical
+#endif
+        {
+          lp_avg += static_cast<double>(rho) / scale.trials;
+          for (std::size_t i = 0; i < kHeuristics.size(); ++i) {
+            heur[i] += trial_heur[i] / scale.trials;
+          }
+        }
+      }
+      table.Row(rounds, lp_avg, heur[0], heur[1], heur[2], heur[0] / lp_avg,
+                heur[1] / lp_avg, heur[2] / lp_avg);
+      csv.Row("lp_compared", ratio, rounds, lp_avg, heur[0], heur[1], heur[2]);
+    }
+    table.Print(std::cout);
+  }
+}
+
+void HeuristicSweeps(const SweepScale& scale, CsvWriter& csv) {
+  PrintHeader("Figure 7 extension (heuristics only)",
+              "longer T at scaled size, plus the paper's 150x150 scale");
+  TextTable table({"switch", "M/m", "T", "MaxCard", "MinRTime", "MaxWeight"});
+  for (const double ratio : kPaperLoadRatios) {
+    for (const int rounds : scale.heur_rounds) {
+      const PolicySweepResult sim = RunPolicies(
+          kHeuristics, scale.ports, ratio, rounds, scale.trials, 555);
+      table.Row(std::to_string(scale.ports) + "x" + std::to_string(scale.ports),
+                ratio, rounds, sim.max_response[0], sim.max_response[1],
+                sim.max_response[2]);
+      csv.Row("heur_scaled", ratio, rounds, 0.0, sim.max_response[0],
+              sim.max_response[1], sim.max_response[2]);
+    }
+  }
+  for (const double ratio : scale.full_ratios) {
+    for (const int rounds : scale.full_rounds) {
+      const PolicySweepResult sim =
+          RunPolicies(kHeuristics, scale.full_ports, ratio, rounds,
+                      scale.full_trials, 666);
+      table.Row("150x150", ratio, rounds, sim.max_response[0],
+                sim.max_response[1], sim.max_response[2]);
+      csv.Row("heur_full", ratio, rounds, 0.0, sim.max_response[0],
+              sim.max_response[1], sim.max_response[2]);
+    }
+  }
+  table.Print(std::cout);
+}
+
+void Run() {
+  const SweepScale scale = ScaleFor(GetBenchScale());
+  auto file = OpenCsv("fig7_mrt");
+  CsvWriter csv(file);
+  csv.Row("series", "load_ratio", "T", "lp_rho", "maxcard", "minrtime",
+          "maxweight");
+  Stopwatch watch;
+  LpComparedSweep(scale, csv);
+  HeuristicSweeps(scale, csv);
+  std::cout << "\n[fig7] total " << watch.ElapsedSeconds()
+            << "s; CSV: bench_out/fig7_mrt.csv\n";
+}
+
+}  // namespace
+}  // namespace flowsched::bench
+
+int main() {
+  flowsched::bench::Run();
+  return 0;
+}

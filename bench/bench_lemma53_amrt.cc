@@ -1,0 +1,75 @@
+// Lemma 5.3 validation: the online AMRT batching algorithm is
+// 2-competitive for maximum response time under 2*(c_p + 2*dmax - 1)
+// capacity. Reports the realized max response against the offline LP bound
+// rho_lp (<= OPT), the competitive ratio, and the batching internals.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/mrt_scheduler.h"
+#include "core/online/amrt.h"
+
+namespace flowsched::bench {
+namespace {
+
+void Run() {
+  const BenchScale bs = GetBenchScale();
+  const std::vector<double> loads = {0.5, 1.0, 2.0, 4.0};
+  const int ports = 6;
+  const int rounds = bs == BenchScale::kFull ? 12 : 8;
+  const int trials = bs == BenchScale::kQuick ? 2 : 4;
+
+  auto file = OpenCsv("lemma53_amrt");
+  CsvWriter csv(file);
+  csv.Row("load", "n", "amrt_max", "offline_rho_lp", "ratio", "final_rho",
+          "batches", "rho_increments");
+
+  PrintHeader("Lemma 5.3: online AMRT vs offline rho",
+              "ratio = AMRT max response / offline LP rho; lemma predicts <= 2"
+              " (vs OPT; rho_lp <= OPT so the column may slightly exceed 2)");
+  TextTable table({"load", "n", "AMRT_max", "rho_LP", "ratio", "final_rho",
+                   "batches", "rho_increments"});
+  for (const double load : loads) {
+    RunningStats amrt_stats;
+    RunningStats rho_stats;
+    RunningStats ratio_stats;
+    RunningStats final_rho;
+    long batches = 0;
+    long increments = 0;
+    int n_total = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      PoissonConfig cfg;
+      cfg.num_inputs = cfg.num_outputs = ports;
+      cfg.mean_arrivals_per_round = load * ports;
+      cfg.num_rounds = rounds;
+      cfg.seed = 5000 + 31 * trial;
+      const Instance instance = GeneratePoisson(cfg);
+      if (instance.num_flows() == 0) continue;
+      const AmrtResult amrt = RunAmrt(instance);
+      const MrtSchedulerResult offline = MinimizeMaxResponse(instance);
+      amrt_stats.Add(amrt.metrics.max_response);
+      rho_stats.Add(static_cast<double>(offline.rho_lp));
+      ratio_stats.Add(amrt.metrics.max_response /
+                      static_cast<double>(offline.rho_lp));
+      final_rho.Add(static_cast<double>(amrt.final_rho));
+      batches += amrt.batches;
+      increments += amrt.rho_increments;
+      n_total += instance.num_flows();
+    }
+    table.Row(load, n_total / trials, amrt_stats.mean(), rho_stats.mean(),
+              ratio_stats.mean(), final_rho.mean(), batches / trials,
+              increments / trials);
+    csv.Row(load, n_total / trials, amrt_stats.mean(), rho_stats.mean(),
+            ratio_stats.mean(), final_rho.mean(), batches / trials,
+            increments / trials);
+  }
+  table.Print(std::cout);
+  std::cout << "\nCSV: bench_out/lemma53_amrt.csv\n";
+}
+
+}  // namespace
+}  // namespace flowsched::bench
+
+int main() {
+  flowsched::bench::Run();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Microbenchmarks for the graph substrate: Hopcroft-Karp, max-weight
+// matching (the per-round cost of the paper's heuristics at 150x150 scale),
+// and König edge coloring (the Birkhoff-von Neumann step of Theorem 1).
+#include <benchmark/benchmark.h>
+
+#include "graph/bipartite_graph.h"
+#include "graph/edge_coloring.h"
+#include "graph/greedy_matching.h"
+#include "graph/hopcroft_karp.h"
+#include "graph/max_weight_matching.h"
+#include "util/rng.h"
+
+namespace flowsched {
+namespace {
+
+BipartiteGraph RandomGraph(int ports, int edges, Rng& rng) {
+  BipartiteGraph g(ports, ports);
+  for (int i = 0; i < edges; ++i) {
+    g.AddEdge(rng.UniformInt(0, ports - 1), rng.UniformInt(0, ports - 1));
+  }
+  return g;
+}
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  const int edges = static_cast<int>(state.range(1));
+  Rng rng(1);
+  const BipartiteGraph g = RandomGraph(ports, edges, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxCardinalityMatching(g));
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_HopcroftKarp)
+    ->Args({150, 150})
+    ->Args({150, 600})
+    ->Args({150, 2400})
+    ->Args({600, 2400});
+
+void BM_MaxWeightMatching(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  const int edges = static_cast<int>(state.range(1));
+  Rng rng(2);
+  const BipartiteGraph g = RandomGraph(ports, edges, rng);
+  std::vector<double> w(g.num_edges());
+  for (auto& x : w) x = static_cast<double>(rng.UniformInt(1, 100));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxWeightMatching(g, w));
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_MaxWeightMatching)
+    ->Args({150, 150})
+    ->Args({150, 600})
+    ->Args({150, 2400});
+
+void BM_GreedyByWeight(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  const int edges = static_cast<int>(state.range(1));
+  Rng rng(3);
+  const BipartiteGraph g = RandomGraph(ports, edges, rng);
+  std::vector<double> w(g.num_edges());
+  for (auto& x : w) x = static_cast<double>(rng.UniformInt(1, 100));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyMatchingByWeight(g, w));
+  }
+}
+BENCHMARK(BM_GreedyByWeight)->Args({150, 600})->Args({150, 2400});
+
+void BM_EdgeColoring(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  const int edges = static_cast<int>(state.range(1));
+  Rng rng(4);
+  const BipartiteGraph g = RandomGraph(ports, edges, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ColorBipartiteEdges(g));
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_EdgeColoring)
+    ->Args({50, 500})
+    ->Args({150, 1500})
+    ->Args({150, 6000});
+
+}  // namespace
+}  // namespace flowsched
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Microbenchmarks for the LP substrate: the scheduling LPs at the sizes the
+// figure benches solve (paper §5.2.2 reports >3h Gurobi runs at 150 ports;
+// these numbers locate our simplex on that curve at the scaled sizes).
+#include <benchmark/benchmark.h>
+
+#include "core/art_lp.h"
+#include "core/mrt_lp.h"
+#include "workload/poisson.h"
+
+namespace flowsched {
+namespace {
+
+Instance MakeInstance(int ports, double load, int rounds, std::uint64_t seed) {
+  PoissonConfig cfg;
+  cfg.num_inputs = cfg.num_outputs = ports;
+  cfg.mean_arrivals_per_round = load * ports;
+  cfg.num_rounds = rounds;
+  cfg.seed = seed;
+  return GeneratePoisson(cfg);
+}
+
+void BM_ArtLp(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  const double load = static_cast<double>(state.range(1)) / 4.0;
+  const int rounds = static_cast<int>(state.range(2));
+  const Instance instance = MakeInstance(ports, load, rounds, 11);
+  long iters = 0;
+  for (auto _ : state) {
+    const ArtLpResult r = SolveArtLp(instance);
+    benchmark::DoNotOptimize(r.total_fractional_response);
+    iters = r.simplex_iterations;
+  }
+  state.counters["flows"] = instance.num_flows();
+  state.counters["simplex_iters"] = static_cast<double>(iters);
+}
+// range(1) is load * 4 (integer args only).
+BENCHMARK(BM_ArtLp)
+    ->Args({4, 4, 8})
+    ->Args({6, 4, 8})
+    ->Args({8, 4, 8})
+    ->Args({8, 8, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MrtFeasibility(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  const int rounds = static_cast<int>(state.range(1));
+  const Round rho = static_cast<Round>(state.range(2));
+  const Instance instance = MakeInstance(ports, 1.0, rounds, 12);
+  const ActiveWindows windows = WindowsForMaxResponse(instance, rho);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveTimeConstrained(instance, windows));
+  }
+  state.counters["flows"] = instance.num_flows();
+}
+BENCHMARK(BM_MrtFeasibility)
+    ->Args({6, 8, 4})
+    ->Args({8, 10, 6})
+    ->Args({10, 12, 8})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace flowsched
+
+BENCHMARK_MAIN();

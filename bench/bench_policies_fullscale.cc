@@ -1,0 +1,59 @@
+// Full-scale (150x150) policy throughput: rounds/second and end-to-end
+// simulation time per heuristic at the paper's switch size and loads. This
+// is the practical-deployment companion to Figures 6/7: a heuristic is only
+// usable online if a round computes faster than the port transmission time.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/stopwatch.h"
+
+namespace flowsched::bench {
+namespace {
+
+void Run() {
+  const BenchScale bs = GetBenchScale();
+  const std::vector<double> ratios =
+      bs == BenchScale::kQuick ? std::vector<double>{1.0}
+      : bs == BenchScale::kFull ? kPaperLoadRatios
+                                : std::vector<double>{1.0 / 3, 1.0, 4.0};
+  const int rounds = bs == BenchScale::kFull ? 40 : 20;
+  auto file = OpenCsv("policies_fullscale");
+  CsvWriter csv(file);
+  csv.Row("policy", "M", "T", "n", "sim_seconds", "rounds_per_sec",
+          "avg_response", "max_response");
+  PrintHeader("Policy throughput at paper scale (150x150)",
+              "wall time to simulate one workload; rounds/sec");
+  TextTable table({"policy", "M", "T", "n", "seconds", "rounds/s", "avg_rho",
+                   "max_rho"});
+  for (const std::string& name : {"maxcard", "minrtime", "maxweight", "fifo"}) {
+    for (const double ratio : ratios) {
+      PoissonConfig cfg;
+      cfg.num_inputs = cfg.num_outputs = 150;
+      cfg.mean_arrivals_per_round = ratio * 150;
+      cfg.num_rounds = rounds;
+      cfg.seed = 2026;
+      const Instance instance = GeneratePoisson(cfg);
+      auto policy = MakePolicy(name);
+      Stopwatch watch;
+      const SimulationResult r = Simulate(instance, *policy);
+      const double secs = watch.ElapsedSeconds();
+      const double rps = static_cast<double>(r.rounds) / std::max(secs, 1e-9);
+      table.Row(name, static_cast<int>(ratio * 150), rounds,
+                instance.num_flows(), secs, rps, r.metrics.avg_response,
+                r.metrics.max_response);
+      csv.Row(name, static_cast<int>(ratio * 150), rounds,
+              instance.num_flows(), secs, rps, r.metrics.avg_response,
+              r.metrics.max_response);
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nCSV: bench_out/policies_fullscale.csv\n";
+}
+
+}  // namespace
+}  // namespace flowsched::bench
+
+int main() {
+  flowsched::bench::Run();
+  return 0;
+}

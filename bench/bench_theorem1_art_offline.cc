@@ -1,0 +1,81 @@
+// Theorem 1 validation: the offline (1+c, O(log n)/c) FS-ART algorithm.
+//
+// Sweeps the augmentation parameter c and the instance size n, reporting the
+// achieved average response against the LP(0) lower bound, the measured
+// iterative-rounding window overload against its O(c_p log n) guarantee, and
+// the interval/coloring internals. The paper proves these bounds but reports
+// no experiment for them — this bench is the ablation DESIGN.md E3 calls for.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/art_scheduler.h"
+#include "util/stopwatch.h"
+
+namespace flowsched::bench {
+namespace {
+
+void Run() {
+  const BenchScale bs = GetBenchScale();
+  const int ports = 8;
+  const std::vector<double> loads =
+      bs == BenchScale::kQuick ? std::vector<double>{1.0}
+                               : std::vector<double>{0.5, 1.0, 2.0};
+  const std::vector<int> rounds_sweep =
+      bs == BenchScale::kFull ? std::vector<int>{8, 16, 32}
+                              : std::vector<int>{8, 16};
+  const std::vector<int> cs = {1, 2, 4, 8};
+
+  auto file = OpenCsv("theorem1_art");
+  CsvWriter csv(file);
+  csv.Row("c", "load", "T", "n", "lp0", "achieved_total", "ratio",
+          "envelope_1_plus_logn_over_c", "overload", "iters", "h", "colors");
+
+  PrintHeader("Theorem 1: offline FS-ART with (1+c) capacity",
+              "achieved total response vs LP(0); envelope = 1 + log2(n)/c");
+  TextTable table({"c", "load", "T", "n", "LP(0)", "achieved", "ratio",
+                   "1+log2(n)/c", "overload", "iters", "h", "colors"});
+  for (const int c : cs) {
+    for (const double load : loads) {
+      for (const int rounds : rounds_sweep) {
+        PoissonConfig cfg;
+        cfg.num_inputs = cfg.num_outputs = ports;
+        cfg.mean_arrivals_per_round = load * ports;
+        cfg.num_rounds = rounds;
+        cfg.seed = 100 + c;
+        const Instance instance = GeneratePoisson(cfg);
+        if (instance.num_flows() == 0) continue;
+        ArtSchedulerOptions options;
+        options.c = c;
+        const ArtSchedulerResult r =
+            ScheduleArtWithAugmentation(instance, options);
+        const double envelope =
+            1.0 + std::log2(static_cast<double>(instance.num_flows()) + 2.0) /
+                      c;
+        table.Row(c, load, rounds, instance.num_flows(),
+                  r.rounding_report.lp0_objective, r.metrics.total_response,
+                  r.approx_ratio_vs_lp, envelope,
+                  static_cast<long long>(r.rounding_report.max_window_overload),
+                  r.rounding_report.iterations, r.interval_length,
+                  r.max_colors);
+        csv.Row(c, load, rounds, instance.num_flows(),
+                r.rounding_report.lp0_objective, r.metrics.total_response,
+                r.approx_ratio_vs_lp, envelope,
+                static_cast<long long>(r.rounding_report.max_window_overload),
+                r.rounding_report.iterations, r.interval_length, r.max_colors);
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading: ratio should fall as c grows (response blowup "
+               "O(log n)/c); overload stays O(c_p log n) regardless of c.\n"
+               "CSV: bench_out/theorem1_art.csv\n";
+}
+
+}  // namespace
+}  // namespace flowsched::bench
+
+int main() {
+  flowsched::bench::Run();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Theorem 3 validation: optimal max response with additive augmentation
+// 2*dmax - 1.
+//
+// Sweeps the maximum demand dmax and the load, reporting: the LP's minimum
+// feasible rho (a lower bound on the true optimum), the rounded schedule's
+// max response (always == rho_lp), the measured capacity violation against
+// the theorem bound 2*dmax - 1, and the rounder's internals.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/mrt_scheduler.h"
+
+namespace flowsched::bench {
+namespace {
+
+void Run() {
+  const BenchScale bs = GetBenchScale();
+  const std::vector<Capacity> dmaxes = {1, 2, 4, 8};
+  const std::vector<double> loads =
+      bs == BenchScale::kQuick ? std::vector<double>{1.5}
+                               : std::vector<double>{0.75, 1.5, 3.0};
+  const int ports = 6;
+  const int rounds = bs == BenchScale::kFull ? 10 : 6;
+  const int trials = bs == BenchScale::kFull ? 5 : 3;
+
+  auto file = OpenCsv("theorem3_mrt");
+  CsvWriter csv(file);
+  csv.Row("dmax", "load", "n", "rho_lp", "achieved_max", "violation", "bound",
+          "hard_drops", "lp_solves", "probes");
+
+  PrintHeader("Theorem 3: optimal rho with +(2*dmax-1) capacity",
+              "violation column must stay <= bound (no hard drops expected)");
+  TextTable table({"dmax", "load", "n", "rho_LP", "achieved", "violation",
+                   "bound", "hard_drops", "lp_solves", "probes"});
+  for (const Capacity dmax : dmaxes) {
+    for (const double load : loads) {
+      RunningStats rho_stats;
+      RunningStats violation_stats;
+      long hard_drops = 0;
+      long lp_solves = 0;
+      long probes = 0;
+      int n_total = 0;
+      for (int trial = 0; trial < trials; ++trial) {
+        PoissonConfig cfg;
+        cfg.num_inputs = cfg.num_outputs = ports;
+        cfg.port_capacity = std::max<Capacity>(2 * dmax, 2);
+        cfg.max_demand = dmax;
+        // Load is measured in demand units per port per round.
+        cfg.mean_arrivals_per_round =
+            load * ports * static_cast<double>(cfg.port_capacity) /
+            (0.5 * (1.0 + static_cast<double>(dmax)));
+        cfg.num_rounds = rounds;
+        cfg.seed = 3000 + 71 * trial;
+        const Instance instance = GeneratePoisson(cfg);
+        if (instance.num_flows() == 0) continue;
+        const MrtSchedulerResult r = MinimizeMaxResponse(instance);
+        rho_stats.Add(static_cast<double>(r.rho_lp));
+        violation_stats.Add(
+            static_cast<double>(r.rounding_report.max_violation));
+        hard_drops += r.rounding_report.hard_drops;
+        lp_solves += r.rounding_report.lp_solves;
+        probes += r.binary_search_probes;
+        n_total += instance.num_flows();
+      }
+      const Capacity bound = 2 * dmax - 1;
+      table.Row(static_cast<long long>(dmax), load, n_total / trials,
+                rho_stats.mean(), rho_stats.mean(), violation_stats.max(),
+                static_cast<long long>(bound), hard_drops,
+                lp_solves / trials, probes / trials);
+      csv.Row(static_cast<long long>(dmax), load, n_total / trials,
+              rho_stats.mean(), rho_stats.mean(), violation_stats.max(),
+              static_cast<long long>(bound), hard_drops, lp_solves / trials,
+              probes / trials);
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nCSV: bench_out/theorem3_mrt.csv\n";
+}
+
+}  // namespace
+}  // namespace flowsched::bench
+
+int main() {
+  flowsched::bench::Run();
+  return 0;
+}

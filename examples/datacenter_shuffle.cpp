@@ -1,0 +1,61 @@
+// Datacenter scenario: MapReduce shuffle waves plus incast hotspots on a
+// 150x150 switch (the "one big switch" abstraction of the paper's intro).
+//
+// Compares the three heuristics of §5.2 on a workload that mixes:
+//   * periodic all-to-all shuffle waves (mappers -> reducers),
+//   * an incast hotspot (many servers answering one aggregator),
+//   * background Poisson traffic.
+//
+// Run: ./build/examples/datacenter_shuffle
+#include <iostream>
+
+#include "core/online/simulator.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "workload/patterns.h"
+#include "workload/poisson.h"
+
+int main() {
+  using namespace flowsched;
+  const int kPorts = 150;
+
+  // Background load: Poisson(100)/round for 30 rounds.
+  PoissonConfig bg;
+  bg.num_inputs = bg.num_outputs = kPorts;
+  bg.mean_arrivals_per_round = 100.0;
+  bg.num_rounds = 30;
+  bg.seed = 7;
+  Instance instance = GeneratePoisson(bg);
+
+  // Three shuffle waves: 24 mappers x 24 reducers every 10 rounds.
+  for (int wave = 0; wave < 3; ++wave) {
+    AddShuffle(instance, /*mappers=*/24, /*reducers=*/24, /*release=*/wave * 10);
+  }
+  // An aggregation incast at round 12: 40 servers -> port 149.
+  AddIncast(instance, /*sink=*/149, /*fan_in=*/40, /*release=*/12);
+
+  std::cout << "workload: " << instance.num_flows() << " flows over "
+            << kPorts << "x" << kPorts << " switch\n\n";
+
+  TextTable table({"policy", "avg_response", "p95", "p99", "max_response",
+                   "makespan", "rounds_simulated"});
+  for (const std::string& name :
+       {"maxcard", "minrtime", "maxweight", "fifo", "srpt", "hybrid"}) {
+    auto policy = MakePolicy(name);
+    SimulationOptions options;
+    options.record_backlog = true;
+    const SimulationResult r = Simulate(instance, *policy, options);
+    table.Row(name, r.metrics.avg_response, r.metrics.p95_response,
+              r.metrics.p99_response, r.metrics.max_response,
+              r.metrics.makespan, r.rounds);
+  }
+  table.Print(std::cout);
+
+  std::cout <<
+      "\nReading guide: the incast pins port 149 for ~40 rounds, so the max\n"
+      "response is dominated by how each policy shares that port; MinRTime\n"
+      "ages flows fairly (best max response) while MaxCard keeps overall\n"
+      "utilization high (best average). MaxWeight is the balanced choice —\n"
+      "the same conclusion as the paper's §5.2.3.\n";
+  return 0;
+}

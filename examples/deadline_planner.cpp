@@ -1,0 +1,73 @@
+// Deadline planner: bulk-transfer scheduling with per-flow deadlines via the
+// Time-Constrained Flow Scheduling machinery (paper §4.2, Remark 4.2).
+//
+// Scenario: a nightly maintenance window. Backup jobs, an index rebuild and
+// a latency-critical cache warmup all move data across the cluster switch;
+// each transfer has a release time and a hard deadline. The planner either
+// proves the plan infeasible or produces a schedule that meets every
+// deadline using at most 2*dmax - 1 extra capacity per port (Theorem 3).
+//
+// Run: ./build/examples/deadline_planner
+#include <iostream>
+
+#include "core/mrt_scheduler.h"
+#include "util/table.h"
+
+int main() {
+  using namespace flowsched;
+
+  // 8 racks each side; port capacity 4 demand-units per round.
+  Instance instance(SwitchSpec::Uniform(8, 8, /*cap=*/4), {});
+  std::vector<Round> deadline;
+  std::vector<std::string> label;
+  auto add = [&](std::string name, PortId src, PortId dst, Capacity demand,
+                 Round release, Round due) {
+    instance.AddFlow(src, dst, demand, release);
+    deadline.push_back(due);
+    label.push_back(std::move(name));
+  };
+
+  // Backups: rack i -> archive rack 7, heavy, generous deadlines.
+  for (int i = 0; i < 6; ++i) {
+    add("backup_rack" + std::to_string(i), i, 7, 4, 0, 11);
+  }
+  // Index rebuild: shuffle between racks 0..3, due mid-window.
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      add("index_" + std::to_string(i) + "_" + std::to_string(j), i, j, 2, 2,
+          8);
+    }
+  }
+  // Cache warmup: small transfers that must land almost immediately.
+  add("warmup_a", 6, 0, 1, 4, 5);
+  add("warmup_b", 6, 1, 1, 4, 5);
+  add("warmup_c", 7, 2, 1, 5, 6);
+
+  const auto plan = ScheduleWithDeadlines(instance, deadline);
+  if (!plan.has_value()) {
+    std::cout << "plan infeasible: no schedule (even with augmentation) can "
+                 "meet all deadlines\n";
+    return 1;
+  }
+  TextTable table({"transfer", "demand", "release", "deadline", "round",
+                   "slack"});
+  for (const Flow& e : instance.flows()) {
+    const Round t = plan->schedule.round_of(e.id);
+    table.Row(label[e.id], static_cast<long long>(e.demand), e.release,
+              deadline[e.id], t, deadline[e.id] - t);
+  }
+  table.Print(std::cout);
+  std::cout << "\nall " << instance.num_flows()
+            << " transfers meet their deadlines; max port overload used: +"
+            << plan->rounding_report.max_violation << " (theorem budget +"
+            << plan->rounding_report.bound << ")\n";
+
+  // Tighten the warmup deadlines until the plan breaks, to show detection.
+  std::vector<Round> too_tight = deadline;
+  for (int i = 0; i < 6; ++i) too_tight[i] = 1;  // All backups in 2 rounds.
+  if (!ScheduleWithDeadlines(instance, too_tight).has_value()) {
+    std::cout << "tightened plan correctly reported infeasible (6 demand-4 "
+                 "backups cannot cross a capacity-4 port in 2 rounds)\n";
+  }
+  return 0;
+}

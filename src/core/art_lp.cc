@@ -1,0 +1,150 @@
+#include "core/art_lp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+
+namespace flowsched {
+namespace {
+
+double ColumnCost(const Flow& e, Capacity kappa, Round t) {
+  return static_cast<double>(t - e.release) / static_cast<double>(e.demand) +
+         0.5 / static_cast<double>(kappa);
+}
+
+}  // namespace
+
+Round ArtLpInitialHorizon(const Instance& instance) {
+  // Load-based estimate: the backlog drains at no more than the total port
+  // bandwidth of the tighter side; double it for slack and add r_max.
+  Capacity side_in = 0;
+  Capacity side_out = 0;
+  for (Capacity c : instance.sw().input_capacities()) side_in += c;
+  for (Capacity c : instance.sw().output_capacities()) side_out += c;
+  const Capacity bandwidth = std::max<Capacity>(1, std::min(side_in, side_out));
+  const Capacity total = instance.TotalDemand();
+  const auto drain =
+      static_cast<Round>(total / bandwidth + total / (4 * bandwidth) + 8);
+  return std::min<Round>(instance.MaxRelease() + drain, instance.SafeHorizon());
+}
+
+ArtLpResult SolveArtLp(const Instance& instance, const ArtLpOptions& options) {
+  FS_CHECK(!instance.ValidationError().has_value());
+  ArtLpResult result;
+  const int n = instance.num_flows();
+  if (n == 0) {
+    result.solved = true;
+    result.certified = true;
+    return result;
+  }
+  const SwitchSpec& sw = instance.sw();
+  const bool weighted = !options.weights.empty();
+  if (weighted) {
+    FS_CHECK_EQ(static_cast<int>(options.weights.size()), n);
+    for (double w : options.weights) FS_CHECK_GE(w, 0.0);
+  }
+  auto flow_weight = [&](int e) {
+    return weighted ? options.weights[e] : 1.0;
+  };
+  Round horizon = options.initial_horizon > 0 ? options.initial_horizon
+                                              : ArtLpInitialHorizon(instance);
+  const Round safe = instance.SafeHorizon();
+  horizon = std::min(horizon, safe);
+  Round min_release = safe;
+  for (const Flow& e : instance.flows()) {
+    min_release = std::min(min_release, e.release);
+  }
+
+  for (int attempt = 0; attempt <= options.max_extensions; ++attempt) {
+    LpProblem lp;
+    // Rows: one covering row per flow, then capacity rows per (side, port,
+    // round) for rounds in [min_release, horizon).
+    std::vector<int> flow_row(n);
+    for (int e = 0; e < n; ++e) {
+      flow_row[e] =
+          lp.AddRow(RowSense::kGe, static_cast<double>(instance.flow(e).demand));
+    }
+    const Round t0 = min_release;
+    const int rounds = horizon - t0;
+    FS_CHECK_GT(rounds, 0);
+    auto in_row = [&](PortId p, Round t) {
+      return n + (t - t0) * (sw.num_inputs() + sw.num_outputs()) + p;
+    };
+    auto out_row = [&](PortId q, Round t) {
+      return n + (t - t0) * (sw.num_inputs() + sw.num_outputs()) +
+             sw.num_inputs() + q;
+    };
+    for (Round t = t0; t < horizon; ++t) {
+      for (PortId p = 0; p < sw.num_inputs(); ++p) {
+        const int row = lp.AddRow(RowSense::kLe,
+                                  static_cast<double>(sw.input_capacity(p)));
+        FS_CHECK_EQ(row, in_row(p, t));
+      }
+      for (PortId q = 0; q < sw.num_outputs(); ++q) {
+        const int row = lp.AddRow(RowSense::kLe,
+                                  static_cast<double>(sw.output_capacity(q)));
+        FS_CHECK_EQ(row, out_row(q, t));
+      }
+    }
+    // Columns b_{e,t}.
+    std::vector<std::pair<int, double>> entries(3);
+    for (int e = 0; e < n; ++e) {
+      const Flow& f = instance.flow(e);
+      const Capacity kappa = sw.Kappa(f);
+      for (Round t = f.release; t < horizon; ++t) {
+        entries[0] = {flow_row[e], 1.0};
+        entries[1] = {in_row(f.src, t), 1.0};
+        entries[2] = {out_row(f.dst, t), 1.0};
+        lp.AddColumn(flow_weight(e) * ColumnCost(f, kappa, t), entries);
+      }
+    }
+    const SimplexResult res = SolveLp(lp, options.simplex);
+    result.simplex_iterations += res.iterations;
+    result.lp_rows = lp.num_rows();
+    result.lp_cols = lp.num_cols();
+    result.horizon = horizon;
+    if (res.status == SimplexStatus::kInfeasible) {
+      // Horizon too small to complete all demand; extend.
+      FS_CHECK_LT(horizon, safe);
+      horizon = std::min<Round>(safe, horizon + std::max<Round>(8, horizon / 2));
+      continue;
+    }
+    FS_CHECK_MSG(res.status == SimplexStatus::kOptimal,
+                 "ART LP solve failed: " << ToString(res.status));
+    // Extract per-flow fractional response.
+    result.delta.assign(n, 0.0);
+    {
+      int col = 0;
+      for (int e = 0; e < n; ++e) {
+        const Flow& f = instance.flow(e);
+        const Capacity kappa = sw.Kappa(f);
+        for (Round t = f.release; t < horizon; ++t, ++col) {
+          if (res.x[col] > 0.0) {
+            result.delta[e] +=
+                flow_weight(e) * ColumnCost(f, kappa, t) * res.x[col];
+          }
+        }
+      }
+      FS_CHECK_EQ(col, lp.num_cols());
+    }
+    result.total_fractional_response = res.objective;
+    result.solved = true;
+    // Certificate: alpha_e <= w_{e,horizon} means no column beyond the
+    // horizon can improve the solution.
+    bool certified = true;
+    for (int e = 0; e < n && certified; ++e) {
+      const Flow& f = instance.flow(e);
+      const double alpha = res.duals[flow_row[e]];
+      const double w_next = flow_weight(e) * ColumnCost(f, sw.Kappa(f), horizon);
+      if (alpha > w_next + 1e-7) certified = false;
+    }
+    result.certified = certified;
+    if (certified || horizon >= safe) return result;
+    horizon = std::min<Round>(safe, horizon + std::max<Round>(8, horizon / 2));
+  }
+  return result;  // Solved (possibly uncertified) after exhausting retries.
+}
+
+}  // namespace flowsched

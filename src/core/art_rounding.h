@@ -1,0 +1,66 @@
+// Iterative LP rounding for average response time (paper §3.1, Lemma 3.3).
+//
+// Starting from the interval-indexed LP (5)-(8) ("LP(0)", size-4 aligned
+// windows), repeatedly: solve to a basic optimal solution, permanently fix
+// integrally-assigned flows, drop zero variables, and regroup the surviving
+// variables of each port into consecutive intervals of size in [4c_p, 5c_p)
+// (Figure 2 of the paper). Lemma 3.5 halves the flow count per iteration, so
+// O(log n) iterations produce a *pseudo-schedule*: an integral assignment
+// whose cost is at most LP(0)'s optimum and whose per-port load over any
+// time window [t1, t2] exceeds c_p * |window| by at most O(c_p log n)
+// (Lemmas 3.6-3.7).
+//
+// Unit demands are required (Theorem 1's setting); port capacities are
+// arbitrary.
+#ifndef FLOWSCHED_CORE_ART_ROUNDING_H_
+#define FLOWSCHED_CORE_ART_ROUNDING_H_
+
+#include <vector>
+
+#include "lp/simplex.h"
+#include "model/instance.h"
+#include "model/schedule.h"
+
+namespace flowsched {
+
+struct ArtRoundingOptions {
+  Round initial_horizon = 0;  // 0 = automatic (see ArtLpInitialHorizon).
+  int max_extensions = 10;
+  int max_iterations = 64;
+  SimplexOptions simplex;
+};
+
+struct ArtRoundingReport {
+  int iterations = 0;
+  // Flows fixed without a clean integral LP value (numerical safety valve;
+  // 0 in healthy runs).
+  int forced_fixes = 0;
+  double lp0_objective = 0.0;  // Optimal value of LP(0) — a lower bound on
+                               // the total response of any schedule.
+  double pseudo_cost = 0.0;    // Integral assignment cost under the same
+                               // objective; Lemma 3.3(2): <= lp0_objective.
+  Capacity max_window_overload = 0;  // Lemma 3.3(3) audit (see below).
+  double overload_per_cap_log_n = 0.0;
+  Round horizon = 0;
+  std::vector<int> flows_per_iteration;
+};
+
+// The pseudo-schedule: every flow assigned to one round at/after release.
+// NOT capacity-feasible in general; feed it to the Theorem 1 scheduler.
+struct PseudoSchedule {
+  Schedule assignment;
+};
+
+PseudoSchedule ArtIterativeRounding(const Instance& instance,
+                                    const ArtRoundingOptions& options = {},
+                                    ArtRoundingReport* report = nullptr);
+
+// Max over ports p and round windows [t1, t2] of
+//   (demand assigned to p in the window) - c_p * (t2 - t1 + 1),
+// i.e. the additive overload of Lemma 3.3(3). Computed per port with a
+// maximum-subarray scan over (load[t] - c_p).
+Capacity MaxWindowOverload(const Instance& instance, const Schedule& schedule);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_CORE_ART_ROUNDING_H_

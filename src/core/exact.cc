@@ -1,0 +1,272 @@
+#include "core/exact.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.h"
+
+namespace flowsched {
+namespace {
+
+constexpr int kMaxExactFlows = 30;
+
+using Mask = std::uint32_t;
+
+// Shared helpers over an instance with n <= kMaxExactFlows flows.
+struct ExactContext {
+  const Instance& instance;
+  int n;
+  Mask full;
+
+  explicit ExactContext(const Instance& inst)
+      : instance(inst),
+        n(inst.num_flows()),
+        full(inst.num_flows() == 32 ? ~Mask{0}
+                                    : ((Mask{1} << inst.num_flows()) - 1)) {
+    FS_CHECK_LE(n, kMaxExactFlows);
+  }
+
+  // Flows released at or before t and still unscheduled.
+  std::vector<int> Available(Mask scheduled, Round t) const {
+    std::vector<int> avail;
+    for (int e = 0; e < n; ++e) {
+      if (!(scheduled & (Mask{1} << e)) && instance.flow(e).release <= t) {
+        avail.push_back(e);
+      }
+    }
+    return avail;
+  }
+
+  Round NextRelease(Mask scheduled, Round t) const {
+    Round next = std::numeric_limits<Round>::max();
+    for (int e = 0; e < n; ++e) {
+      if (!(scheduled & (Mask{1} << e)) && instance.flow(e).release > t) {
+        next = std::min(next, instance.flow(e).release);
+      }
+    }
+    return next;
+  }
+
+  // Enumerates maximal capacity-feasible subsets of `avail` (as masks over
+  // flow ids). Scheduling a superset never hurts either objective, so only
+  // maximal sets need exploration (exchange argument; see exact.h).
+  void MaximalFeasibleSets(const std::vector<int>& avail,
+                           std::vector<Mask>& out) const {
+    out.clear();
+    std::vector<Capacity> in_res(instance.sw().num_inputs());
+    std::vector<Capacity> out_res(instance.sw().num_outputs());
+    for (PortId p = 0; p < instance.sw().num_inputs(); ++p) {
+      in_res[p] = instance.sw().input_capacity(p);
+    }
+    for (PortId q = 0; q < instance.sw().num_outputs(); ++q) {
+      out_res[q] = instance.sw().output_capacity(q);
+    }
+    Mask current = 0;
+    EnumerateSets(avail, 0, current, in_res, out_res, out);
+    // Deduplicate (different branches can yield the same maximal set).
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+
+ private:
+  void EnumerateSets(const std::vector<int>& avail, std::size_t idx,
+                     Mask& current, std::vector<Capacity>& in_res,
+                     std::vector<Capacity>& out_res,
+                     std::vector<Mask>& out) const {
+    if (idx == avail.size()) {
+      // Maximal iff no skipped flow still fits.
+      for (int e : avail) {
+        if (current & (Mask{1} << e)) continue;
+        const Flow& f = instance.flow(e);
+        if (f.demand <= in_res[f.src] && f.demand <= out_res[f.dst]) return;
+      }
+      out.push_back(current);
+      return;
+    }
+    const Flow& f = instance.flow(avail[idx]);
+    if (f.demand <= in_res[f.src] && f.demand <= out_res[f.dst]) {
+      in_res[f.src] -= f.demand;
+      out_res[f.dst] -= f.demand;
+      current |= Mask{1} << avail[idx];
+      EnumerateSets(avail, idx + 1, current, in_res, out_res, out);
+      current &= ~(Mask{1} << avail[idx]);
+      in_res[f.src] += f.demand;
+      out_res[f.dst] += f.demand;
+    }
+    EnumerateSets(avail, idx + 1, current, in_res, out_res, out);
+  }
+};
+
+// --------------------------- MRT feasibility -------------------------------
+
+class MrtSearch {
+ public:
+  MrtSearch(const Instance& instance, Round rho)
+      : ctx_(instance), rho_(rho), schedule_(instance.num_flows()) {}
+
+  std::optional<Schedule> Run() {
+    if (ctx_.n == 0) return Schedule(0);
+    if (Dfs(0, 0)) return schedule_;
+    return std::nullopt;
+  }
+
+ private:
+  bool Dfs(Round t, Mask scheduled) {
+    if (scheduled == ctx_.full) return true;
+    // Deadline check: every unscheduled flow must still have a live window.
+    for (int e = 0; e < ctx_.n; ++e) {
+      if (scheduled & (Mask{1} << e)) continue;
+      if (ctx_.instance.flow(e).release + rho_ - 1 < t) return false;
+    }
+    const auto key = (static_cast<std::uint64_t>(t) << 32) | scheduled;
+    if (failed_.count(key) != 0) return false;
+    std::vector<int> avail = ctx_.Available(scheduled, t);
+    if (avail.empty()) {
+      const Round next = ctx_.NextRelease(scheduled, t);
+      FS_CHECK_LT(next, std::numeric_limits<Round>::max());
+      if (Dfs(next, scheduled)) return true;
+      failed_.insert(key);
+      return false;
+    }
+    std::vector<Mask> sets;
+    ctx_.MaximalFeasibleSets(avail, sets);
+    for (Mask s : sets) {
+      if (Dfs(t + 1, scheduled | s)) {
+        for (int e = 0; e < ctx_.n; ++e) {
+          if (s & (Mask{1} << e)) schedule_.Assign(e, t);
+        }
+        return true;
+      }
+    }
+    failed_.insert(key);
+    return false;
+  }
+
+  ExactContext ctx_;
+  Round rho_;
+  Schedule schedule_;
+  std::unordered_set<std::uint64_t> failed_;
+};
+
+// --------------------------- ART branch & bound ----------------------------
+
+class ArtSearch {
+ public:
+  ArtSearch(const Instance& instance, std::span<const double> weights)
+      : ctx_(instance),
+        best_cost_(std::numeric_limits<double>::infinity()),
+        best_schedule_(instance.num_flows()),
+        current_(instance.num_flows()) {
+    weight_.assign(instance.num_flows(), 1.0);
+    if (!weights.empty()) {
+      FS_CHECK_EQ(static_cast<int>(weights.size()), instance.num_flows());
+      for (int e = 0; e < instance.num_flows(); ++e) {
+        FS_CHECK_GE(weights[e], 0.0);
+        weight_[e] = weights[e];
+      }
+    }
+  }
+
+  ExactArtResult Run() {
+    if (ctx_.n == 0) return {0.0, Schedule(0)};
+    Dfs(0, 0, 0.0);
+    FS_CHECK(best_schedule_.AllAssigned());
+    return {best_cost_, best_schedule_};
+  }
+
+ private:
+  // Admissible lower bound on the cost of completing `scheduled` from round
+  // t onwards: every unscheduled flow responds at least
+  // max(1, (t - release) + 1) if schedulable now, one more if later.
+  double RemainingBound(Mask scheduled, Round t) const {
+    double bound = 0.0;
+    for (int e = 0; e < ctx_.n; ++e) {
+      if (scheduled & (Mask{1} << e)) continue;
+      const Round r = ctx_.instance.flow(e).release;
+      bound += weight_[e] * std::max(1, t - r + 1);
+    }
+    return bound;
+  }
+
+  void Dfs(Round t, Mask scheduled, double cost) {
+    if (scheduled == ctx_.full) {
+      if (cost < best_cost_) {
+        best_cost_ = cost;
+        best_schedule_ = current_;
+      }
+      return;
+    }
+    if (cost + RemainingBound(scheduled, t) >= best_cost_) return;
+    const auto key = (static_cast<std::uint64_t>(t) << 32) | scheduled;
+    auto [it, inserted] = best_at_state_.try_emplace(key, cost);
+    if (!inserted) {
+      if (it->second <= cost) return;
+      it->second = cost;
+    }
+    std::vector<int> avail = ctx_.Available(scheduled, t);
+    if (avail.empty()) {
+      const Round next = ctx_.NextRelease(scheduled, t);
+      FS_CHECK_LT(next, std::numeric_limits<Round>::max());
+      Dfs(next, scheduled, cost);
+      return;
+    }
+    std::vector<Mask> sets;
+    ctx_.MaximalFeasibleSets(avail, sets);
+    for (Mask s : sets) {
+      double added = 0.0;
+      for (int e = 0; e < ctx_.n; ++e) {
+        if (s & (Mask{1} << e)) {
+          added += weight_[e] * ResponseTime(t, ctx_.instance.flow(e).release);
+          current_.Assign(e, t);
+        }
+      }
+      Dfs(t + 1, scheduled | s, cost + added);
+      for (int e = 0; e < ctx_.n; ++e) {
+        if (s & (Mask{1} << e)) current_.Unassign(e);
+      }
+    }
+  }
+
+  ExactContext ctx_;
+  double best_cost_;
+  Schedule best_schedule_;
+  Schedule current_;
+  std::vector<double> weight_;
+  std::unordered_map<std::uint64_t, double> best_at_state_;
+};
+
+}  // namespace
+
+std::optional<Schedule> ExactMrtFeasible(const Instance& instance, Round rho) {
+  FS_CHECK_GE(rho, 1);
+  FS_CHECK(!instance.ValidationError().has_value());
+  auto result = MrtSearch(instance, rho).Run();
+  if (result.has_value() && instance.num_flows() > 0) {
+    FS_CHECK(!result->ValidationError(instance).has_value());
+  }
+  return result;
+}
+
+std::optional<Round> ExactMinMaxResponse(const Instance& instance,
+                                         Round rho_limit) {
+  for (Round rho = 1; rho <= rho_limit; ++rho) {
+    if (ExactMrtFeasible(instance, rho).has_value()) return rho;
+  }
+  return std::nullopt;
+}
+
+ExactArtResult ExactMinTotalResponse(const Instance& instance,
+                                     std::span<const double> weights) {
+  FS_CHECK(!instance.ValidationError().has_value());
+  ExactArtResult result = ArtSearch(instance, weights).Run();
+  if (instance.num_flows() > 0) {
+    FS_CHECK(!result.schedule.ValidationError(instance).has_value());
+  }
+  return result;
+}
+
+}  // namespace flowsched

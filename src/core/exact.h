@@ -1,0 +1,42 @@
+// Exact (exponential-time) optimal schedulers for tiny instances.
+//
+// The paper compares its algorithms against LP lower bounds because exact
+// optima are intractable at scale; at test scale we *can* compute them, which
+// lets the test suite verify Lemma 3.1 (LP <= OPT), the 4/3 hardness gap
+// instances, the Theorem 2 reduction, and online competitive ratios against
+// the true optimum. Memoized DFS over (round, set-of-scheduled-flows); use
+// only for <= ~20 flows.
+#ifndef FLOWSCHED_CORE_EXACT_H_
+#define FLOWSCHED_CORE_EXACT_H_
+
+#include <optional>
+#include <span>
+
+#include "model/instance.h"
+#include "model/metrics.h"
+#include "model/schedule.h"
+
+namespace flowsched {
+
+// Is there a schedule with max response <= rho? Returns one if so.
+// All flows must fit the switch individually (instance valid).
+std::optional<Schedule> ExactMrtFeasible(const Instance& instance, Round rho);
+
+// Smallest rho in [1, rho_limit] admitting a schedule; nullopt if none.
+std::optional<Round> ExactMinMaxResponse(const Instance& instance,
+                                         Round rho_limit);
+
+struct ExactArtResult {
+  double total_response = 0.0;  // Weighted when weights are supplied.
+  Schedule schedule;
+};
+
+// Minimizes (weighted) total response time by branch and bound. Pass an
+// empty span for the unweighted objective; otherwise one weight >= 0 per
+// flow.
+ExactArtResult ExactMinTotalResponse(const Instance& instance,
+                                     std::span<const double> weights = {});
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_CORE_EXACT_H_

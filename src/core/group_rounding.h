@@ -1,0 +1,47 @@
+// Group rounding for the time-constrained LP (the role of Karp et al. [35],
+// Lemma 4.3, in the paper's Theorem 3).
+//
+// Given a fractional solution x of LP (19)-(21), produces an integral
+// assignment (every flow in exactly one active round) whose per-(port,round)
+// load exceeds the capacity by at most an additive term. We implement an
+// iterative LP-relaxation rounder (see DESIGN.md §5 for the substitution
+// rationale): re-solve for a vertex, permanently fix (numerically) integral
+// variables, and when a vertex fixes nothing, relax one capacity row —
+// first to c_p + (2*dmax - 1) (the paper's bound), then, only if still
+// stuck, to unbounded (counted as `hard_drops`; violations beyond
+// 2*dmax - 1 can only originate from those, and the realized worst violation
+// is measured and reported).
+#ifndef FLOWSCHED_CORE_GROUP_ROUNDING_H_
+#define FLOWSCHED_CORE_GROUP_ROUNDING_H_
+
+#include "core/mrt_lp.h"
+#include "model/schedule.h"
+
+namespace flowsched {
+
+struct GroupRoundingOptions {
+  SimplexOptions simplex;
+  double integrality_tol = 1e-6;
+  int max_lp_solves = 300;
+};
+
+struct GroupRoundingReport {
+  int lp_solves = 0;
+  int relaxed_rows = 0;   // Rows raised to c_p + (2*dmax - 1).
+  int hard_drops = 0;     // Rows raised beyond the paper's bound.
+  int forced_fixes = 0;   // Flows fixed by argmax after the solve budget.
+  Capacity max_violation = 0;  // Measured load - c_p over all (port, round).
+  Capacity bound = 0;          // 2*dmax - 1 for reference.
+};
+
+// Requires a feasible fractional solution for (instance, windows). Returns
+// the rounded schedule; the caller validates under
+// CapacityAllowance::Additive(report.max_violation) or the theorem bound.
+Schedule GroupRound(const Instance& instance, const ActiveWindows& windows,
+                    const TimeConstrainedSolution& fractional,
+                    const GroupRoundingOptions& options = {},
+                    GroupRoundingReport* report = nullptr);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_CORE_GROUP_ROUNDING_H_

@@ -1,0 +1,102 @@
+#include "core/mrt_lp.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace flowsched {
+
+ActiveWindows WindowsForMaxResponse(const Instance& instance, Round rho) {
+  FS_CHECK_GE(rho, 1);
+  ActiveWindows windows(instance.num_flows());
+  for (const Flow& e : instance.flows()) {
+    windows[e.id].reserve(rho);
+    for (Round t = e.release; t < e.release + rho; ++t) {
+      windows[e.id].push_back(t);
+    }
+  }
+  return windows;
+}
+
+ActiveWindows WindowsForDeadlines(const Instance& instance,
+                                  std::span<const Round> deadlines) {
+  FS_CHECK_EQ(static_cast<int>(deadlines.size()), instance.num_flows());
+  ActiveWindows windows(instance.num_flows());
+  for (const Flow& e : instance.flows()) {
+    FS_CHECK_GE(deadlines[e.id], e.release);
+    for (Round t = e.release; t <= deadlines[e.id]; ++t) {
+      windows[e.id].push_back(t);
+    }
+  }
+  return windows;
+}
+
+TimeConstrainedSolution SolveTimeConstrained(const Instance& instance,
+                                             const ActiveWindows& windows,
+                                             const SimplexOptions& options,
+                                             Capacity capacity_slack) {
+  FS_CHECK_EQ(static_cast<int>(windows.size()), instance.num_flows());
+  TimeConstrainedSolution sol;
+  const int n = instance.num_flows();
+  if (n == 0) {
+    sol.feasible = true;
+    return sol;
+  }
+  const SwitchSpec& sw = instance.sw();
+  Round t_lo = std::numeric_limits<Round>::max();
+  Round t_hi = std::numeric_limits<Round>::min();
+  for (const auto& w : windows) {
+    FS_CHECK(!w.empty());
+    FS_CHECK(std::is_sorted(w.begin(), w.end()));
+    t_lo = std::min(t_lo, w.front());
+    t_hi = std::max(t_hi, w.back());
+  }
+  LpProblem lp;
+  std::vector<int> assign_row(n);
+  for (int e = 0; e < n; ++e) assign_row[e] = lp.AddRow(RowSense::kEq, 1.0);
+  const int ports_per_round = sw.num_inputs() + sw.num_outputs();
+  auto in_row = [&](PortId p, Round t) {
+    return n + (t - t_lo) * ports_per_round + p;
+  };
+  auto out_row = [&](PortId q, Round t) {
+    return n + (t - t_lo) * ports_per_round + sw.num_inputs() + q;
+  };
+  for (Round t = t_lo; t <= t_hi; ++t) {
+    for (PortId p = 0; p < sw.num_inputs(); ++p) {
+      lp.AddRow(RowSense::kLe,
+                static_cast<double>(sw.input_capacity(p) + capacity_slack));
+    }
+    for (PortId q = 0; q < sw.num_outputs(); ++q) {
+      lp.AddRow(RowSense::kLe,
+                static_cast<double>(sw.output_capacity(q) + capacity_slack));
+    }
+  }
+  std::vector<std::pair<int, double>> entries(3);
+  for (int e = 0; e < n; ++e) {
+    const Flow& f = instance.flow(e);
+    for (Round t : windows[e]) {
+      FS_CHECK_GE(t, f.release);
+      entries[0] = {assign_row[e], 1.0};
+      entries[1] = {in_row(f.src, t), static_cast<double>(f.demand)};
+      entries[2] = {out_row(f.dst, t), static_cast<double>(f.demand)};
+      lp.AddColumn(0.0, entries);
+      sol.var_flow.push_back(e);
+      sol.var_round.push_back(t);
+    }
+  }
+  const SimplexResult res = SolveLp(lp, options);
+  sol.simplex_iterations = res.iterations;
+  if (res.status == SimplexStatus::kInfeasible) {
+    sol.feasible = false;
+    return sol;
+  }
+  FS_CHECK_MSG(res.status == SimplexStatus::kOptimal,
+               "time-constrained LP: " << ToString(res.status));
+  sol.feasible = true;
+  sol.x = res.x;
+  return sol;
+}
+
+}  // namespace flowsched

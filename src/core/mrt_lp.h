@@ -1,0 +1,47 @@
+// Time-Constrained Flow Scheduling LP (19)-(21) (paper §4.2).
+//
+// Each flow e may be scheduled in any round of its active set R(e);
+// variables x_{e,t} must sum to 1 per flow (constraint 20) while the demand
+// crossing each (port, round) stays within capacity (constraint 19).
+// FS-MRT reduces to it with R(e) = [r_e, r_e + rho); the release+deadline
+// model of Remark 4.2 uses R(e) = [r_e, deadline_e].
+#ifndef FLOWSCHED_CORE_MRT_LP_H_
+#define FLOWSCHED_CORE_MRT_LP_H_
+
+#include <span>
+#include <vector>
+
+#include "lp/simplex.h"
+#include "model/instance.h"
+
+namespace flowsched {
+
+// Per-flow sorted list of rounds the flow may run in.
+using ActiveWindows = std::vector<std::vector<Round>>;
+
+ActiveWindows WindowsForMaxResponse(const Instance& instance, Round rho);
+
+// deadline[e] is the last allowed round (inclusive); must be >= release.
+ActiveWindows WindowsForDeadlines(const Instance& instance,
+                                  std::span<const Round> deadlines);
+
+struct TimeConstrainedSolution {
+  bool feasible = false;
+  // x[v] for variable v = (var_flow[v], var_round[v]).
+  std::vector<double> x;
+  std::vector<FlowId> var_flow;
+  std::vector<Round> var_round;
+  long simplex_iterations = 0;
+};
+
+// Solves the fractional feasibility problem (objective 0; any vertex).
+// `capacity_slack` is added to every port capacity (used by callers probing
+// relaxations).
+TimeConstrainedSolution SolveTimeConstrained(const Instance& instance,
+                                             const ActiveWindows& windows,
+                                             const SimplexOptions& options = {},
+                                             Capacity capacity_slack = 0);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_CORE_MRT_LP_H_

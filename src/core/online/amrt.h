@@ -1,0 +1,39 @@
+// AMRT — the online maximum-response-time algorithm of Lemma 5.3.
+//
+// Maintains a guess rho of the optimal max response. Arrivals are batched by
+// rho-length windows; at each window boundary the batch is scheduled with
+// the offline Theorem 3 machinery into the next rho rounds, incrementing rho
+// whenever the batch does not fit. Because batches overlap at most pairwise
+// (Figure 5), the schedule is feasible with capacity 2*(c_p + 2*dmax - 1)
+// and its max response is at most twice the final guess.
+#ifndef FLOWSCHED_CORE_ONLINE_AMRT_H_
+#define FLOWSCHED_CORE_ONLINE_AMRT_H_
+
+#include "core/group_rounding.h"
+#include "model/metrics.h"
+
+namespace flowsched {
+
+struct AmrtOptions {
+  Round initial_rho = 1;
+  SimplexOptions simplex;
+  GroupRoundingOptions rounding;
+};
+
+struct AmrtResult {
+  Schedule schedule;
+  ScheduleMetrics metrics;
+  CapacityAllowance allowance;  // factor 2, additive 2*(2*dmax - 1).
+  Round final_rho = 0;          // The guess when the last batch landed.
+  int batches = 0;
+  int rho_increments = 0;
+  Capacity max_batch_violation = 0;  // Worst per-batch rounding violation.
+};
+
+// Runs AMRT over the instance's arrival sequence (only information available
+// by each batch boundary is used: the algorithm is genuinely online).
+AmrtResult RunAmrt(const Instance& instance, const AmrtOptions& options = {});
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_CORE_ONLINE_AMRT_H_

@@ -1,0 +1,15 @@
+#include "core/online/max_card_policy.h"
+
+#include "graph/hopcroft_karp.h"
+
+namespace flowsched {
+
+std::vector<int> MaxCardPolicy::SelectFlows(
+    const SwitchSpec& sw, Round /*t*/, std::span<const PendingFlow> pending) {
+  if (pending.empty()) return {};
+  const BipartiteGraph g = BuildBacklogGraph(sw, pending);
+  // Edge i of the backlog graph is pending[i].
+  return MaxCardinalityMatching(g);
+}
+
+}  // namespace flowsched

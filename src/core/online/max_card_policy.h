@@ -1,0 +1,20 @@
+// MaxCard (paper §5.2.1): schedule a maximum-cardinality matching of the
+// backlog graph each round — maximizes instantaneous port utilization but is
+// oblivious to waiting times.
+#ifndef FLOWSCHED_CORE_ONLINE_MAX_CARD_POLICY_H_
+#define FLOWSCHED_CORE_ONLINE_MAX_CARD_POLICY_H_
+
+#include "core/online/policy.h"
+
+namespace flowsched {
+
+class MaxCardPolicy : public SchedulingPolicy {
+ public:
+  std::string_view name() const override { return "maxcard"; }
+  std::vector<int> SelectFlows(const SwitchSpec& sw, Round t,
+                               std::span<const PendingFlow> pending) override;
+};
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_CORE_ONLINE_MAX_CARD_POLICY_H_

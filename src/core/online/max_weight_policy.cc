@@ -1,0 +1,26 @@
+#include "core/online/max_weight_policy.h"
+
+#include "graph/max_weight_matching.h"
+
+namespace flowsched {
+
+std::vector<int> MaxWeightPolicy::SelectFlows(
+    const SwitchSpec& sw, Round /*t*/, std::span<const PendingFlow> pending) {
+  if (pending.empty()) return {};
+  const BipartiteGraph g = BuildBacklogGraph(sw, pending);
+  // Queue length = number of backlogged flows touching the port.
+  std::vector<int> in_queue(sw.num_inputs(), 0);
+  std::vector<int> out_queue(sw.num_outputs(), 0);
+  for (const PendingFlow& f : pending) {
+    ++in_queue[f.src];
+    ++out_queue[f.dst];
+  }
+  std::vector<double> weight(pending.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    weight[i] =
+        static_cast<double>(in_queue[pending[i].src] + out_queue[pending[i].dst]);
+  }
+  return MaxWeightMatching(g, weight);
+}
+
+}  // namespace flowsched

@@ -1,0 +1,20 @@
+// MaxWeight (paper §5.2.1): maximum-weight matching with edge weight equal
+// to the sum of the queue lengths at its two endpoints — drains the most
+// congested ports first. The classic stability policy from switch scheduling.
+#ifndef FLOWSCHED_CORE_ONLINE_MAX_WEIGHT_POLICY_H_
+#define FLOWSCHED_CORE_ONLINE_MAX_WEIGHT_POLICY_H_
+
+#include "core/online/policy.h"
+
+namespace flowsched {
+
+class MaxWeightPolicy : public SchedulingPolicy {
+ public:
+  std::string_view name() const override { return "maxweight"; }
+  std::vector<int> SelectFlows(const SwitchSpec& sw, Round t,
+                               std::span<const PendingFlow> pending) override;
+};
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_CORE_ONLINE_MAX_WEIGHT_POLICY_H_

@@ -1,0 +1,59 @@
+#include "core/online/policy.h"
+
+#include "core/online/max_card_policy.h"
+#include "core/online/max_weight_policy.h"
+#include "core/online/min_rtime_policy.h"
+#include "core/online/simple_policies.h"
+#include "core/online/srpt_policy.h"
+#include "util/check.h"
+
+namespace flowsched {
+
+BipartiteGraph BuildBacklogGraph(const SwitchSpec& sw,
+                                 std::span<const PendingFlow> pending) {
+  // Replica layout mirrors graph/expansion.cc but works from PendingFlow
+  // (the simulator does not materialize an Instance mid-flight).
+  std::vector<int> in_base(sw.num_inputs() + 1, 0);
+  std::vector<int> out_base(sw.num_outputs() + 1, 0);
+  for (PortId p = 0; p < sw.num_inputs(); ++p) {
+    in_base[p + 1] = in_base[p] + static_cast<int>(sw.input_capacity(p));
+  }
+  for (PortId q = 0; q < sw.num_outputs(); ++q) {
+    out_base[q + 1] = out_base[q] + static_cast<int>(sw.output_capacity(q));
+  }
+  BipartiteGraph g(in_base[sw.num_inputs()], out_base[sw.num_outputs()]);
+  std::vector<int> in_cursor(sw.num_inputs(), 0);
+  std::vector<int> out_cursor(sw.num_outputs(), 0);
+  for (const PendingFlow& f : pending) {
+    FS_CHECK_MSG(f.demand == 1,
+                 "matching-based policies require unit demands");
+    const int u = in_base[f.src] + in_cursor[f.src];
+    const int v = out_base[f.dst] + out_cursor[f.dst];
+    in_cursor[f.src] =
+        (in_cursor[f.src] + 1) % static_cast<int>(sw.input_capacity(f.src));
+    out_cursor[f.dst] =
+        (out_cursor[f.dst] + 1) % static_cast<int>(sw.output_capacity(f.dst));
+    g.AddEdge(u, v);
+  }
+  return g;
+}
+
+std::unique_ptr<SchedulingPolicy> MakePolicy(std::string_view name,
+                                             std::uint64_t seed) {
+  if (name == "maxcard") return std::make_unique<MaxCardPolicy>();
+  if (name == "minrtime") return std::make_unique<MinRTimePolicy>();
+  if (name == "maxweight") return std::make_unique<MaxWeightPolicy>();
+  if (name == "fifo") return std::make_unique<FifoGreedyPolicy>();
+  if (name == "random") return std::make_unique<RandomPolicy>(seed);
+  if (name == "srpt") return std::make_unique<SrptPolicy>();
+  if (name == "hybrid") return std::make_unique<HybridPolicy>();
+  FS_CHECK_MSG(false, "unknown policy: " << std::string(name));
+  return nullptr;
+}
+
+std::vector<std::string> AllPolicyNames() {
+  return {"maxcard", "minrtime", "maxweight", "fifo", "random", "srpt",
+          "hybrid"};
+}
+
+}  // namespace flowsched

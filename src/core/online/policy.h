@@ -1,0 +1,62 @@
+// Online scheduling policies (paper §5.2.1).
+//
+// Each round the simulator hands the policy the backlog (released,
+// unscheduled flows); the policy returns a capacity-feasible subset to run.
+// Under unit capacities that subset is a matching of the backlog graph G_t;
+// general capacities are handled by port replication.
+#ifndef FLOWSCHED_CORE_ONLINE_POLICY_H_
+#define FLOWSCHED_CORE_ONLINE_POLICY_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "model/instance.h"
+
+namespace flowsched {
+
+// A backlog entry. `id` refers to the realized instance being simulated.
+struct PendingFlow {
+  FlowId id = 0;
+  PortId src = 0;
+  PortId dst = 0;
+  Capacity demand = 1;
+  Round release = 0;
+};
+
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Returns indices into `pending` of the flows to schedule in round t.
+  // Must be capacity-feasible for `sw` (the simulator validates).
+  virtual std::vector<int> SelectFlows(const SwitchSpec& sw, Round t,
+                                       std::span<const PendingFlow> pending) = 0;
+
+  // Clears internal state (e.g. RNG) between simulations.
+  virtual void Reset() {}
+};
+
+// Builds the backlog multigraph over *port replicas*: edge i corresponds to
+// pending[i]; matchings of this graph are exactly the capacity-feasible
+// unit-demand subsets. Requires unit demands.
+BipartiteGraph BuildBacklogGraph(const SwitchSpec& sw,
+                                 std::span<const PendingFlow> pending);
+
+// Factory for the policies evaluated in the paper plus extra baselines and
+// extensions: "maxcard", "minrtime", "maxweight", "fifo", "random", "srpt",
+// "hybrid".
+std::unique_ptr<SchedulingPolicy> MakePolicy(std::string_view name,
+                                             std::uint64_t seed = 1);
+
+// All policy names available through MakePolicy.
+std::vector<std::string> AllPolicyNames();
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_CORE_ONLINE_POLICY_H_

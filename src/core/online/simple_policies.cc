@@ -1,0 +1,51 @@
+#include "core/online/simple_policies.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace flowsched {
+namespace {
+
+std::vector<int> GreedyPack(const SwitchSpec& sw,
+                            std::span<const PendingFlow> pending,
+                            std::span<const int> order) {
+  std::vector<Capacity> in_res(sw.input_capacities());
+  std::vector<Capacity> out_res(sw.output_capacities());
+  std::vector<int> picked;
+  for (int i : order) {
+    const PendingFlow& f = pending[i];
+    if (f.demand <= in_res[f.src] && f.demand <= out_res[f.dst]) {
+      in_res[f.src] -= f.demand;
+      out_res[f.dst] -= f.demand;
+      picked.push_back(i);
+    }
+  }
+  return picked;
+}
+
+}  // namespace
+
+std::vector<int> FifoGreedyPolicy::SelectFlows(
+    const SwitchSpec& sw, Round /*t*/, std::span<const PendingFlow> pending) {
+  std::vector<int> order(pending.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    if (pending[a].release != pending[b].release) {
+      return pending[a].release < pending[b].release;
+    }
+    return pending[a].id < pending[b].id;
+  });
+  return GreedyPack(sw, pending, order);
+}
+
+std::vector<int> RandomPolicy::SelectFlows(
+    const SwitchSpec& sw, Round /*t*/, std::span<const PendingFlow> pending) {
+  std::vector<int> order(pending.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng_.UniformU64(i)]);
+  }
+  return GreedyPack(sw, pending, order);
+}
+
+}  // namespace flowsched

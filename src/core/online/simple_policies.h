@@ -1,0 +1,36 @@
+// Baseline policies beyond the paper's three: FIFO-greedy packing (works for
+// general demands) and uniformly random greedy packing.
+#ifndef FLOWSCHED_CORE_ONLINE_SIMPLE_POLICIES_H_
+#define FLOWSCHED_CORE_ONLINE_SIMPLE_POLICIES_H_
+
+#include "core/online/policy.h"
+#include "util/rng.h"
+
+namespace flowsched {
+
+// Scans the backlog by (release, id) and packs every flow that still fits
+// the residual capacities. 3-2/m-competitive flavor of FIFO for Rmax.
+class FifoGreedyPolicy : public SchedulingPolicy {
+ public:
+  std::string_view name() const override { return "fifo"; }
+  std::vector<int> SelectFlows(const SwitchSpec& sw, Round t,
+                               std::span<const PendingFlow> pending) override;
+};
+
+// Greedy packing in uniformly random order; a sanity floor for experiments.
+class RandomPolicy : public SchedulingPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+  std::string_view name() const override { return "random"; }
+  std::vector<int> SelectFlows(const SwitchSpec& sw, Round t,
+                               std::span<const PendingFlow> pending) override;
+  void Reset() override { rng_ = Rng(seed_); }
+
+ private:
+  std::uint64_t seed_;
+  Rng rng_;
+};
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_CORE_ONLINE_SIMPLE_POLICIES_H_

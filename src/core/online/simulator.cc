@@ -1,0 +1,142 @@
+#include "core/online/simulator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace flowsched {
+namespace {
+
+// Adapter replaying a fixed instance as an arrival process.
+class ReplayArrivals : public ArrivalProcess {
+ public:
+  explicit ReplayArrivals(const Instance& instance) : instance_(instance) {
+    order_.reserve(instance.num_flows());
+    for (const Flow& e : instance.flows()) order_.push_back(e.id);
+    std::stable_sort(order_.begin(), order_.end(), [&](FlowId a, FlowId b) {
+      return instance.flow(a).release < instance.flow(b).release;
+    });
+  }
+
+  std::vector<Flow> Arrivals(Round t, std::span<const Flow>) override {
+    std::vector<Flow> out;
+    while (next_ < order_.size() &&
+           instance_.flow(order_[next_]).release == t) {
+      out.push_back(instance_.flow(order_[next_]));
+      ++next_;
+    }
+    return out;
+  }
+
+  bool Exhausted(Round /*t*/) const override { return next_ >= order_.size(); }
+
+ private:
+  const Instance& instance_;
+  std::vector<FlowId> order_;
+  std::size_t next_ = 0;
+};
+
+void ValidateSelection(const SwitchSpec& sw,
+                       std::span<const PendingFlow> pending,
+                       std::span<const int> picked) {
+  std::vector<Capacity> in_load(sw.num_inputs(), 0);
+  std::vector<Capacity> out_load(sw.num_outputs(), 0);
+  std::vector<char> used(pending.size(), 0);
+  for (int i : picked) {
+    FS_CHECK_MSG(i >= 0 && i < static_cast<int>(pending.size()),
+                 "policy returned an out-of-range backlog index " << i);
+    FS_CHECK_MSG(!used[i], "policy selected backlog index " << i << " twice");
+    used[i] = 1;
+    in_load[pending[i].src] += pending[i].demand;
+    out_load[pending[i].dst] += pending[i].demand;
+  }
+  for (PortId p = 0; p < sw.num_inputs(); ++p) {
+    FS_CHECK_MSG(in_load[p] <= sw.input_capacity(p),
+                 "policy overloaded input port " << p);
+  }
+  for (PortId q = 0; q < sw.num_outputs(); ++q) {
+    FS_CHECK_MSG(out_load[q] <= sw.output_capacity(q),
+                 "policy overloaded output port " << q);
+  }
+}
+
+}  // namespace
+
+SimulationResult Simulate(const SwitchSpec& sw, ArrivalProcess& arrivals,
+                          SchedulingPolicy& policy,
+                          const SimulationOptions& options) {
+  SimulationResult result;
+  result.realized = Instance(sw, {});
+  std::vector<Round> assigned_round;  // Indexed by realized flow id.
+  std::vector<Flow> backlog;
+  std::vector<PendingFlow> pending;
+  Round t = 0;
+  for (; t < options.max_rounds; ++t) {
+    // Arrivals for round t (the adversary sees the current backlog).
+    std::vector<Flow> arrived = arrivals.Arrivals(t, backlog);
+    for (Flow f : arrived) {
+      f.release = t;
+      f.id = result.realized.AddFlow(f.src, f.dst, f.demand, f.release);
+      assigned_round.push_back(kUnassigned);
+      backlog.push_back(f);
+    }
+    if (backlog.empty()) {
+      if (arrivals.Exhausted(t + 1)) break;
+      continue;
+    }
+    pending.clear();
+    pending.reserve(backlog.size());
+    for (const Flow& f : backlog) {
+      pending.push_back(PendingFlow{f.id, f.src, f.dst, f.demand, f.release});
+    }
+    const std::vector<int> picked = policy.SelectFlows(sw, t, pending);
+    ValidateSelection(sw, pending, picked);
+    std::vector<char> remove(backlog.size(), 0);
+    for (int i : picked) {
+      assigned_round[pending[i].id] = t;
+      remove[i] = 1;
+    }
+    std::vector<Flow> next_backlog;
+    next_backlog.reserve(backlog.size() - picked.size());
+    for (std::size_t i = 0; i < backlog.size(); ++i) {
+      if (!remove[i]) next_backlog.push_back(backlog[i]);
+    }
+    backlog.swap(next_backlog);
+    if (options.record_backlog) {
+      result.backlog_trace.push_back(static_cast<int>(backlog.size()));
+    }
+  }
+  FS_CHECK_MSG(backlog.empty(),
+               "simulation hit max_rounds with " << backlog.size()
+                                                 << " flows still pending");
+  result.rounds = t;
+  result.schedule = Schedule(result.realized.num_flows());
+  for (FlowId e = 0; e < result.realized.num_flows(); ++e) {
+    FS_CHECK_NE(assigned_round[e], kUnassigned);
+    result.schedule.Assign(e, assigned_round[e]);
+  }
+  FS_CHECK(!result.schedule.ValidationError(result.realized).has_value());
+  result.metrics = ComputeMetrics(result.realized, result.schedule);
+  if (result.rounds > 0) {
+    Capacity in_bw = 0;
+    Capacity out_bw = 0;
+    for (Capacity c : sw.input_capacities()) in_bw += c;
+    for (Capacity c : sw.output_capacities()) out_bw += c;
+    const auto demand = static_cast<double>(result.realized.TotalDemand());
+    const auto rounds = static_cast<double>(result.rounds);
+    result.avg_port_utilization =
+        0.5 * (demand / (static_cast<double>(in_bw) * rounds) +
+               demand / (static_cast<double>(out_bw) * rounds));
+  }
+  return result;
+}
+
+SimulationResult Simulate(const Instance& instance, SchedulingPolicy& policy,
+                          const SimulationOptions& options) {
+  FS_CHECK(!instance.ValidationError().has_value());
+  ReplayArrivals arrivals(instance);
+  return Simulate(instance.sw(), arrivals, policy, options);
+}
+
+}  // namespace flowsched

@@ -1,0 +1,60 @@
+#include "core/online/srpt_policy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/max_weight_matching.h"
+#include "util/check.h"
+
+namespace flowsched {
+
+std::vector<int> SrptPolicy::SelectFlows(const SwitchSpec& sw, Round /*t*/,
+                                         std::span<const PendingFlow> pending) {
+  // Greedy pack by (demand, release, id): cheapest flows first, FIFO ties.
+  std::vector<int> order(pending.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    if (pending[a].demand != pending[b].demand) {
+      return pending[a].demand < pending[b].demand;
+    }
+    if (pending[a].release != pending[b].release) {
+      return pending[a].release < pending[b].release;
+    }
+    return pending[a].id < pending[b].id;
+  });
+  std::vector<Capacity> in_res(sw.input_capacities());
+  std::vector<Capacity> out_res(sw.output_capacities());
+  std::vector<int> picked;
+  for (int i : order) {
+    const PendingFlow& f = pending[i];
+    if (f.demand <= in_res[f.src] && f.demand <= out_res[f.dst]) {
+      in_res[f.src] -= f.demand;
+      out_res[f.dst] -= f.demand;
+      picked.push_back(i);
+    }
+  }
+  return picked;
+}
+
+std::vector<int> HybridPolicy::SelectFlows(
+    const SwitchSpec& sw, Round t, std::span<const PendingFlow> pending) {
+  if (pending.empty()) return {};
+  const BipartiteGraph g = BuildBacklogGraph(sw, pending);
+  std::vector<int> in_queue(sw.num_inputs(), 0);
+  std::vector<int> out_queue(sw.num_outputs(), 0);
+  for (const PendingFlow& f : pending) {
+    ++in_queue[f.src];
+    ++out_queue[f.dst];
+  }
+  std::vector<double> weight(pending.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    FS_CHECK_LE(pending[i].release, t);
+    const double age = static_cast<double>(t - pending[i].release + 1);
+    const double pressure = static_cast<double>(in_queue[pending[i].src] +
+                                                out_queue[pending[i].dst]);
+    weight[i] = age + alpha_ * pressure;
+  }
+  return MaxWeightMatching(g, weight);
+}
+
+}  // namespace flowsched

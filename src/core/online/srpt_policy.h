@@ -1,0 +1,40 @@
+// SRPT-flavored and hybrid policies — extensions beyond the paper's three
+// heuristics (§6 invites "a more thorough investigation of online
+// algorithms"; the related-work section grounds SRPT for response time).
+#ifndef FLOWSCHED_CORE_ONLINE_SRPT_POLICY_H_
+#define FLOWSCHED_CORE_ONLINE_SRPT_POLICY_H_
+
+#include "core/online/policy.h"
+
+namespace flowsched {
+
+// Smallest-demand-first greedy packing. Flows are scheduled whole, so the
+// SRPT rule degenerates to "shortest (cheapest) first" — it maximizes the
+// number of flows completed under a demand mix, echoing SPT on one machine.
+// Handles general demands.
+class SrptPolicy : public SchedulingPolicy {
+ public:
+  std::string_view name() const override { return "srpt"; }
+  std::vector<int> SelectFlows(const SwitchSpec& sw, Round t,
+                               std::span<const PendingFlow> pending) override;
+};
+
+// The compromise the paper's conclusion (§5.2.3) gestures at: a
+// maximum-weight matching whose edge weight mixes MinRTime's age term with
+// MaxWeight's queue-pressure term:
+//   w_e = age(e) + alpha * (qlen(src) + qlen(dst)).
+// alpha = 0 is exactly MinRTime; large alpha approaches MaxWeight.
+class HybridPolicy : public SchedulingPolicy {
+ public:
+  explicit HybridPolicy(double alpha = 0.5) : alpha_(alpha) {}
+  std::string_view name() const override { return "hybrid"; }
+  std::vector<int> SelectFlows(const SwitchSpec& sw, Round t,
+                               std::span<const PendingFlow> pending) override;
+
+ private:
+  double alpha_;
+};
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_CORE_ONLINE_SRPT_POLICY_H_

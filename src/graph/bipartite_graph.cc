@@ -1,0 +1,57 @@
+#include "graph/bipartite_graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace flowsched {
+
+BipartiteGraph::BipartiteGraph(int num_left, int num_right)
+    : num_left_(num_left),
+      num_right_(num_right),
+      left_adj_(num_left),
+      right_adj_(num_right) {
+  FS_CHECK_GE(num_left, 0);
+  FS_CHECK_GE(num_right, 0);
+}
+
+int BipartiteGraph::AddEdge(int u, int v) {
+  FS_CHECK(u >= 0 && u < num_left_);
+  FS_CHECK(v >= 0 && v < num_right_);
+  const int e = num_edges();
+  edges_.push_back(Edge{u, v});
+  left_adj_[u].push_back(e);
+  right_adj_[v].push_back(e);
+  return e;
+}
+
+int BipartiteGraph::MaxDegree() const {
+  int d = 0;
+  for (const auto& adj : left_adj_) d = std::max(d, static_cast<int>(adj.size()));
+  for (const auto& adj : right_adj_) d = std::max(d, static_cast<int>(adj.size()));
+  return d;
+}
+
+bool IsMatching(const BipartiteGraph& g, std::span<const int> edge_ids) {
+  std::vector<char> left_used(g.num_left(), 0);
+  std::vector<char> right_used(g.num_right(), 0);
+  std::vector<char> edge_used(g.num_edges(), 0);
+  for (int e : edge_ids) {
+    if (e < 0 || e >= g.num_edges() || edge_used[e]) return false;
+    edge_used[e] = 1;
+    const auto& edge = g.edge(e);
+    if (left_used[edge.u] || right_used[edge.v]) return false;
+    left_used[edge.u] = 1;
+    right_used[edge.v] = 1;
+  }
+  return true;
+}
+
+double MatchingWeight(std::span<const int> edge_ids,
+                      std::span<const double> weight) {
+  double total = 0.0;
+  for (int e : edge_ids) total += weight[e];
+  return total;
+}
+
+}  // namespace flowsched

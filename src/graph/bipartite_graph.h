@@ -1,0 +1,60 @@
+// Bipartite multigraph and matching helpers.
+//
+// Left vertices model input ports (or their replicas), right vertices model
+// output ports. Parallel edges are allowed — interval graphs in Theorem 1's
+// Birkhoff–von Neumann step are genuine multigraphs.
+#ifndef FLOWSCHED_GRAPH_BIPARTITE_GRAPH_H_
+#define FLOWSCHED_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+namespace flowsched {
+
+class BipartiteGraph {
+ public:
+  struct Edge {
+    int u = 0;  // Left endpoint.
+    int v = 0;  // Right endpoint.
+  };
+
+  BipartiteGraph(int num_left, int num_right);
+
+  // Adds an edge and returns its index. Parallel edges allowed.
+  int AddEdge(int u, int v);
+
+  int num_left() const { return num_left_; }
+  int num_right() const { return num_right_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  const Edge& edge(int e) const { return edges_[e]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  // Incident edge indices.
+  const std::vector<int>& left_adj(int u) const { return left_adj_[u]; }
+  const std::vector<int>& right_adj(int v) const { return right_adj_[v]; }
+
+  int LeftDegree(int u) const { return static_cast<int>(left_adj_[u].size()); }
+  int RightDegree(int v) const { return static_cast<int>(right_adj_[v].size()); }
+
+  // Maximum degree over all vertices (0 for edgeless graphs).
+  int MaxDegree() const;
+
+ private:
+  int num_left_;
+  int num_right_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> left_adj_;
+  std::vector<std::vector<int>> right_adj_;
+};
+
+// True iff `edge_ids` are distinct edges of `g` sharing no endpoint.
+bool IsMatching(const BipartiteGraph& g, std::span<const int> edge_ids);
+
+// Sum of weights over the edge set.
+double MatchingWeight(std::span<const int> edge_ids,
+                      std::span<const double> weight);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_GRAPH_BIPARTITE_GRAPH_H_

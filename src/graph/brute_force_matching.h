@@ -1,0 +1,22 @@
+// Exponential-time exact matchers used as ground truth in property tests.
+// Only call on tiny graphs (num_edges <= ~20).
+#ifndef FLOWSCHED_GRAPH_BRUTE_FORCE_MATCHING_H_
+#define FLOWSCHED_GRAPH_BRUTE_FORCE_MATCHING_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace flowsched {
+
+// Maximum cardinality by exhaustive search over edge subsets.
+int BruteForceMaxCardinality(const BipartiteGraph& g);
+
+// Maximum total weight over all matchings.
+double BruteForceMaxWeight(const BipartiteGraph& g,
+                           std::span<const double> weight);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_GRAPH_BRUTE_FORCE_MATCHING_H_

@@ -1,0 +1,37 @@
+// Port replication: b-matchings -> matchings (paper §3.2, general capacities).
+//
+// A port with capacity c is replaced by c unit-capacity replicas; each
+// unit-demand flow edge is attached to one replica of its input port and one
+// replica of its output port, chosen round-robin. Degrees then drop by a
+// factor of ~c, and matchings of the replicated graph are capacity-feasible
+// flow sets of the original switch.
+#ifndef FLOWSCHED_GRAPH_EXPANSION_H_
+#define FLOWSCHED_GRAPH_EXPANSION_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "model/instance.h"
+
+namespace flowsched {
+
+struct ReplicatedGraph {
+  BipartiteGraph graph{0, 0};
+  // Maps each replicated-graph edge back to the position in the flow list it
+  // was built from (index into the `flow_ids` span handed to Replicate).
+  std::vector<int> edge_to_input_index;
+  // Replica -> original port.
+  std::vector<PortId> left_port;
+  std::vector<PortId> right_port;
+};
+
+// Builds the replicated unit-capacity multigraph for the given unit-demand
+// flows. Requires demand == 1 for every listed flow. Flows may repeat
+// (parallel requests become parallel edges spread across replicas).
+ReplicatedGraph Replicate(const Instance& instance,
+                          std::span<const FlowId> flow_ids);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_GRAPH_EXPANSION_H_

@@ -1,0 +1,38 @@
+#include "graph/greedy_matching.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace flowsched {
+
+std::vector<int> GreedyMatchingInOrder(const BipartiteGraph& g,
+                                       std::span<const int> order) {
+  std::vector<char> left_used(g.num_left(), 0);
+  std::vector<char> right_used(g.num_right(), 0);
+  std::vector<int> matching;
+  for (int e : order) {
+    FS_CHECK(e >= 0 && e < g.num_edges());
+    const auto& edge = g.edge(e);
+    if (!left_used[edge.u] && !right_used[edge.v]) {
+      left_used[edge.u] = 1;
+      right_used[edge.v] = 1;
+      matching.push_back(e);
+    }
+  }
+  return matching;
+}
+
+std::vector<int> GreedyMatchingByWeight(const BipartiteGraph& g,
+                                        std::span<const double> weight) {
+  FS_CHECK_EQ(static_cast<int>(weight.size()), g.num_edges());
+  std::vector<int> order(g.num_edges());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return weight[a] > weight[b];
+  });
+  return GreedyMatchingInOrder(g, order);
+}
+
+}  // namespace flowsched

@@ -1,0 +1,24 @@
+// Greedy maximal matchings — cheap baselines and policy building blocks.
+#ifndef FLOWSCHED_GRAPH_GREEDY_MATCHING_H_
+#define FLOWSCHED_GRAPH_GREEDY_MATCHING_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace flowsched {
+
+// Scans edges in the given order and keeps each edge whose endpoints are
+// still free. `order` holds edge indices; pass all edges for FIFO-by-id.
+std::vector<int> GreedyMatchingInOrder(const BipartiteGraph& g,
+                                       std::span<const int> order);
+
+// Greedy by non-increasing weight (ties by edge index). 1/2-approximation
+// to maximum weight.
+std::vector<int> GreedyMatchingByWeight(const BipartiteGraph& g,
+                                        std::span<const double> weight);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_GRAPH_GREEDY_MATCHING_H_

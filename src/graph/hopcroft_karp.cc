@@ -1,0 +1,94 @@
+#include "graph/hopcroft_karp.h"
+
+#include <limits>
+#include <queue>
+
+namespace flowsched {
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max();
+
+// Standard Hopcroft–Karp over vertex adjacency; parallel edges are harmless
+// (only one copy can ever be matched).
+class HopcroftKarp {
+ public:
+  explicit HopcroftKarp(const BipartiteGraph& g)
+      : g_(g),
+        match_left_(g.num_left(), -1),   // Edge id matched at left vertex.
+        match_right_(g.num_right(), -1),
+        dist_(g.num_left(), kInf) {}
+
+  std::vector<int> Run() {
+    while (Bfs()) {
+      for (int u = 0; u < g_.num_left(); ++u) {
+        if (match_left_[u] == -1) Dfs(u);
+      }
+    }
+    std::vector<int> edges;
+    for (int u = 0; u < g_.num_left(); ++u) {
+      if (match_left_[u] != -1) edges.push_back(match_left_[u]);
+    }
+    return edges;
+  }
+
+ private:
+  // Layers free left vertices; returns true if an augmenting path exists.
+  bool Bfs() {
+    std::queue<int> q;
+    for (int u = 0; u < g_.num_left(); ++u) {
+      if (match_left_[u] == -1) {
+        dist_[u] = 0;
+        q.push(u);
+      } else {
+        dist_[u] = kInf;
+      }
+    }
+    bool found = false;
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (int e : g_.left_adj(u)) {
+        const int v = g_.edge(e).v;
+        const int me = match_right_[v];
+        if (me == -1) {
+          found = true;
+        } else {
+          const int w = g_.edge(me).u;
+          if (dist_[w] == kInf) {
+            dist_[w] = dist_[u] + 1;
+            q.push(w);
+          }
+        }
+      }
+    }
+    return found;
+  }
+
+  bool Dfs(int u) {
+    for (int e : g_.left_adj(u)) {
+      const int v = g_.edge(e).v;
+      const int me = match_right_[v];
+      if (me == -1 ||
+          (dist_[g_.edge(me).u] == dist_[u] + 1 && Dfs(g_.edge(me).u))) {
+        match_left_[u] = e;
+        match_right_[v] = e;
+        return true;
+      }
+    }
+    dist_[u] = kInf;
+    return false;
+  }
+
+  const BipartiteGraph& g_;
+  std::vector<int> match_left_;
+  std::vector<int> match_right_;
+  std::vector<int> dist_;
+};
+
+}  // namespace
+
+std::vector<int> MaxCardinalityMatching(const BipartiteGraph& g) {
+  return HopcroftKarp(g).Run();
+}
+
+}  // namespace flowsched

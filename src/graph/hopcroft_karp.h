@@ -1,0 +1,19 @@
+// Hopcroft–Karp maximum-cardinality bipartite matching, O(E sqrt(V)).
+//
+// Used by the MaxCard online heuristic (paper §5.2.1) and as a subroutine in
+// feasibility checks.
+#ifndef FLOWSCHED_GRAPH_HOPCROFT_KARP_H_
+#define FLOWSCHED_GRAPH_HOPCROFT_KARP_H_
+
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace flowsched {
+
+// Returns the edge indices of a maximum-cardinality matching.
+std::vector<int> MaxCardinalityMatching(const BipartiteGraph& g);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_GRAPH_HOPCROFT_KARP_H_

@@ -1,0 +1,125 @@
+#include "graph/max_weight_matching.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace flowsched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Hungarian algorithm (potentials + shortest augmenting path), minimizing
+// cost over a dense n x m matrix with n <= m. Returns assignment[row] = col.
+// Classic formulation from cp-algorithms; handles arbitrary real costs.
+std::vector<int> HungarianMinCost(const std::vector<std::vector<double>>& a) {
+  const int n = static_cast<int>(a.size());
+  const int m = n == 0 ? 0 : static_cast<int>(a[0].size());
+  FS_CHECK_LE(n, m);
+  std::vector<double> u(n + 1, 0.0);
+  std::vector<double> v(m + 1, 0.0);
+  std::vector<int> p(m + 1, 0);    // p[j] = row matched to column j (1-based).
+  std::vector<int> way(m + 1, 0);
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<char> used(m + 1, 0);
+    do {
+      used[j0] = 1;
+      const int i0 = p[j0];
+      double delta = kInf;
+      int j1 = -1;
+      for (int j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const double cur = a[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      FS_CHECK_GE(j1, 0);
+      for (int j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+  std::vector<int> assignment(n, -1);
+  for (int j = 1; j <= m; ++j) {
+    if (p[j] != 0) assignment[p[j] - 1] = j - 1;
+  }
+  return assignment;
+}
+
+}  // namespace
+
+std::vector<int> MaxWeightMatching(const BipartiteGraph& g,
+                                   std::span<const double> weight) {
+  FS_CHECK_EQ(static_cast<int>(weight.size()), g.num_edges());
+  if (g.num_edges() == 0) return {};
+  // Only left/right vertices that actually carry edges participate; compact
+  // them so the dense matrix stays as small as the backlog, not the switch.
+  std::vector<int> left_ids;
+  std::vector<int> right_ids;
+  std::vector<int> left_index(g.num_left(), -1);
+  std::vector<int> right_index(g.num_right(), -1);
+  for (const auto& e : g.edges()) {
+    if (left_index[e.u] == -1) {
+      left_index[e.u] = static_cast<int>(left_ids.size());
+      left_ids.push_back(e.u);
+    }
+    if (right_index[e.v] == -1) {
+      right_index[e.v] = static_cast<int>(right_ids.size());
+      right_ids.push_back(e.v);
+    }
+  }
+  const int nl = static_cast<int>(left_ids.size());
+  const int nr = static_cast<int>(right_ids.size());
+  // Keep, per (u, v) cell, the best (max-weight) edge; parallel edges can
+  // never both be matched. Cells without an edge cost 0 == "leave unmatched".
+  const bool transpose = nl > nr;
+  const int rows = transpose ? nr : nl;
+  const int cols = transpose ? nl : nr;
+  std::vector<std::vector<double>> cost(rows, std::vector<double>(cols, 0.0));
+  std::vector<std::vector<int>> best_edge(rows, std::vector<int>(cols, -1));
+  for (int e = 0; e < g.num_edges(); ++e) {
+    FS_CHECK_GE(weight[e], 0.0);
+    int r = left_index[g.edge(e).u];
+    int c = right_index[g.edge(e).v];
+    if (transpose) std::swap(r, c);
+    if (best_edge[r][c] == -1 || weight[e] > -cost[r][c]) {
+      cost[r][c] = -weight[e];
+      best_edge[r][c] = e;
+    }
+  }
+  const std::vector<int> assignment = HungarianMinCost(cost);
+  std::vector<int> matching;
+  for (int r = 0; r < rows; ++r) {
+    const int c = assignment[r];
+    // Zero-weight cells are "unmatched" pads; only keep real positive picks
+    // plus real zero-weight edges (harmless either way, so require an edge).
+    if (c >= 0 && best_edge[r][c] != -1 && weight[best_edge[r][c]] >= 0.0 &&
+        cost[r][c] < 0.0) {
+      matching.push_back(best_edge[r][c]);
+    }
+  }
+  return matching;
+}
+
+}  // namespace flowsched

@@ -1,0 +1,26 @@
+// Maximum-weight bipartite matching (not necessarily perfect).
+//
+// Used by the MinRTime and MaxWeight online heuristics (paper §5.2.1),
+// which each round extract a maximum-weight matching from the backlog graph.
+// Weights must be non-negative; leaving a vertex unmatched is always allowed
+// (equivalently, the matching maximizes total weight, not cardinality).
+#ifndef FLOWSCHED_GRAPH_MAX_WEIGHT_MATCHING_H_
+#define FLOWSCHED_GRAPH_MAX_WEIGHT_MATCHING_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace flowsched {
+
+// Returns edge indices of a maximum-weight matching of `g` with the given
+// per-edge weights (weight.size() == g.num_edges(), all weights >= 0).
+// Runs the O(n^3) Hungarian algorithm on a dense padded matrix; for the
+// switch sizes in this project (ports <= a few hundred) this is fast.
+std::vector<int> MaxWeightMatching(const BipartiteGraph& g,
+                                   std::span<const double> weight);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_GRAPH_MAX_WEIGHT_MATCHING_H_

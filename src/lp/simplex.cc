@@ -1,0 +1,402 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace flowsched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Internal column kinds. Structural columns come from the LpProblem; one
+// slack/surplus is added per inequality row; artificials complete the
+// initial basis.
+enum class ColKind { kStructural, kSlack, kArtificial };
+
+class RevisedSimplex {
+ public:
+  RevisedSimplex(const LpProblem& lp, const SimplexOptions& options)
+      : lp_(lp), opt_(options), m_(lp.num_rows()) {
+    Setup();
+  }
+
+  SimplexResult Solve() {
+    SimplexResult result;
+    if (max_iterations_ == 0) {
+      max_iterations_ = 2000 + 60L * m_ + 2L * lp_.num_cols();
+    }
+    // Phase 1: minimize the sum of artificial values.
+    if (needs_phase1_) {
+      SetPhaseCosts(/*phase1=*/true);
+      const SimplexStatus ph1 = Iterate(/*phase1=*/true);
+      if (ph1 == SimplexStatus::kIterationLimit) {
+        result.status = ph1;
+        result.iterations = iterations_;
+        return result;
+      }
+      double artificial_sum = 0.0;
+      for (int i = 0; i < m_; ++i) {
+        if (kind_[basis_[i]] == ColKind::kArtificial) artificial_sum += xb_[i];
+      }
+      if (artificial_sum > 1e-6) {
+        result.status = SimplexStatus::kInfeasible;
+        result.iterations = iterations_;
+        return result;
+      }
+      DriveOutArtificials();
+    }
+    // Phase 2: the real objective.
+    SetPhaseCosts(/*phase1=*/false);
+    const SimplexStatus ph2 = Iterate(/*phase1=*/false);
+    result.status = ph2;
+    result.iterations = iterations_;
+    if (ph2 != SimplexStatus::kOptimal) return result;
+
+    result.x.assign(lp_.num_cols(), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const int j = basis_[i];
+      if (kind_[j] == ColKind::kStructural) {
+        result.x[j] = std::max(0.0, xb_[i]);
+      }
+    }
+    double obj = 0.0;
+    for (int j = 0; j < lp_.num_cols(); ++j) {
+      obj += lp_.objective(j) * result.x[j];
+    }
+    result.objective = obj;
+    // Duals: y = cB' * Binv, un-scaled back to the user's row orientation.
+    ComputeY();
+    result.duals.assign(m_, 0.0);
+    for (int i = 0; i < m_; ++i) result.duals[i] = y_[i] * row_scale_[i];
+    result.primal_residual = PrimalResidual(result.x);
+    return result;
+  }
+
+ private:
+  void Setup() {
+    max_iterations_ = opt_.max_iterations;
+    // Normalize rows to rhs >= 0 via row scaling in {+1, -1} (flipping the
+    // sense accordingly); coefficients are scaled on access.
+    row_scale_.assign(m_, 1.0);
+    rhs_.assign(m_, 0.0);
+    eff_sense_.resize(m_);
+    for (int i = 0; i < m_; ++i) {
+      double b = lp_.rhs(i);
+      RowSense s = lp_.sense(i);
+      if (b < 0.0) {
+        b = -b;
+        row_scale_[i] = -1.0;
+        if (s == RowSense::kLe) {
+          s = RowSense::kGe;
+        } else if (s == RowSense::kGe) {
+          s = RowSense::kLe;
+        }
+      }
+      rhs_[i] = b;
+      eff_sense_[i] = s;
+    }
+    // Column layout: structural, then slacks/surpluses, then artificials.
+    const int n = lp_.num_cols();
+    kind_.assign(n, ColKind::kStructural);
+    slack_row_.assign(n, -1);
+    for (int i = 0; i < m_; ++i) {
+      if (eff_sense_[i] != RowSense::kEq) {
+        kind_.push_back(ColKind::kSlack);
+        slack_row_.push_back(i);
+      }
+    }
+    // Initial basis: slack for <= rows, artificial otherwise.
+    basis_.assign(m_, -1);
+    needs_phase1_ = false;
+    for (int i = 0; i < m_; ++i) {
+      if (eff_sense_[i] == RowSense::kLe) {
+        basis_[i] = SlackColumnFor(i);
+      } else {
+        basis_[i] = static_cast<int>(kind_.size());
+        kind_.push_back(ColKind::kArtificial);
+        slack_row_.push_back(i);
+        needs_phase1_ = true;
+      }
+    }
+    total_cols_ = static_cast<int>(kind_.size());
+    in_basis_.assign(total_cols_, 0);
+    for (int j : basis_) in_basis_[j] = 1;
+    // B = identity initially.
+    binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+    for (int i = 0; i < m_; ++i) binv_[static_cast<std::size_t>(i) * m_ + i] = 1.0;
+    xb_ = rhs_;
+    y_.assign(m_, 0.0);
+    w_.assign(m_, 0.0);
+  }
+
+  int SlackColumnFor(int row) const {
+    // Slack columns were appended in row order for non-equality rows.
+    int idx = lp_.num_cols();
+    for (int i = 0; i < row; ++i) {
+      if (eff_sense_[i] != RowSense::kEq) ++idx;
+    }
+    FS_CHECK(kind_[idx] == ColKind::kSlack && slack_row_[idx] == row);
+    return idx;
+  }
+
+  double ColumnCoefficient(int j, int row) const {
+    // Only used on slack/artificial columns (single nonzero).
+    FS_CHECK(kind_[j] != ColKind::kStructural);
+    if (slack_row_[j] != row) return 0.0;
+    if (kind_[j] == ColKind::kArtificial) return 1.0;
+    return eff_sense_[row] == RowSense::kLe ? 1.0 : -1.0;
+  }
+
+  void SetPhaseCosts(bool phase1) {
+    cost_.assign(total_cols_, 0.0);
+    if (phase1) {
+      for (int j = 0; j < total_cols_; ++j) {
+        if (kind_[j] == ColKind::kArtificial) cost_[j] = 1.0;
+      }
+    } else {
+      for (int j = 0; j < lp_.num_cols(); ++j) cost_[j] = lp_.objective(j);
+    }
+  }
+
+  // y = cB' * Binv, accumulated row by row (contiguous).
+  void ComputeY() {
+    std::fill(y_.begin(), y_.end(), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const double cb = cost_[basis_[i]];
+      if (cb == 0.0) continue;
+      const double* row = &binv_[static_cast<std::size_t>(i) * m_];
+      for (int r = 0; r < m_; ++r) y_[r] += cb * row[r];
+    }
+  }
+
+  // Reduced cost of column j given current y.
+  double ReducedCost(int j) const {
+    double yaj;
+    if (kind_[j] == ColKind::kStructural) {
+      const SparseColumn& col = lp_.col(j);
+      yaj = 0.0;
+      for (std::size_t k = 0; k < col.rows.size(); ++k) {
+        yaj += y_[col.rows[k]] * row_scale_[col.rows[k]] * col.values[k];
+      }
+    } else {
+      const int r = slack_row_[j];
+      yaj = y_[r] * ColumnCoefficient(j, r);
+    }
+    return cost_[j] - yaj;
+  }
+
+  // w = Binv * A_j.
+  void ComputeDirection(int j) {
+    std::fill(w_.begin(), w_.end(), 0.0);
+    if (kind_[j] == ColKind::kStructural) {
+      const SparseColumn& col = lp_.col(j);
+      for (std::size_t k = 0; k < col.rows.size(); ++k) {
+        const int r = col.rows[k];
+        const double a = col.values[k] * row_scale_[r];
+        if (a == 0.0) continue;
+        for (int i = 0; i < m_; ++i) {
+          w_[i] += binv_[static_cast<std::size_t>(i) * m_ + r] * a;
+        }
+      }
+    } else {
+      const int r = slack_row_[j];
+      const double a = ColumnCoefficient(j, r);
+      for (int i = 0; i < m_; ++i) {
+        w_[i] = binv_[static_cast<std::size_t>(i) * m_ + r] * a;
+      }
+    }
+  }
+
+  SimplexStatus Iterate(bool phase1) {
+    int stall = 0;
+    while (iterations_ < max_iterations_) {
+      ++iterations_;
+      ComputeY();
+      const bool bland = stall >= opt_.stall_limit;
+      // Pricing. In phase 2, artificials may never enter.
+      int entering = -1;
+      double best = -opt_.optimality_tol;
+      for (int j = 0; j < total_cols_; ++j) {
+        if (in_basis_[j]) continue;
+        if (kind_[j] == ColKind::kArtificial && !phase1) continue;
+        const double d = ReducedCost(j);
+        if (d < best) {
+          entering = j;
+          if (bland) break;  // First eligible index (Bland).
+          best = d;
+        }
+      }
+      if (entering == -1) return SimplexStatus::kOptimal;
+
+      ComputeDirection(entering);
+      // Ratio test. Basic artificials must stay at zero: a direction that
+      // would increase one (w_i < 0) blocks at theta = 0 and pivots the
+      // artificial out instead.
+      int leaving = -1;
+      double theta = kInf;
+      double best_pivot = 0.0;
+      for (int i = 0; i < m_; ++i) {
+        const double wi = w_[i];
+        const bool basic_artificial =
+            kind_[basis_[i]] == ColKind::kArtificial && !phase1;
+        double ratio = kInf;
+        if (wi > 1e-9) {
+          ratio = std::max(0.0, xb_[i]) / wi;
+        } else if (basic_artificial && wi < -1e-9) {
+          ratio = 0.0;  // Block: the artificial would grow positive.
+        } else {
+          continue;
+        }
+        if (ratio < theta - 1e-12 ||
+            (ratio < theta + 1e-12 && std::abs(wi) > best_pivot)) {
+          theta = ratio;
+          leaving = i;
+          best_pivot = std::abs(wi);
+        }
+      }
+      if (leaving == -1) {
+        // No blocking row: unbounded ray (cannot happen in phase 1, whose
+        // objective is bounded below by zero — if it does, it is numerical).
+        return phase1 ? SimplexStatus::kIterationLimit
+                      : SimplexStatus::kUnbounded;
+      }
+      stall = theta <= 1e-10 ? stall + 1 : 0;
+      Pivot(entering, leaving, theta);
+    }
+    return SimplexStatus::kIterationLimit;
+  }
+
+  void Pivot(int entering, int leaving, double theta) {
+    const double wr = w_[leaving];
+    FS_CHECK_GT(std::abs(wr), 1e-12);
+    // Update basic values.
+    for (int i = 0; i < m_; ++i) {
+      if (i == leaving) continue;
+      xb_[i] -= theta * w_[i];
+      if (xb_[i] < 0.0 && xb_[i] > -opt_.feasibility_tol) xb_[i] = 0.0;
+    }
+    xb_[leaving] = theta;
+    // Update Binv: eliminate w in all rows except the pivot row.
+    double* pivot_row = &binv_[static_cast<std::size_t>(leaving) * m_];
+    const double inv = 1.0 / wr;
+    for (int r = 0; r < m_; ++r) pivot_row[r] *= inv;
+    for (int i = 0; i < m_; ++i) {
+      if (i == leaving) continue;
+      const double f = w_[i];
+      if (f == 0.0) continue;
+      double* row = &binv_[static_cast<std::size_t>(i) * m_];
+      for (int r = 0; r < m_; ++r) row[r] -= f * pivot_row[r];
+    }
+    in_basis_[basis_[leaving]] = 0;
+    in_basis_[entering] = 1;
+    basis_[leaving] = entering;
+  }
+
+  void DriveOutArtificials() {
+    for (int i = 0; i < m_; ++i) {
+      if (kind_[basis_[i]] != ColKind::kArtificial) continue;
+      // Find any non-artificial, nonbasic column with a usable pivot in row i.
+      int found = -1;
+      for (int j = 0; j < total_cols_ && found == -1; ++j) {
+        if (in_basis_[j] || kind_[j] == ColKind::kArtificial) continue;
+        ComputeDirection(j);
+        if (std::abs(w_[i]) > 1e-7) found = j;
+      }
+      if (found != -1) {
+        // Degenerate pivot: the artificial sits at zero, so theta ~ 0.
+        // (w_ still holds the direction for `found` from the search loop.)
+        PivotRowSwap(found, i);
+      }
+      // If no pivot exists the row is linearly dependent; the artificial
+      // stays basic at value zero and the ratio test keeps it there.
+    }
+  }
+
+  // Pivot `entering` into basis position `row` at value xb_[row] (which must
+  // be ~0 for this to preserve feasibility).
+  void PivotRowSwap(int entering, int row) {
+    const double wr = w_[row];
+    FS_CHECK_GT(std::abs(wr), 1e-12);
+    const double theta = xb_[row] / wr;
+    Pivot(entering, row, theta);
+  }
+
+  const LpProblem& lp_;
+  SimplexOptions opt_;
+  int m_;
+  long max_iterations_ = 0;
+  long iterations_ = 0;
+  bool needs_phase1_ = false;
+  int total_cols_ = 0;
+
+  std::vector<double> row_scale_;
+  std::vector<double> rhs_;
+  std::vector<RowSense> eff_sense_;
+  std::vector<ColKind> kind_;
+  std::vector<int> slack_row_;  // Row of the single nonzero, per non-structural col.
+  std::vector<int> basis_;      // basis_[i] = column in basis position i.
+  std::vector<char> in_basis_;
+  std::vector<double> binv_;    // Row-major m x m.
+  std::vector<double> xb_;      // Basic variable values.
+  std::vector<double> cost_;    // Phase-dependent costs.
+  std::vector<double> y_;       // Dual vector (scaled rows).
+  std::vector<double> w_;       // FTRAN scratch.
+
+  double PrimalResidual(const std::vector<double>& x) const {
+    // Recompute structural row activity and compare against senses.
+    std::vector<double> activity(m_, 0.0);
+    for (int j = 0; j < lp_.num_cols(); ++j) {
+      if (x[j] == 0.0) continue;
+      const SparseColumn& col = lp_.col(j);
+      for (std::size_t k = 0; k < col.rows.size(); ++k) {
+        activity[col.rows[k]] += col.values[k] * x[j];
+      }
+    }
+    double worst = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      const double b = lp_.rhs(i);
+      const double a = activity[i];
+      double violation = 0.0;
+      switch (lp_.sense(i)) {
+        case RowSense::kLe:
+          violation = a - b;
+          break;
+        case RowSense::kGe:
+          violation = b - a;
+          break;
+        case RowSense::kEq:
+          violation = std::abs(a - b);
+          break;
+      }
+      worst = std::max(worst, violation);
+    }
+    return worst;
+  }
+};
+
+}  // namespace
+
+const char* ToString(SimplexStatus status) {
+  switch (status) {
+    case SimplexStatus::kOptimal:
+      return "optimal";
+    case SimplexStatus::kInfeasible:
+      return "infeasible";
+    case SimplexStatus::kUnbounded:
+      return "unbounded";
+    case SimplexStatus::kIterationLimit:
+      return "iteration_limit";
+  }
+  return "unknown";
+}
+
+SimplexResult SolveLp(const LpProblem& lp, const SimplexOptions& options) {
+  FS_CHECK_GT(lp.num_rows(), 0);
+  FS_CHECK_GT(lp.num_cols(), 0);
+  return RevisedSimplex(lp, options).Solve();
+}
+
+}  // namespace flowsched

@@ -1,0 +1,46 @@
+// Column-oriented sparse matrix used by the LP machinery.
+//
+// The scheduling LPs have ~3 nonzeros per structural column (one covering
+// row, two port-capacity rows), so columns are stored as (row, value) pairs.
+#ifndef FLOWSCHED_LP_SPARSE_MATRIX_H_
+#define FLOWSCHED_LP_SPARSE_MATRIX_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace flowsched {
+
+struct SparseColumn {
+  std::vector<int> rows;
+  std::vector<double> values;
+
+  void Add(int row, double value) {
+    rows.push_back(row);
+    values.push_back(value);
+  }
+  std::size_t size() const { return rows.size(); }
+};
+
+class ColumnMatrix {
+ public:
+  explicit ColumnMatrix(int num_rows) : num_rows_(num_rows) {}
+
+  // Entries must reference rows in [0, num_rows); duplicates are merged.
+  int AddColumn(SparseColumn col);
+
+  int num_rows() const { return num_rows_; }
+  int num_cols() const { return static_cast<int>(cols_.size()); }
+  const SparseColumn& col(int j) const { return cols_[j]; }
+
+  // y . A_j for a dense row vector y of length num_rows().
+  double DotColumn(std::span<const double> y, int j) const;
+
+ private:
+  int num_rows_;
+  std::vector<SparseColumn> cols_;
+};
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_LP_SPARSE_MATRIX_H_

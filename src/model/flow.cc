@@ -1,0 +1,3 @@
+#include "model/flow.h"
+
+// Header-only; this translation unit keeps the build graph uniform.

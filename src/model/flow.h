@@ -1,0 +1,39 @@
+// Core value types of the switch scheduling model (paper §2).
+//
+// A flow e = (p, q) requests `demand` units between input port p and output
+// port q, and becomes available at round `release`. Rounds are discrete; a
+// schedule assigns each flow to a single round (sigma_{e,t} = 1), and the
+// response time of a flow scheduled in round t is t + 1 - release
+// (C_e = 1 + min{t : sigma_{e,t} = 1} in the paper's notation).
+#ifndef FLOWSCHED_MODEL_FLOW_H_
+#define FLOWSCHED_MODEL_FLOW_H_
+
+#include <cstdint>
+
+namespace flowsched {
+
+using FlowId = int;
+using PortId = int;
+using Round = int;
+using Capacity = std::int64_t;
+
+inline constexpr Round kUnassigned = -1;
+
+struct Flow {
+  FlowId id = 0;
+  PortId src = 0;       // Input-side port index, in [0, num_inputs).
+  PortId dst = 0;       // Output-side port index, in [0, num_outputs).
+  Capacity demand = 1;  // d_e >= 1; must satisfy d_e <= min(c_src, c_dst).
+  Round release = 0;    // r_e >= 0; earliest round the flow may be scheduled.
+
+  friend bool operator==(const Flow&, const Flow&) = default;
+};
+
+// Response time of a flow released at `release` and scheduled in `round`.
+inline int ResponseTime(Round round, Round release) {
+  return round + 1 - release;
+}
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_MODEL_FLOW_H_

@@ -1,0 +1,53 @@
+// Instance: a switch plus a set of flow requests (a full FS-ART / FS-MRT
+// problem input).
+#ifndef FLOWSCHED_MODEL_INSTANCE_H_
+#define FLOWSCHED_MODEL_INSTANCE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/flow.h"
+#include "model/switch_spec.h"
+
+namespace flowsched {
+
+class Instance {
+ public:
+  Instance() = default;
+  // Flows are renumbered so flows()[i].id == i.
+  Instance(SwitchSpec sw, std::vector<Flow> flows);
+
+  const SwitchSpec& sw() const { return switch_; }
+  const std::vector<Flow>& flows() const { return flows_; }
+  const Flow& flow(FlowId id) const { return flows_[id]; }
+  int num_flows() const { return static_cast<int>(flows_.size()); }
+
+  // Adds a flow (id assigned automatically); returns its id.
+  FlowId AddFlow(PortId src, PortId dst, Capacity demand = 1, Round release = 0);
+
+  // Returns an error message if the instance is malformed (port out of
+  // range, demand < 1 or > kappa_e, negative release), nullopt when valid.
+  std::optional<std::string> ValidationError() const;
+
+  // Aggregate properties used throughout the algorithms.
+  Capacity MaxDemand() const;       // d_max (0 for empty instances).
+  Round MaxRelease() const;         // r_max (0 for empty instances).
+  Capacity TotalDemand() const;
+  // A horizon H such that some optimal schedule (for either objective)
+  // finishes before round H: any non-idle schedule completes at least one
+  // pending flow per round, so r_max + n rounds always suffice.
+  Round SafeHorizon() const;
+
+  // Flow ids incident to input port p / output port q (the paper's F_p).
+  std::vector<std::vector<FlowId>> FlowsByInputPort() const;
+  std::vector<std::vector<FlowId>> FlowsByOutputPort() const;
+
+ private:
+  SwitchSpec switch_;
+  std::vector<Flow> flows_;
+};
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_MODEL_INSTANCE_H_

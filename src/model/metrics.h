@@ -1,0 +1,41 @@
+// Response-time metrics of a schedule (the paper's objectives).
+#ifndef FLOWSCHED_MODEL_METRICS_H_
+#define FLOWSCHED_MODEL_METRICS_H_
+
+#include <span>
+#include <vector>
+
+#include "model/instance.h"
+#include "model/schedule.h"
+
+namespace flowsched {
+
+struct ScheduleMetrics {
+  std::vector<double> response;  // rho_e = t_e + 1 - r_e per flow.
+  double total_response = 0.0;   // FS-ART objective (sum rho_e).
+  double avg_response = 0.0;
+  double max_response = 0.0;     // FS-MRT objective.
+  Round makespan = 0;            // Last busy round + 1.
+  double p95_response = 0.0;
+  double p99_response = 0.0;
+};
+
+// Requires every flow to be assigned.
+ScheduleMetrics ComputeMetrics(const Instance& instance,
+                               const Schedule& schedule);
+
+// Weighted response metrics (the weighted flow-time objective from the
+// scheduling literature the paper builds on; weights >= 0, one per flow).
+struct WeightedMetrics {
+  double total_weighted_response = 0.0;  // sum_e w_e * rho_e.
+  double max_weighted_response = 0.0;    // max_e w_e * rho_e.
+  double total_weight = 0.0;
+};
+
+WeightedMetrics ComputeWeightedMetrics(const Instance& instance,
+                                       const Schedule& schedule,
+                                       std::span<const double> weights);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_MODEL_METRICS_H_

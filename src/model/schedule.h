@@ -1,0 +1,84 @@
+// Schedule: an assignment of each flow to one round, plus validation.
+//
+// The paper's sigma_{e,t} in {0,1} schedules a flow entirely within a round;
+// we store the chosen round per flow. Validation checks release times and
+// per-(port, round) capacity, optionally under *resource augmentation*
+// (Theorems 1 and 3 schedule against enlarged capacities).
+#ifndef FLOWSCHED_MODEL_SCHEDULE_H_
+#define FLOWSCHED_MODEL_SCHEDULE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/instance.h"
+
+namespace flowsched {
+
+// Capacity allowance for validation: a port with base capacity c may carry
+// floor(c * factor) + additive demand per round.
+struct CapacityAllowance {
+  double factor = 1.0;
+  Capacity additive = 0;
+
+  Capacity Allowed(Capacity base) const;
+
+  static CapacityAllowance Exact() { return {1.0, 0}; }
+  static CapacityAllowance Factor(double f) { return {f, 0}; }
+  static CapacityAllowance Additive(Capacity a) { return {1.0, a}; }
+};
+
+// A switch whose port capacities are enlarged per `allowance` — resource
+// augmentation as a first-class object (used to run *online* policies with
+// extra bandwidth, mirroring the offline theorems' augmented analyses).
+SwitchSpec AugmentSwitch(const SwitchSpec& sw,
+                         const CapacityAllowance& allowance);
+
+// Per-(port, round) load profile of a schedule.
+struct PortLoads {
+  // loads[p][t] = total demand crossing the port in round t; t in [0, horizon).
+  std::vector<std::vector<Capacity>> input;
+  std::vector<std::vector<Capacity>> output;
+  Round horizon = 0;
+
+  // Largest load - allowed excess over base capacities (0 when feasible).
+  Capacity MaxOverload(const SwitchSpec& sw) const;
+};
+
+class Schedule {
+ public:
+  Schedule() = default;
+  explicit Schedule(int num_flows) : assigned_(num_flows, kUnassigned) {}
+
+  int num_flows() const { return static_cast<int>(assigned_.size()); }
+  Round round_of(FlowId e) const { return assigned_[e]; }
+  bool IsAssigned(FlowId e) const { return assigned_[e] != kUnassigned; }
+
+  void Assign(FlowId e, Round t);
+  void Unassign(FlowId e);
+
+  // Max assigned round + 1 (0 when nothing is assigned).
+  Round Makespan() const;
+
+  bool AllAssigned() const;
+
+  // Computes per-port per-round loads (for assigned flows only).
+  PortLoads ComputeLoads(const Instance& instance) const;
+
+  // Returns an error message when the schedule is invalid for `instance`
+  // under `allowance`: some flow unassigned, scheduled before release, or a
+  // port overloaded. Returns nullopt when valid.
+  std::optional<std::string> ValidationError(
+      const Instance& instance,
+      const CapacityAllowance& allowance = CapacityAllowance::Exact()) const;
+
+  const std::vector<Round>& assignments() const { return assigned_; }
+
+ private:
+  std::vector<Round> assigned_;
+};
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_MODEL_SCHEDULE_H_

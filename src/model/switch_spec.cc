@@ -1,0 +1,49 @@
+#include "model/switch_spec.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace flowsched {
+
+SwitchSpec::SwitchSpec(std::vector<Capacity> input_capacities,
+                       std::vector<Capacity> output_capacities)
+    : input_capacity_(std::move(input_capacities)),
+      output_capacity_(std::move(output_capacities)) {
+  FS_CHECK(!input_capacity_.empty());
+  FS_CHECK(!output_capacity_.empty());
+  for (Capacity c : input_capacity_) FS_CHECK_GE(c, 1);
+  for (Capacity c : output_capacity_) FS_CHECK_GE(c, 1);
+}
+
+SwitchSpec SwitchSpec::Uniform(int num_inputs, int num_outputs, Capacity cap) {
+  FS_CHECK_GE(num_inputs, 1);
+  FS_CHECK_GE(num_outputs, 1);
+  FS_CHECK_GE(cap, 1);
+  return SwitchSpec(std::vector<Capacity>(num_inputs, cap),
+                    std::vector<Capacity>(num_outputs, cap));
+}
+
+Capacity SwitchSpec::Kappa(const Flow& e) const {
+  FS_CHECK(e.src >= 0 && e.src < num_inputs());
+  FS_CHECK(e.dst >= 0 && e.dst < num_outputs());
+  return std::min(input_capacity_[e.src], output_capacity_[e.dst]);
+}
+
+bool SwitchSpec::IsUnitCapacity() const {
+  auto is_one = [](Capacity c) { return c == 1; };
+  return std::all_of(input_capacity_.begin(), input_capacity_.end(), is_one) &&
+         std::all_of(output_capacity_.begin(), output_capacity_.end(), is_one);
+}
+
+Capacity SwitchSpec::MinCapacity() const {
+  return std::min(*std::min_element(input_capacity_.begin(), input_capacity_.end()),
+                  *std::min_element(output_capacity_.begin(), output_capacity_.end()));
+}
+
+Capacity SwitchSpec::MaxCapacity() const {
+  return std::max(*std::max_element(input_capacity_.begin(), input_capacity_.end()),
+                  *std::max_element(output_capacity_.begin(), output_capacity_.end()));
+}
+
+}  // namespace flowsched

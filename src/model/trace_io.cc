@@ -1,0 +1,141 @@
+#include "model/trace_io.h"
+
+#include <charconv>
+#include <ostream>
+
+#include "util/csv.h"
+
+namespace flowsched {
+namespace {
+
+bool ParseInt64(const std::string& s, std::int64_t& out) {
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
+}
+
+bool ParseInt(const std::string& s, int& out) {
+  std::int64_t v = 0;
+  if (!ParseInt64(s, v)) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+bool Fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+bool ParseCapacityRow(const std::vector<std::string>& row,
+                      std::vector<Capacity>& caps, std::string* error) {
+  caps.clear();
+  for (const auto& field : row) {
+    std::int64_t v = 0;
+    if (!ParseInt64(field, v)) return Fail(error, "bad capacity: " + field);
+    caps.push_back(v);
+  }
+  return true;
+}
+
+}  // namespace
+
+void WriteInstanceCsv(const Instance& instance, std::ostream& out) {
+  CsvWriter w(out);
+  w.Row("input_capacities");
+  {
+    std::vector<std::string> row;
+    for (Capacity c : instance.sw().input_capacities()) {
+      row.push_back(std::to_string(c));
+    }
+    w.WriteRow(row);
+  }
+  w.Row("output_capacities");
+  {
+    std::vector<std::string> row;
+    for (Capacity c : instance.sw().output_capacities()) {
+      row.push_back(std::to_string(c));
+    }
+    w.WriteRow(row);
+  }
+  w.Row("src", "dst", "demand", "release");
+  for (const Flow& e : instance.flows()) {
+    w.Row(e.src, e.dst, static_cast<long long>(e.demand), e.release);
+  }
+}
+
+std::optional<Instance> ReadInstanceCsv(const std::string& content,
+                                        std::string* error) {
+  const auto rows = ParseCsv(content);
+  std::string err;
+  if (rows.size() < 5 || rows[0].empty() || rows[0][0] != "input_capacities" ||
+      rows[2].empty() || rows[2][0] != "output_capacities") {
+    Fail(error, "missing capacity header rows");
+    return std::nullopt;
+  }
+  std::vector<Capacity> in_caps;
+  std::vector<Capacity> out_caps;
+  if (!ParseCapacityRow(rows[1], in_caps, error)) return std::nullopt;
+  if (!ParseCapacityRow(rows[3], out_caps, error)) return std::nullopt;
+  if (rows[4] != std::vector<std::string>{"src", "dst", "demand", "release"}) {
+    Fail(error, "missing flow header row");
+    return std::nullopt;
+  }
+  std::vector<Flow> flows;
+  for (std::size_t i = 5; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != 4) {
+      Fail(error, "flow row with wrong field count");
+      return std::nullopt;
+    }
+    Flow e;
+    if (!ParseInt(row[0], e.src) || !ParseInt(row[1], e.dst) ||
+        !ParseInt64(row[2], e.demand) || !ParseInt(row[3], e.release)) {
+      Fail(error, "unparsable flow row " + std::to_string(i));
+      return std::nullopt;
+    }
+    flows.push_back(e);
+  }
+  Instance instance(SwitchSpec(std::move(in_caps), std::move(out_caps)),
+                    std::move(flows));
+  if (auto verr = instance.ValidationError()) {
+    Fail(error, *verr);
+    return std::nullopt;
+  }
+  return instance;
+}
+
+void WriteScheduleCsv(const Schedule& schedule, std::ostream& out) {
+  CsvWriter w(out);
+  w.Row("flow_id", "round");
+  for (FlowId e = 0; e < schedule.num_flows(); ++e) {
+    w.Row(e, schedule.round_of(e));
+  }
+}
+
+std::optional<Schedule> ReadScheduleCsv(const std::string& content,
+                                        int num_flows, std::string* error) {
+  const auto rows = ParseCsv(content);
+  if (rows.empty() || rows[0] != std::vector<std::string>{"flow_id", "round"}) {
+    Fail(error, "missing schedule header");
+    return std::nullopt;
+  }
+  Schedule schedule(num_flows);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    int id = 0;
+    int round = 0;
+    if (row.size() != 2 || !ParseInt(row[0], id) || !ParseInt(row[1], round)) {
+      Fail(error, "unparsable schedule row " + std::to_string(i));
+      return std::nullopt;
+    }
+    if (id < 0 || id >= num_flows) {
+      Fail(error, "flow id out of range: " + row[0]);
+      return std::nullopt;
+    }
+    if (round >= 0) schedule.Assign(id, round);
+  }
+  return schedule;
+}
+
+}  // namespace flowsched

@@ -1,0 +1,35 @@
+// CSV import/export of instances and schedules (for the trace_replay example
+// and for interoperability with plotting scripts).
+//
+// Instance format:   header "src,dst,demand,release" then one row per flow.
+// Capacities format: first row "input_capacities", second row the values,
+//                    then "output_capacities" and its values.
+// Schedule format:   header "flow_id,round" then one row per flow.
+#ifndef FLOWSCHED_MODEL_TRACE_IO_H_
+#define FLOWSCHED_MODEL_TRACE_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "model/instance.h"
+#include "model/schedule.h"
+
+namespace flowsched {
+
+void WriteInstanceCsv(const Instance& instance, std::ostream& out);
+
+// Parses an instance written by WriteInstanceCsv. Returns nullopt and fills
+// `error` (if non-null) on malformed input.
+std::optional<Instance> ReadInstanceCsv(const std::string& content,
+                                        std::string* error = nullptr);
+
+void WriteScheduleCsv(const Schedule& schedule, std::ostream& out);
+
+std::optional<Schedule> ReadScheduleCsv(const std::string& content,
+                                        int num_flows,
+                                        std::string* error = nullptr);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_MODEL_TRACE_IO_H_

@@ -1,0 +1,16 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace flowsched {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& msg) {
+  std::fprintf(stderr, "[flowsched] CHECK failed at %s:%d: %s %s\n", file,
+               line, expr, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace flowsched

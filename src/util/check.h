@@ -1,0 +1,76 @@
+// Invariant-checking macros (Core Guidelines I.6/I.8 style contracts).
+//
+// FS_CHECK   - always-on invariant; aborts with a message on violation.
+// FS_DCHECK  - debug-only invariant (compiled out in NDEBUG builds).
+// FS_CHECK_* - comparison helpers that print both operands.
+//
+// These are used for programming errors, not for recoverable conditions;
+// recoverable failures are reported through status-bearing return values.
+#ifndef FLOWSCHED_UTIL_CHECK_H_
+#define FLOWSCHED_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace flowsched {
+
+// Aborts the process after printing `msg` with source location context.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+
+namespace detail {
+
+// Builds the "lhs vs rhs" message for comparison checks.
+template <typename A, typename B>
+std::string FormatComparison(const A& a, const B& b, const char* op) {
+  std::ostringstream os;
+  os << "(" << a << " " << op << " " << b << ")";
+  return os.str();
+}
+
+}  // namespace detail
+}  // namespace flowsched
+
+#define FS_CHECK(cond)                                                \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::flowsched::CheckFailed(__FILE__, __LINE__, #cond, "");        \
+    }                                                                 \
+  } while (false)
+
+#define FS_CHECK_MSG(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream fs_check_os;                                 \
+      fs_check_os << msg;                                             \
+      ::flowsched::CheckFailed(__FILE__, __LINE__, #cond,             \
+                               fs_check_os.str());                    \
+    }                                                                 \
+  } while (false)
+
+#define FS_CHECK_OP(a, b, op)                                            \
+  do {                                                                   \
+    if (!((a)op(b))) {                                                   \
+      ::flowsched::CheckFailed(                                          \
+          __FILE__, __LINE__, #a " " #op " " #b,                         \
+          ::flowsched::detail::FormatComparison((a), (b), #op));         \
+    }                                                                    \
+  } while (false)
+
+#define FS_CHECK_EQ(a, b) FS_CHECK_OP(a, b, ==)
+#define FS_CHECK_NE(a, b) FS_CHECK_OP(a, b, !=)
+#define FS_CHECK_LE(a, b) FS_CHECK_OP(a, b, <=)
+#define FS_CHECK_LT(a, b) FS_CHECK_OP(a, b, <)
+#define FS_CHECK_GE(a, b) FS_CHECK_OP(a, b, >=)
+#define FS_CHECK_GT(a, b) FS_CHECK_OP(a, b, >)
+
+#ifdef NDEBUG
+#define FS_DCHECK(cond) \
+  do {                  \
+  } while (false)
+#else
+#define FS_DCHECK(cond) FS_CHECK(cond)
+#endif
+
+#endif  // FLOWSCHED_UTIL_CHECK_H_

@@ -1,0 +1,51 @@
+// Minimal CSV writing/reading used by trace IO and bench outputs.
+//
+// The dialect is deliberately simple: comma separator, quotes around fields
+// containing commas/quotes/newlines, '\n' record terminator. This is enough
+// for our own round-trips and for importing into plotting tools.
+#ifndef FLOWSCHED_UTIL_CSV_H_
+#define FLOWSCHED_UTIL_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flowsched {
+
+// Streams rows to an std::ostream. Not thread-safe.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void WriteRow(const std::vector<std::string>& fields);
+
+  // Convenience for heterogeneous rows.
+  template <typename... Ts>
+  void Row(const Ts&... vals) {
+    std::vector<std::string> fields;
+    fields.reserve(sizeof...(vals));
+    (fields.push_back(ToField(vals)), ...);
+    WriteRow(fields);
+  }
+
+ private:
+  static std::string ToField(const std::string& s) { return s; }
+  static std::string ToField(const char* s) { return s; }
+  static std::string ToField(std::string_view s) { return std::string(s); }
+  static std::string ToField(double v);
+  static std::string ToField(int v) { return std::to_string(v); }
+  static std::string ToField(long v) { return std::to_string(v); }
+  static std::string ToField(long long v) { return std::to_string(v); }
+  static std::string ToField(unsigned long v) { return std::to_string(v); }
+  static std::string ToField(unsigned long long v) { return std::to_string(v); }
+
+  std::ostream& out_;
+};
+
+// Parses CSV content into rows of fields. Handles quoted fields.
+std::vector<std::vector<std::string>> ParseCsv(std::string_view content);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_UTIL_CSV_H_

@@ -1,0 +1,28 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace flowsched {
+
+std::string GetEnvOr(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::string(v);
+}
+
+int GetEnvIntOr(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<int>(parsed);
+}
+
+BenchScale GetBenchScale() {
+  const std::string v = GetEnvOr("FLOWSCHED_BENCH_SCALE", "default");
+  if (v == "quick") return BenchScale::kQuick;
+  if (v == "full") return BenchScale::kFull;
+  return BenchScale::kDefault;
+}
+
+}  // namespace flowsched

@@ -1,0 +1,24 @@
+// Environment-variable knobs for bench scaling and verbosity.
+//
+// Benches must terminate quickly when run unattended, yet allow paper-scale
+// runs on demand; FLOWSCHED_BENCH_SCALE={quick,default,full} selects the
+// sweep sizes, documented per bench.
+#ifndef FLOWSCHED_UTIL_ENV_H_
+#define FLOWSCHED_UTIL_ENV_H_
+
+#include <string>
+
+namespace flowsched {
+
+enum class BenchScale { kQuick, kDefault, kFull };
+
+// Reads FLOWSCHED_BENCH_SCALE; unknown/absent values map to kDefault.
+BenchScale GetBenchScale();
+
+// Returns the environment variable value or `fallback` when unset.
+std::string GetEnvOr(const char* name, const std::string& fallback);
+int GetEnvIntOr(const char* name, int fallback);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_UTIL_ENV_H_

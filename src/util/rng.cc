@@ -1,0 +1,107 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace flowsched {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+std::uint64_t Rng::NextU64() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformU64(std::uint64_t n) {
+  FS_CHECK_GT(n, 0u);
+  // Rejection sampling on the top of the range to remove modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t v = NextU64();
+  while (v >= limit) v = NextU64();
+  return v % n;
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  FS_CHECK_LE(lo, hi);
+  const auto span = static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<int>(UniformU64(span));
+}
+
+double Rng::UniformReal() {
+  // 53 random bits into [0,1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+int Rng::Poisson(double mean) {
+  FS_CHECK_GE(mean, 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth: multiply uniforms until below exp(-mean).
+    const double threshold = std::exp(-mean);
+    int k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= UniformReal();
+    } while (p > threshold);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction, rejected below 0.
+  // Accurate enough for workload generation at the means we use (<= 1000);
+  // the simulator only needs the right first two moments.
+  for (;;) {
+    const double u1 = UniformReal();
+    const double u2 = UniformReal();
+    const double z =
+        std::sqrt(-2.0 * std::log(1.0 - u1)) * std::cos(2.0 * M_PI * u2);
+    const double v = mean + std::sqrt(mean) * z;
+    if (v >= 0.0) return static_cast<int>(std::floor(v + 0.5));
+  }
+}
+
+int Rng::TruncatedGeometric(double ratio, int cap) {
+  FS_CHECK_GT(cap, 0);
+  FS_CHECK(ratio > 0.0 && ratio < 1.0);
+  // Normalizing constant of ratio^(v-1), v in [1, cap].
+  const double total = (1.0 - std::pow(ratio, cap)) / (1.0 - ratio);
+  double u = UniformReal() * total;
+  double mass = 1.0;
+  for (int v = 1; v < cap; ++v) {
+    if (u < mass) return v;
+    u -= mass;
+    mass *= ratio;
+  }
+  return cap;
+}
+
+Rng Rng::Fork(std::uint64_t stream_id) const {
+  // Mix the base seed with the stream id through splitmix to decorrelate.
+  std::uint64_t x = seed_ ^ (0xA02BDBF7BB3C0A7ULL * (stream_id + 1));
+  return Rng(SplitMix64(x));
+}
+
+}  // namespace flowsched

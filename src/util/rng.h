@@ -1,0 +1,52 @@
+// Deterministic random number generation for workloads and tests.
+//
+// A thin, explicitly-seeded wrapper around xoshiro256** plus the
+// distributions the simulator needs (uniform ints/reals, Poisson).
+// Every generator is constructed from a 64-bit seed, so experiments are
+// reproducible across platforms (unlike std:: distributions, whose output
+// is implementation-defined; we implement the distributions ourselves).
+#ifndef FLOWSCHED_UTIL_RNG_H_
+#define FLOWSCHED_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace flowsched {
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform on [0, 2^64).
+  std::uint64_t NextU64();
+
+  // Uniform on [0, n). Requires n > 0. Uses rejection to avoid modulo bias.
+  std::uint64_t UniformU64(std::uint64_t n);
+
+  // Uniform integer on [lo, hi] inclusive. Requires lo <= hi.
+  int UniformInt(int lo, int hi);
+
+  // Uniform real on [0, 1).
+  double UniformReal();
+
+  // Poisson with mean `mean` >= 0. Knuth's method for small means,
+  // PTRS-style normal-approximation rejection fallback for large means.
+  int Poisson(double mean);
+
+  // Geometric-like bounded integer in [1, cap]: value v with
+  // P(v) proportional to ratio^(v-1). Used by demand distributions.
+  int TruncatedGeometric(double ratio, int cap);
+
+  // Derives an independent stream (e.g. one per trial).
+  Rng Fork(std::uint64_t stream_id) const;
+
+ private:
+  std::uint64_t state_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_UTIL_RNG_H_

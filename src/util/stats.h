@@ -1,0 +1,48 @@
+// Small descriptive-statistics helpers used by metrics and benches.
+#ifndef FLOWSCHED_UTIL_STATS_H_
+#define FLOWSCHED_UTIL_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace flowsched {
+
+// Accumulates a stream of values; O(1) memory.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const;
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // Welford accumulator.
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Exact percentile of a sample (nearest-rank). `p` in [0, 100].
+double Percentile(std::span<const double> values, double p);
+
+double Mean(std::span<const double> values);
+double Max(std::span<const double> values);
+
+// Histogram with unit-width integer buckets [0, max_value]; values above
+// max_value are clamped into the last bucket.
+std::vector<std::size_t> IntHistogram(std::span<const double> values,
+                                      std::size_t max_value);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_UTIL_STATS_H_

@@ -1,0 +1,3 @@
+#include "util/stopwatch.h"
+
+// Header-only; this translation unit exists so the build graph stays uniform.

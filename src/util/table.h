@@ -1,0 +1,47 @@
+// Aligned plain-text tables for bench / example output.
+//
+// Collects rows of strings, then renders with per-column widths. Numeric
+// helpers format with fixed precision so series line up visually.
+#ifndef FLOWSCHED_UTIL_TABLE_H_
+#define FLOWSCHED_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace flowsched {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: variadic row of strings/numbers.
+  template <typename... Ts>
+  void Row(const Ts&... vals) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(vals));
+    (row.push_back(Format(vals)), ...);
+    AddRow(std::move(row));
+  }
+
+  void Print(std::ostream& out) const;
+
+  static std::string Format(const std::string& s) { return s; }
+  static std::string Format(const char* s) { return s; }
+  static std::string Format(double v);
+  static std::string Format(int v) { return std::to_string(v); }
+  static std::string Format(long v) { return std::to_string(v); }
+  static std::string Format(long long v) { return std::to_string(v); }
+  static std::string Format(unsigned long v) { return std::to_string(v); }
+  static std::string Format(unsigned long long v) { return std::to_string(v); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_UTIL_TABLE_H_

@@ -1,0 +1,102 @@
+#include "workload/patterns.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+
+namespace flowsched {
+
+void AddIncast(Instance& instance, PortId sink, int fan_in, Round release) {
+  FS_CHECK_LE(fan_in, instance.sw().num_inputs());
+  FS_CHECK(sink >= 0 && sink < instance.sw().num_outputs());
+  for (int i = 0; i < fan_in; ++i) {
+    instance.AddFlow(i, sink, 1, release);
+  }
+}
+
+void AddShuffle(Instance& instance, int mappers, int reducers, Round release) {
+  FS_CHECK_LE(mappers, instance.sw().num_inputs());
+  FS_CHECK_LE(reducers, instance.sw().num_outputs());
+  for (int i = 0; i < mappers; ++i) {
+    for (int j = 0; j < reducers; ++j) {
+      instance.AddFlow(i, j, 1, release);
+    }
+  }
+}
+
+void AddPermutation(Instance& instance, Round release, Rng& rng) {
+  const int m = instance.sw().num_inputs();
+  const int mp = instance.sw().num_outputs();
+  const int k = std::min(m, mp);
+  std::vector<PortId> outs(mp);
+  std::iota(outs.begin(), outs.end(), 0);
+  // Fisher-Yates prefix shuffle.
+  for (int i = 0; i < k; ++i) {
+    const int j = rng.UniformInt(i, mp - 1);
+    std::swap(outs[i], outs[j]);
+  }
+  for (int i = 0; i < k; ++i) {
+    instance.AddFlow(i, outs[i], 1, release);
+  }
+}
+
+Instance ShuffleWaves(int num_ports, int wave_size, int num_waves, int period) {
+  FS_CHECK_LE(wave_size, num_ports);
+  FS_CHECK_GE(period, 1);
+  Instance instance(SwitchSpec::Uniform(num_ports, num_ports, 1), {});
+  for (int w = 0; w < num_waves; ++w) {
+    AddShuffle(instance, wave_size, wave_size, w * period);
+  }
+  return instance;
+}
+
+Instance OpenProblemInstance(int num_ports, int num_rounds, int extra_edges,
+                             Rng& rng) {
+  FS_CHECK_GE(num_ports, 1);
+  FS_CHECK_GE(num_rounds, 1);
+  FS_CHECK_LE(extra_edges, num_ports);
+  Instance instance(SwitchSpec::Uniform(num_ports, num_ports, 1), {});
+  for (Round t = 0; t < num_rounds; ++t) {
+    AddPermutation(instance, t, rng);
+  }
+  // One extra matching, its edges scattered over random rounds: any port's
+  // degree over an interval I is |I| (the per-round matchings) plus at most
+  // one extra edge, total <= |I| + 1.
+  std::vector<PortId> outs(num_ports);
+  std::iota(outs.begin(), outs.end(), 0);
+  for (int i = 0; i < extra_edges; ++i) {
+    const int j = rng.UniformInt(i, num_ports - 1);
+    std::swap(outs[i], outs[j]);
+    instance.AddFlow(i, outs[i], 1, rng.UniformInt(0, num_rounds - 1));
+  }
+  return instance;
+}
+
+int MaxIntervalDegreeExcess(const Instance& instance) {
+  const Round horizon = instance.MaxRelease() + 1;
+  const SwitchSpec& sw = instance.sw();
+  std::vector<std::vector<int>> in_deg(sw.num_inputs(),
+                                       std::vector<int>(horizon, 0));
+  std::vector<std::vector<int>> out_deg(sw.num_outputs(),
+                                        std::vector<int>(horizon, 0));
+  for (const Flow& e : instance.flows()) {
+    ++in_deg[e.src][e.release];
+    ++out_deg[e.dst][e.release];
+  }
+  // Max over intervals of (degree - length) == max subarray of (deg[t] - 1).
+  int worst = 0;
+  auto scan = [&](const std::vector<int>& deg) {
+    int run = 0;
+    for (int d : deg) {
+      run = std::max(0, run + d - 1);
+      worst = std::max(worst, run);
+    }
+  };
+  for (const auto& deg : in_deg) scan(deg);
+  for (const auto& deg : out_deg) scan(deg);
+  return worst;
+}
+
+}  // namespace flowsched

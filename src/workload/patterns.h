@@ -1,0 +1,47 @@
+// Structured datacenter traffic patterns (the workloads the paper's
+// introduction motivates: shuffles, incasts, permutation traffic).
+#ifndef FLOWSCHED_WORKLOAD_PATTERNS_H_
+#define FLOWSCHED_WORKLOAD_PATTERNS_H_
+
+#include <cstdint>
+
+#include "model/instance.h"
+#include "util/rng.h"
+
+namespace flowsched {
+
+// Incast: `fan_in` distinct inputs all send one unit flow to output `sink`
+// at round `release`. Classic TCP-incast traffic at a storage/aggregation
+// node; the sink port is the bottleneck.
+void AddIncast(Instance& instance, PortId sink, int fan_in, Round release);
+
+// MapReduce-style shuffle: every mapper in [0, mappers) sends one unit flow
+// to every reducer in [0, reducers) at round `release`.
+void AddShuffle(Instance& instance, int mappers, int reducers, Round release);
+
+// Random permutation traffic: one flow per input to a distinct output.
+void AddPermutation(Instance& instance, Round release, Rng& rng);
+
+// A staged example: waves of shuffles at a fixed period. Returns the
+// resulting instance over an m x m unit-capacity switch.
+Instance ShuffleWaves(int num_ports, int wave_size, int num_waves, int period);
+
+// The paper's §6 open-problem instances: a sequence of request graphs
+// G_0..G_{T-1} such that for every port v and every round interval I, the
+// total degree of v over I is at most |I| + 1. Construction: one random
+// perfect matching per round (degree exactly |I|) plus `extra_edges` edges
+// of one additional random matching scattered across random rounds (each
+// port gains at most +1 over the whole timeline). The open question: can
+// all requests always be served with O(1) max response and *no* capacity
+// augmentation? Flows are released at their round, unit demands/capacities.
+Instance OpenProblemInstance(int num_ports, int num_rounds, int extra_edges,
+                             Rng& rng);
+
+// Audit helper for tests: max over ports and round-intervals of
+// (requested degree in the interval) - |interval|. OpenProblemInstance
+// guarantees <= 1.
+int MaxIntervalDegreeExcess(const Instance& instance);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_WORKLOAD_PATTERNS_H_

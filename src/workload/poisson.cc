@@ -1,0 +1,37 @@
+#include "workload/poisson.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace flowsched {
+
+Instance GeneratePoisson(const PoissonConfig& config) {
+  FS_CHECK_GT(config.num_inputs, 0);
+  FS_CHECK_GT(config.num_outputs, 0);
+  FS_CHECK_GE(config.mean_arrivals_per_round, 0.0);
+  FS_CHECK_GT(config.num_rounds, 0);
+  FS_CHECK_GE(config.max_demand, 1);
+  Rng rng(config.seed);
+  Instance instance(SwitchSpec::Uniform(config.num_inputs, config.num_outputs,
+                                        config.port_capacity),
+                    {});
+  for (Round t = 0; t < config.num_rounds; ++t) {
+    const int arrivals = rng.Poisson(config.mean_arrivals_per_round);
+    for (int k = 0; k < arrivals; ++k) {
+      const PortId src = rng.UniformInt(0, config.num_inputs - 1);
+      const PortId dst = rng.UniformInt(0, config.num_outputs - 1);
+      Capacity demand = 1;
+      if (config.max_demand > 1) {
+        const Capacity kappa = std::min(config.port_capacity, config.max_demand);
+        demand = rng.UniformInt(1, static_cast<int>(kappa));
+      }
+      instance.AddFlow(src, dst, demand, t);
+    }
+  }
+  FS_CHECK(!instance.ValidationError().has_value());
+  return instance;
+}
+
+}  // namespace flowsched

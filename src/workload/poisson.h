@@ -1,0 +1,30 @@
+// Random workloads following the paper's methodology (§5.2.1):
+// for each round t in [0, T), draw Poisson(M) flows; each flow picks an
+// input and an output port uniformly at random.
+#ifndef FLOWSCHED_WORKLOAD_POISSON_H_
+#define FLOWSCHED_WORKLOAD_POISSON_H_
+
+#include <cstdint>
+
+#include "model/instance.h"
+
+namespace flowsched {
+
+struct PoissonConfig {
+  int num_inputs = 150;
+  int num_outputs = 150;
+  Capacity port_capacity = 1;
+  double mean_arrivals_per_round = 150.0;  // The paper's M.
+  int num_rounds = 10;                     // The paper's T.
+  // Demands are uniform on [1, max_demand] (1 = the paper's unit flows),
+  // clamped to kappa_e.
+  Capacity max_demand = 1;
+  std::uint64_t seed = 1;
+};
+
+// Generates a random instance; deterministic in `config.seed`.
+Instance GeneratePoisson(const PoissonConfig& config);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_WORKLOAD_POISSON_H_

@@ -1,0 +1,155 @@
+#include "workload/rtt.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/check.h"
+
+namespace flowsched {
+
+bool RttInstance::Valid() const {
+  if (static_cast<int>(available.size()) != num_teachers) return false;
+  if (static_cast<int>(classes.size()) != num_teachers) return false;
+  for (int i = 0; i < num_teachers; ++i) {
+    if (available[i].size() < 2 || available[i].size() > 3) return false;
+    if (classes[i].size() != available[i].size()) return false;
+    for (int h : available[i]) {
+      if (h < 0 || h > 2) return false;
+    }
+    if (!std::is_sorted(available[i].begin(), available[i].end())) return false;
+    if (std::adjacent_find(available[i].begin(), available[i].end()) !=
+        available[i].end()) {
+      return false;
+    }
+    for (int j : classes[i]) {
+      if (j < 0 || j >= num_classes) return false;
+    }
+    auto sorted = classes[i];
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// DFS over teachers; for teacher i try every injection of classes[i] into
+// available[i] (a permutation, since the sizes match).
+bool RttDfs(const RttInstance& rtt, int teacher,
+            std::vector<std::array<char, 3>>& class_hour_used) {
+  if (teacher == rtt.num_teachers) return true;
+  std::vector<int> hours = rtt.available[teacher];
+  std::sort(hours.begin(), hours.end());
+  do {
+    bool ok = true;
+    for (std::size_t k = 0; k < hours.size(); ++k) {
+      if (class_hour_used[rtt.classes[teacher][k]][hours[k]]) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    for (std::size_t k = 0; k < hours.size(); ++k) {
+      class_hour_used[rtt.classes[teacher][k]][hours[k]] = 1;
+    }
+    if (RttDfs(rtt, teacher + 1, class_hour_used)) return true;
+    for (std::size_t k = 0; k < hours.size(); ++k) {
+      class_hour_used[rtt.classes[teacher][k]][hours[k]] = 0;
+    }
+  } while (std::next_permutation(hours.begin(), hours.end()));
+  return false;
+}
+
+}  // namespace
+
+bool RttFeasible(const RttInstance& rtt) {
+  FS_CHECK(rtt.Valid());
+  FS_CHECK_LE(rtt.num_teachers, 12);
+  std::vector<std::array<char, 3>> used(rtt.num_classes, {0, 0, 0});
+  return RttDfs(rtt, 0, used);
+}
+
+RttInstance RandomRtt(int num_teachers, int num_classes, Rng& rng) {
+  FS_CHECK_GE(num_classes, 3);
+  RttInstance rtt;
+  rtt.num_teachers = num_teachers;
+  rtt.num_classes = num_classes;
+  rtt.available.resize(num_teachers);
+  rtt.classes.resize(num_teachers);
+  for (int i = 0; i < num_teachers; ++i) {
+    const int k = rng.UniformInt(2, 3);
+    std::vector<int> hours = {0, 1, 2};
+    while (static_cast<int>(hours.size()) > k) {
+      hours.erase(hours.begin() + rng.UniformInt(0, static_cast<int>(hours.size()) - 1));
+    }
+    rtt.available[i] = hours;
+    std::vector<int> pool(num_classes);
+    for (int j = 0; j < num_classes; ++j) pool[j] = j;
+    for (int pick = 0; pick < k; ++pick) {
+      const int idx = rng.UniformInt(pick, num_classes - 1);
+      std::swap(pool[pick], pool[idx]);
+      rtt.classes[i].push_back(pool[pick]);
+    }
+  }
+  FS_CHECK(rtt.Valid());
+  return rtt;
+}
+
+RttReduction ReduceRttToFsMrt(const RttInstance& rtt) {
+  FS_CHECK(rtt.Valid());
+  RttReduction out;
+  // Port layout. Inputs: teachers [0, m), then 3 blocker inputs per class,
+  // then 3 blocker inputs per gadget teacher. Outputs: classes [0, m'),
+  // then one gadget output q*_i per teacher with T_i in {{0,2},{0,1}}.
+  const int m = rtt.num_teachers;
+  const int mp = rtt.num_classes;
+  std::vector<int> gadget_of_teacher(m, -1);
+  int num_gadgets = 0;
+  for (int i = 0; i < m; ++i) {
+    const auto& ti = rtt.available[i];
+    if (ti == std::vector<int>{0, 2} || ti == std::vector<int>{0, 1}) {
+      gadget_of_teacher[i] = num_gadgets++;
+    }
+  }
+  const int num_inputs = m + 3 * mp + 3 * num_gadgets;
+  const int num_outputs = mp + num_gadgets;
+  Instance instance(SwitchSpec::Uniform(num_inputs, num_outputs, 1), {});
+
+  // Steps 1-2: teaching flows, released at min(T_i).
+  out.teaching_flow.resize(m);
+  for (int i = 0; i < m; ++i) {
+    const Round release = rtt.available[i].front();
+    for (int j : rtt.classes[i]) {
+      out.teaching_flow[i].push_back(instance.AddFlow(i, j, 1, release));
+    }
+  }
+  // Step 3: three blockers into every class output, released at round 3;
+  // with rho = 3 they must occupy rounds {3,4,5}, so teaching at q_j can
+  // only happen in rounds {0,1,2}.
+  for (int j = 0; j < mp; ++j) {
+    for (int b = 0; b < 3; ++b) {
+      instance.AddFlow(m + 3 * j + b, j, 1, 3);
+    }
+  }
+  // Steps 4-5: gadgets pinning teacher i's port in the hour outside T_i.
+  for (int i = 0; i < m; ++i) {
+    const int g = gadget_of_teacher[i];
+    if (g == -1) continue;
+    const PortId q_star = mp + g;
+    const PortId blocker_base = m + 3 * mp + 3 * g;
+    const bool skips_hour1 = rtt.available[i] == std::vector<int>{0, 2};
+    // T_i = {0,2}: pin p_i at round 1. T_i = {0,1}: pin p_i at round 2.
+    const Round pin_release = skips_hour1 ? 1 : 2;
+    instance.AddFlow(i, q_star, 1, pin_release);
+    for (int b = 0; b < 3; ++b) {
+      instance.AddFlow(blocker_base + b, q_star, 1, pin_release + 1);
+    }
+  }
+  FS_CHECK(!instance.ValidationError().has_value());
+  out.instance = std::move(instance);
+  return out;
+}
+
+}  // namespace flowsched

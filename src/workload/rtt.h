@@ -1,0 +1,52 @@
+// Restricted Timetable (RTT) and the Theorem 2 reduction to FS-MRT.
+//
+// RTT (Even, Itai, Shamir 1976; paper Definition 4.1, 0-based here):
+// hours H = {0,1,2}; teacher i is available during hours T_i (|T_i| >= 2)
+// and must teach each class in g(i) (|g(i)| = |T_i|) for one hour, at most
+// one class per hour, while each class is taught by at most one teacher per
+// hour. Deciding feasibility is NP-hard, and the paper reduces it to
+// "is there a schedule with maximum response time 3?", establishing that
+// FS-MRT cannot be approximated below 4/3 unless P = NP.
+#ifndef FLOWSCHED_WORKLOAD_RTT_H_
+#define FLOWSCHED_WORKLOAD_RTT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/instance.h"
+#include "util/rng.h"
+
+namespace flowsched {
+
+struct RttInstance {
+  int num_teachers = 0;
+  int num_classes = 0;
+  std::vector<std::vector<int>> available;  // T_i, sorted subsets of {0,1,2}.
+  std::vector<std::vector<int>> classes;    // g(i), |classes[i]| == |available[i]|.
+
+  // Structural sanity (sizes, ranges, |T_i| >= 2).
+  bool Valid() const;
+};
+
+// Exhaustive feasibility check (teachers' hour-assignments are permutations;
+// at most 6 per teacher). Only for small instances.
+bool RttFeasible(const RttInstance& rtt);
+
+// Random instance: each teacher draws |T_i| in {2,3}, its hours, and |T_i|
+// distinct classes.
+RttInstance RandomRtt(int num_teachers, int num_classes, Rng& rng);
+
+// The Theorem 2 construction. The returned FS-MRT instance admits a schedule
+// with maximum response time 3 iff `rtt` is feasible. Also returns (via the
+// struct) which flows encode teaching assignments.
+struct RttReduction {
+  Instance instance;
+  // teaching_flow[i][k] = flow id of (teacher i -> classes[i][k]).
+  std::vector<std::vector<FlowId>> teaching_flow;
+  static constexpr Round kMaxResponse = 3;
+};
+RttReduction ReduceRttToFsMrt(const RttInstance& rtt);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_WORKLOAD_RTT_H_

@@ -1,0 +1,106 @@
+#include "core/art_lp.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "workload/patterns.h"
+#include "workload/poisson.h"
+
+namespace flowsched {
+namespace {
+
+TEST(ArtLpTest, SingleUnitFlowDeltaIsHalf) {
+  // b = 1 at t = r: Delta = 0 + 1/(2*kappa) = 1/2.
+  Instance instance(SwitchSpec::Uniform(1, 1), {});
+  instance.AddFlow(0, 0, 1, 0);
+  const ArtLpResult r = SolveArtLp(instance);
+  ASSERT_TRUE(r.solved);
+  EXPECT_TRUE(r.certified);
+  EXPECT_NEAR(r.total_fractional_response, 0.5, 1e-7);
+}
+
+TEST(ArtLpTest, IncastValueIsKSquaredOverTwo) {
+  // k unit flows into one port: LP spreads one flow per round;
+  // sum_{j=0}^{k-1} (j + 1/2) = k^2 / 2.
+  for (int k : {2, 4, 6}) {
+    Instance instance(SwitchSpec::Uniform(8, 8), {});
+    AddIncast(instance, 0, k, 0);
+    const ArtLpResult r = SolveArtLp(instance);
+    ASSERT_TRUE(r.solved);
+    EXPECT_NEAR(r.total_fractional_response, k * k / 2.0, 1e-6) << "k=" << k;
+  }
+}
+
+TEST(ArtLpTest, EmptyInstance) {
+  Instance instance(SwitchSpec::Uniform(2, 2), {});
+  const ArtLpResult r = SolveArtLp(instance);
+  EXPECT_TRUE(r.solved);
+  EXPECT_DOUBLE_EQ(r.total_fractional_response, 0.0);
+}
+
+TEST(ArtLpTest, PerFlowDeltasSumToObjective) {
+  PoissonConfig cfg;
+  cfg.num_inputs = cfg.num_outputs = 4;
+  cfg.mean_arrivals_per_round = 3.0;
+  cfg.num_rounds = 4;
+  cfg.seed = 5;
+  const Instance instance = GeneratePoisson(cfg);
+  const ArtLpResult r = SolveArtLp(instance);
+  ASSERT_TRUE(r.solved);
+  double sum = 0.0;
+  for (double d : r.delta) sum += d;
+  EXPECT_NEAR(sum, r.total_fractional_response, 1e-6);
+  for (double d : r.delta) EXPECT_GE(d, 0.5 - 1e-7);  // Each >= 1/(2 kappa).
+}
+
+TEST(ArtLpTest, TinyHorizonGetsExtendedAndCertified) {
+  Instance instance(SwitchSpec::Uniform(4, 4), {});
+  AddIncast(instance, 0, 4, 0);
+  ArtLpOptions options;
+  options.initial_horizon = 1;  // Far too small; must self-extend.
+  const ArtLpResult r = SolveArtLp(instance, options);
+  ASSERT_TRUE(r.solved);
+  EXPECT_TRUE(r.certified);
+  EXPECT_GE(r.horizon, 4);
+  EXPECT_NEAR(r.total_fractional_response, 8.0, 1e-6);
+}
+
+TEST(ArtLpTest, GeneralDemandsLowerBound) {
+  // One demand-4 flow, capacity 4 everywhere: schedulable in one round.
+  // Delta = (0)/4 * 4 + 4/(2*4) = 1/2.
+  Instance instance(SwitchSpec::Uniform(2, 2, 4), {});
+  instance.AddFlow(0, 0, 4, 0);
+  const ArtLpResult r = SolveArtLp(instance);
+  ASSERT_TRUE(r.solved);
+  EXPECT_NEAR(r.total_fractional_response, 0.5, 1e-7);
+}
+
+// Lemma 3.1 property: the LP optimum lower-bounds the exact optimal total
+// response time on random instances.
+class ArtLpLemma31Test : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArtLpLemma31Test, LpLowerBoundsExactOptimum) {
+  PoissonConfig cfg;
+  cfg.num_inputs = cfg.num_outputs = 3;
+  cfg.mean_arrivals_per_round = 1.5;
+  cfg.num_rounds = 4;
+  cfg.seed = GetParam();
+  const Instance instance = GeneratePoisson(cfg);
+  if (instance.num_flows() == 0 || instance.num_flows() > 9) {
+    GTEST_SKIP() << "instance outside exact-solver comfort zone";
+  }
+  const ArtLpResult lp = SolveArtLp(instance);
+  ASSERT_TRUE(lp.solved);
+  const ExactArtResult exact = ExactMinTotalResponse(instance);
+  EXPECT_LE(lp.total_fractional_response, exact.total_response + 1e-6);
+  // The LP is within a factor 2 of OPT on these tiny instances (each
+  // Delta_e >= rho_e - 1/2 transformation; a sanity envelope, not a theorem).
+  EXPECT_GE(lp.total_fractional_response,
+            exact.total_response / 2.0 - instance.num_flows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArtLpLemma31Test,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace flowsched

@@ -1,0 +1,138 @@
+#include "core/art_rounding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/art_lp.h"
+#include "workload/patterns.h"
+#include "workload/poisson.h"
+
+namespace flowsched {
+namespace {
+
+void CheckLemma33Properties(const Instance& instance,
+                            const PseudoSchedule& pseudo,
+                            const ArtRoundingReport& report) {
+  // Property 1: every flow assigned exactly one round, at/after release.
+  ASSERT_TRUE(pseudo.assignment.AllAssigned());
+  for (const Flow& e : instance.flows()) {
+    EXPECT_GE(pseudo.assignment.round_of(e.id), e.release);
+  }
+  // Property 2: integral cost does not exceed the LP(0) optimum
+  // (each iteration relaxes the previous LP).
+  EXPECT_LE(report.pseudo_cost, report.lp0_objective + 1e-4);
+  // Property 3: window overload is O(c_p log n); we check a generous
+  // concrete envelope of 12 * c_max * log2(n) + 8, far below the paper's
+  // 10 c_p log n worst case yet tight enough to catch regressions.
+  const double cap_log =
+      static_cast<double>(instance.sw().MaxCapacity()) *
+      std::log2(static_cast<double>(std::max(instance.num_flows(), 2)));
+  EXPECT_LE(static_cast<double>(report.max_window_overload),
+            12.0 * cap_log + 8.0);
+}
+
+TEST(ArtRoundingTest, TrivialInstanceExactlyAssigned) {
+  Instance instance(SwitchSpec::Uniform(2, 2), {});
+  instance.AddFlow(0, 0, 1, 0);
+  instance.AddFlow(1, 1, 1, 0);
+  ArtRoundingReport report;
+  const PseudoSchedule ps = ArtIterativeRounding(instance, {}, &report);
+  CheckLemma33Properties(instance, ps, report);
+  // Both flows fit in round 0; LP(0) = 1.0, pseudo cost = 1.0.
+  EXPECT_EQ(ps.assignment.round_of(0), 0);
+  EXPECT_EQ(ps.assignment.round_of(1), 0);
+  EXPECT_NEAR(report.pseudo_cost, 1.0, 1e-6);
+}
+
+TEST(ArtRoundingTest, IncastAssignsDistinctRounds) {
+  Instance instance(SwitchSpec::Uniform(6, 6), {});
+  AddIncast(instance, 0, 5, 0);
+  ArtRoundingReport report;
+  const PseudoSchedule ps = ArtIterativeRounding(instance, {}, &report);
+  CheckLemma33Properties(instance, ps, report);
+  // The overload audit: 5 flows share one port; any valid pseudo-schedule
+  // has small window overload (LP windows hold 4 per 4 rounds).
+  EXPECT_LE(report.max_window_overload, 4);
+}
+
+class ArtRoundingPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, double, int, std::uint64_t>> {};
+
+TEST_P(ArtRoundingPropertyTest, Lemma33OnPoissonWorkloads) {
+  const auto [ports, load, rounds, seed] = GetParam();
+  PoissonConfig cfg;
+  cfg.num_inputs = cfg.num_outputs = ports;
+  cfg.mean_arrivals_per_round = load * ports;
+  cfg.num_rounds = rounds;
+  cfg.seed = seed;
+  const Instance instance = GeneratePoisson(cfg);
+  if (instance.num_flows() == 0) GTEST_SKIP();
+  ArtRoundingReport report;
+  const PseudoSchedule ps = ArtIterativeRounding(instance, {}, &report);
+  CheckLemma33Properties(instance, ps, report);
+  // Iteration count should be logarithmic-ish (Lemma 3.5 halves flows).
+  EXPECT_LE(report.iterations,
+            2 * static_cast<int>(std::log2(instance.num_flows() + 1)) + 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, ArtRoundingPropertyTest,
+    ::testing::Values(std::make_tuple(4, 0.5, 6, 11),
+                      std::make_tuple(4, 1.0, 6, 12),
+                      std::make_tuple(6, 1.5, 5, 13),
+                      std::make_tuple(8, 1.0, 8, 14),
+                      std::make_tuple(3, 2.0, 6, 15)));
+
+TEST(ArtRoundingTest, GeneralCapacitiesSupported) {
+  PoissonConfig cfg;
+  cfg.num_inputs = cfg.num_outputs = 4;
+  cfg.port_capacity = 3;
+  cfg.mean_arrivals_per_round = 8.0;
+  cfg.num_rounds = 5;
+  cfg.seed = 21;
+  const Instance instance = GeneratePoisson(cfg);
+  ArtRoundingReport report;
+  const PseudoSchedule ps = ArtIterativeRounding(instance, {}, &report);
+  CheckLemma33Properties(instance, ps, report);
+}
+
+TEST(ArtRoundingDeathTest, RejectsNonUnitDemands) {
+  Instance instance(SwitchSpec::Uniform(2, 2, 4), {});
+  instance.AddFlow(0, 0, 2, 0);
+  EXPECT_DEATH(ArtIterativeRounding(instance), "unit demands");
+}
+
+TEST(MaxWindowOverloadTest, HandComputedExample) {
+  Instance instance(SwitchSpec::Uniform(2, 2), {});
+  // Three flows on input 0 all scheduled in round 0 → window overload 2.
+  instance.AddFlow(0, 0, 1, 0);
+  instance.AddFlow(0, 1, 1, 0);
+  instance.AddFlow(1, 0, 1, 0);
+  Schedule s(3);
+  s.Assign(0, 0);
+  s.Assign(1, 0);
+  s.Assign(2, 1);
+  EXPECT_EQ(MaxWindowOverload(instance, s), 1);
+  Schedule s2(3);
+  s2.Assign(0, 0);
+  s2.Assign(1, 1);
+  s2.Assign(2, 2);
+  EXPECT_EQ(MaxWindowOverload(instance, s2), 0);
+}
+
+TEST(MaxWindowOverloadTest, WindowAccumulationDetected) {
+  // Port used twice in rounds {0,1}: loads (2,2) with cap 1 → window [0,1]
+  // overload = 2.
+  Instance instance(SwitchSpec::Uniform(4, 4), {});
+  for (int i = 0; i < 4; ++i) instance.AddFlow(0, i, 1, 0);
+  Schedule s(4);
+  s.Assign(0, 0);
+  s.Assign(1, 0);
+  s.Assign(2, 1);
+  s.Assign(3, 1);
+  EXPECT_EQ(MaxWindowOverload(instance, s), 2);
+}
+
+}  // namespace
+}  // namespace flowsched

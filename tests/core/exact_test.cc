@@ -1,0 +1,122 @@
+#include "core/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/adversarial.h"
+#include "workload/patterns.h"
+#include "workload/poisson.h"
+
+namespace flowsched {
+namespace {
+
+TEST(ExactMrtTest, SingleFlowNeedsRhoOne) {
+  Instance instance(SwitchSpec::Uniform(2, 2), {});
+  instance.AddFlow(0, 1, 1, 3);
+  const auto rho = ExactMinMaxResponse(instance, 5);
+  ASSERT_TRUE(rho.has_value());
+  EXPECT_EQ(*rho, 1);
+}
+
+TEST(ExactMrtTest, IncastNeedsFanInRounds) {
+  // k flows into one unit-capacity output: the last one waits k rounds.
+  for (int k : {2, 3, 5}) {
+    Instance instance(SwitchSpec::Uniform(6, 6), {});
+    AddIncast(instance, 0, k, 0);
+    const auto rho = ExactMinMaxResponse(instance, 10);
+    ASSERT_TRUE(rho.has_value());
+    EXPECT_EQ(*rho, k);
+  }
+}
+
+TEST(ExactMrtTest, InfeasibleWithinLimit) {
+  Instance instance(SwitchSpec::Uniform(4, 4), {});
+  AddIncast(instance, 0, 4, 0);
+  EXPECT_FALSE(ExactMinMaxResponse(instance, 3).has_value());
+}
+
+TEST(ExactMrtTest, Fig4bOptimumIsTwo) {
+  const auto rho = ExactMinMaxResponse(Fig4bInstance(), 5);
+  ASSERT_TRUE(rho.has_value());
+  EXPECT_EQ(*rho, MrtLowerBoundAdversary::kOfflineMaxResponse);
+}
+
+TEST(ExactMrtTest, ReleaseGapsAreSkipped) {
+  Instance instance(SwitchSpec::Uniform(2, 2), {});
+  instance.AddFlow(0, 0, 1, 0);
+  instance.AddFlow(0, 0, 1, 100);
+  const auto rho = ExactMinMaxResponse(instance, 3);
+  ASSERT_TRUE(rho.has_value());
+  EXPECT_EQ(*rho, 1);
+}
+
+TEST(ExactMrtTest, GeneralCapacitiesAndDemands) {
+  // Capacity 2 output; three demand-2 flows from distinct inputs: one per
+  // round => rho = 3. Demand-1 pairs could share, demand-2 cannot.
+  Instance instance(SwitchSpec({2, 2, 2}, {2}), {});
+  for (int i = 0; i < 3; ++i) instance.AddFlow(i, 0, 2, 0);
+  const auto rho = ExactMinMaxResponse(instance, 6);
+  ASSERT_TRUE(rho.has_value());
+  EXPECT_EQ(*rho, 3);
+}
+
+TEST(ExactMrtTest, EmptyInstance) {
+  Instance instance(SwitchSpec::Uniform(1, 1), {});
+  const auto s = ExactMrtFeasible(instance, 1);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->num_flows(), 0);
+}
+
+TEST(ExactArtTest, SingleFlow) {
+  Instance instance(SwitchSpec::Uniform(1, 1), {});
+  instance.AddFlow(0, 0, 1, 2);
+  const ExactArtResult r = ExactMinTotalResponse(instance);
+  EXPECT_DOUBLE_EQ(r.total_response, 1.0);
+  EXPECT_EQ(r.schedule.round_of(0), 2);
+}
+
+TEST(ExactArtTest, IncastTotalResponseIsTriangular) {
+  Instance instance(SwitchSpec::Uniform(5, 5), {});
+  AddIncast(instance, 0, 4, 0);
+  const ExactArtResult r = ExactMinTotalResponse(instance);
+  EXPECT_DOUBLE_EQ(r.total_response, 1 + 2 + 3 + 4);
+}
+
+TEST(ExactArtTest, ParallelFlowsAllRespondOne) {
+  Instance instance(SwitchSpec::Uniform(4, 4), {});
+  for (int i = 0; i < 4; ++i) instance.AddFlow(i, (i + 1) % 4, 1, 0);
+  const ExactArtResult r = ExactMinTotalResponse(instance);
+  EXPECT_DOUBLE_EQ(r.total_response, 4.0);
+}
+
+TEST(ExactArtTest, PrefersShortQueueFirstStructure) {
+  // Two flows sharing input 0 plus one flow elsewhere; optimum 1+2+1.
+  Instance instance(SwitchSpec::Uniform(2, 3), {});
+  instance.AddFlow(0, 0, 1, 0);
+  instance.AddFlow(0, 1, 1, 0);
+  instance.AddFlow(1, 2, 1, 0);
+  const ExactArtResult r = ExactMinTotalResponse(instance);
+  EXPECT_DOUBLE_EQ(r.total_response, 4.0);
+}
+
+TEST(ExactArtTest, RandomInstancesAreConsistentWithMrt) {
+  // Max response of the ART-optimal schedule is >= exact min-max response.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    PoissonConfig cfg;
+    cfg.num_inputs = cfg.num_outputs = 3;
+    cfg.mean_arrivals_per_round = 2.0;
+    cfg.num_rounds = 3;
+    cfg.seed = seed;
+    Instance instance = GeneratePoisson(cfg);
+    if (instance.num_flows() == 0 || instance.num_flows() > 10) continue;
+    const ExactArtResult art = ExactMinTotalResponse(instance);
+    const auto rho =
+        ExactMinMaxResponse(instance, instance.SafeHorizon());
+    ASSERT_TRUE(rho.has_value());
+    const ScheduleMetrics m = ComputeMetrics(instance, art.schedule);
+    EXPECT_GE(m.max_response + 1e-9, static_cast<double>(*rho));
+    EXPECT_DOUBLE_EQ(m.total_response, art.total_response);
+  }
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -1,0 +1,124 @@
+// Weighted response time: metrics, exact optimum, and the weighted LP lower
+// bound (the weighted flow-time objective from the literature the paper
+// builds on; Lemma 3.1's per-flow argument extends verbatim).
+#include <gtest/gtest.h>
+
+#include "core/art_lp.h"
+#include "core/exact.h"
+#include "model/metrics.h"
+#include "util/rng.h"
+#include "workload/poisson.h"
+
+namespace flowsched {
+namespace {
+
+TEST(WeightedMetricsTest, HandComputed) {
+  Instance instance(SwitchSpec::Uniform(2, 2), {});
+  instance.AddFlow(0, 0, 1, 0);
+  instance.AddFlow(1, 1, 1, 0);
+  Schedule s(2);
+  s.Assign(0, 0);  // rho 1.
+  s.Assign(1, 2);  // rho 3.
+  const std::vector<double> w = {2.0, 5.0};
+  const WeightedMetrics m = ComputeWeightedMetrics(instance, s, w);
+  EXPECT_DOUBLE_EQ(m.total_weighted_response, 2.0 * 1 + 5.0 * 3);
+  EXPECT_DOUBLE_EQ(m.max_weighted_response, 15.0);
+  EXPECT_DOUBLE_EQ(m.total_weight, 7.0);
+}
+
+TEST(WeightedMetricsTest, ZeroWeightsIgnoreFlows) {
+  Instance instance(SwitchSpec::Uniform(1, 1), {});
+  instance.AddFlow(0, 0, 1, 0);
+  Schedule s(1);
+  s.Assign(0, 9);
+  const std::vector<double> w = {0.0};
+  const WeightedMetrics m = ComputeWeightedMetrics(instance, s, w);
+  EXPECT_DOUBLE_EQ(m.total_weighted_response, 0.0);
+}
+
+TEST(WeightedExactTest, WeightsFlipPriorities) {
+  // Two flows sharing a port: the heavier one should go first.
+  Instance instance(SwitchSpec::Uniform(1, 2), {});
+  instance.AddFlow(0, 0, 1, 0);
+  instance.AddFlow(0, 1, 1, 0);
+  {
+    const std::vector<double> w = {10.0, 1.0};
+    const ExactArtResult r = ExactMinTotalResponse(instance, w);
+    EXPECT_EQ(r.schedule.round_of(0), 0);
+    EXPECT_EQ(r.schedule.round_of(1), 1);
+    EXPECT_DOUBLE_EQ(r.total_response, 10.0 * 1 + 1.0 * 2);
+  }
+  {
+    const std::vector<double> w = {1.0, 10.0};
+    const ExactArtResult r = ExactMinTotalResponse(instance, w);
+    EXPECT_EQ(r.schedule.round_of(0), 1);
+    EXPECT_EQ(r.schedule.round_of(1), 0);
+    EXPECT_DOUBLE_EQ(r.total_response, 1.0 * 2 + 10.0 * 1);
+  }
+}
+
+TEST(WeightedExactTest, UnweightedMatchesImplicitWeights) {
+  Instance instance(SwitchSpec::Uniform(2, 2), {});
+  instance.AddFlow(0, 0, 1, 0);
+  instance.AddFlow(0, 1, 1, 0);
+  instance.AddFlow(1, 0, 1, 1);
+  const ExactArtResult plain = ExactMinTotalResponse(instance);
+  const std::vector<double> ones = {1.0, 1.0, 1.0};
+  const ExactArtResult weighted = ExactMinTotalResponse(instance, ones);
+  EXPECT_DOUBLE_EQ(plain.total_response, weighted.total_response);
+}
+
+TEST(WeightedArtLpTest, ScalesWithUniformWeights) {
+  Instance instance(SwitchSpec::Uniform(3, 3), {});
+  instance.AddFlow(0, 0, 1, 0);
+  instance.AddFlow(0, 1, 1, 0);
+  instance.AddFlow(1, 0, 1, 0);
+  const ArtLpResult plain = SolveArtLp(instance);
+  ArtLpOptions options;
+  options.weights = {3.0, 3.0, 3.0};
+  const ArtLpResult scaled = SolveArtLp(instance, options);
+  ASSERT_TRUE(plain.solved && scaled.solved);
+  EXPECT_NEAR(scaled.total_fractional_response,
+              3.0 * plain.total_fractional_response, 1e-6);
+}
+
+TEST(WeightedArtLpTest, PrioritizesHeavyFlows) {
+  // Incast of 2: LP puts the heavy flow in the early slot.
+  Instance instance(SwitchSpec::Uniform(2, 2), {});
+  instance.AddFlow(0, 0, 1, 0);
+  instance.AddFlow(1, 0, 1, 0);
+  ArtLpOptions options;
+  options.weights = {1.0, 9.0};
+  const ArtLpResult r = SolveArtLp(instance, options);
+  ASSERT_TRUE(r.solved);
+  // Heavy flow at t=0 (delta 9*0.5), light at t=1 (delta 1*1.5): 6.0.
+  EXPECT_NEAR(r.total_fractional_response, 6.0, 1e-6);
+  EXPECT_NEAR(r.delta[1], 4.5, 1e-6);
+}
+
+class WeightedLemma31Test : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WeightedLemma31Test, WeightedLpLowerBoundsWeightedOptimum) {
+  PoissonConfig cfg;
+  cfg.num_inputs = cfg.num_outputs = 3;
+  cfg.mean_arrivals_per_round = 1.5;
+  cfg.num_rounds = 3;
+  cfg.seed = GetParam();
+  const Instance instance = GeneratePoisson(cfg);
+  if (instance.num_flows() == 0 || instance.num_flows() > 9) GTEST_SKIP();
+  Rng rng(GetParam() * 31);
+  std::vector<double> weights(instance.num_flows());
+  for (auto& w : weights) w = rng.UniformInt(0, 5);
+  ArtLpOptions options;
+  options.weights = weights;
+  const ArtLpResult lp = SolveArtLp(instance, options);
+  ASSERT_TRUE(lp.solved);
+  const ExactArtResult exact = ExactMinTotalResponse(instance, weights);
+  EXPECT_LE(lp.total_fractional_response, exact.total_response + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedLemma31Test,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u, 16u));
+
+}  // namespace
+}  // namespace flowsched

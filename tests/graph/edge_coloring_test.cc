@@ -1,0 +1,93 @@
+#include "graph/edge_coloring.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/bipartite_graph.h"
+#include "util/rng.h"
+
+namespace flowsched {
+namespace {
+
+TEST(EdgeColoringTest, SingleEdge) {
+  BipartiteGraph g(1, 1);
+  g.AddEdge(0, 0);
+  const EdgeColoring ec = ColorBipartiteEdges(g);
+  EXPECT_EQ(ec.num_colors, 1);
+  EXPECT_TRUE(IsValidEdgeColoring(g, ec));
+}
+
+TEST(EdgeColoringTest, CompleteBipartiteK33UsesThreeColors) {
+  BipartiteGraph g(3, 3);
+  for (int u = 0; u < 3; ++u) {
+    for (int v = 0; v < 3; ++v) g.AddEdge(u, v);
+  }
+  const EdgeColoring ec = ColorBipartiteEdges(g);
+  EXPECT_EQ(ec.num_colors, 3);
+  EXPECT_TRUE(IsValidEdgeColoring(g, ec));
+  const auto classes = ec.ColorClasses();
+  for (const auto& cls : classes) EXPECT_EQ(cls.size(), 3u);
+}
+
+TEST(EdgeColoringTest, ParallelEdgesGetDistinctColors) {
+  BipartiteGraph g(1, 1);
+  g.AddEdge(0, 0);
+  g.AddEdge(0, 0);
+  g.AddEdge(0, 0);
+  const EdgeColoring ec = ColorBipartiteEdges(g);
+  EXPECT_EQ(ec.num_colors, 3);
+  EXPECT_TRUE(IsValidEdgeColoring(g, ec));
+}
+
+TEST(EdgeColoringTest, PathForcesRecoloring) {
+  // A path u0-v0-u1-v1 colored greedily in adversarial order exercises the
+  // alternating-path flip.
+  BipartiteGraph g(2, 2);
+  g.AddEdge(0, 0);
+  g.AddEdge(1, 0);
+  g.AddEdge(1, 1);
+  const EdgeColoring ec = ColorBipartiteEdges(g);
+  EXPECT_EQ(ec.num_colors, 2);
+  EXPECT_TRUE(IsValidEdgeColoring(g, ec));
+}
+
+class EdgeColoringPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(EdgeColoringPropertyTest, AlwaysMaxDegreeColorsAndValid) {
+  const auto [nl, nr, edges] = GetParam();
+  Rng rng(500 + nl + nr * 7 + edges * 31);
+  for (int trial = 0; trial < 25; ++trial) {
+    Rng r = rng.Fork(trial);
+    BipartiteGraph g(nl, nr);
+    for (int i = 0; i < edges; ++i) {
+      g.AddEdge(r.UniformInt(0, nl - 1), r.UniformInt(0, nr - 1));
+    }
+    const EdgeColoring ec = ColorBipartiteEdges(g);
+    // König: exactly MaxDegree colors suffice for bipartite multigraphs.
+    EXPECT_EQ(ec.num_colors, std::max(g.MaxDegree(), 1));
+    ASSERT_TRUE(IsValidEdgeColoring(g, ec));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomMultigraphs, EdgeColoringPropertyTest,
+    ::testing::Values(std::make_tuple(2, 2, 8), std::make_tuple(5, 5, 20),
+                      std::make_tuple(10, 10, 60), std::make_tuple(3, 9, 27),
+                      std::make_tuple(9, 3, 27), std::make_tuple(20, 20, 200),
+                      std::make_tuple(1, 1, 16)));
+
+TEST(EdgeColoringTest, LargeDenseGraphStressValid) {
+  Rng rng(123);
+  BipartiteGraph g(40, 40);
+  for (int i = 0; i < 1200; ++i) {
+    g.AddEdge(rng.UniformInt(0, 39), rng.UniformInt(0, 39));
+  }
+  const EdgeColoring ec = ColorBipartiteEdges(g);
+  EXPECT_TRUE(IsValidEdgeColoring(g, ec));
+  EXPECT_EQ(ec.num_colors, g.MaxDegree());
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -1,0 +1,85 @@
+// Determinism: every pipeline must be bit-reproducible for a fixed seed —
+// workload generation, LP solves, rounding (which uses an internal seeded
+// RNG), simulation, and the randomized policies.
+#include <gtest/gtest.h>
+
+#include "core/art_scheduler.h"
+#include "core/mrt_scheduler.h"
+#include "core/online/amrt.h"
+#include "core/online/simulator.h"
+#include "workload/poisson.h"
+
+namespace flowsched {
+namespace {
+
+Instance MakeInstance(std::uint64_t seed) {
+  PoissonConfig cfg;
+  cfg.num_inputs = cfg.num_outputs = 5;
+  cfg.mean_arrivals_per_round = 6.0;
+  cfg.num_rounds = 5;
+  cfg.seed = seed;
+  return GeneratePoisson(cfg);
+}
+
+TEST(DeterminismTest, MrtSchedulerIsReproducible) {
+  const Instance instance = MakeInstance(404);
+  const MrtSchedulerResult a = MinimizeMaxResponse(instance);
+  const MrtSchedulerResult b = MinimizeMaxResponse(instance);
+  EXPECT_EQ(a.rho_lp, b.rho_lp);
+  EXPECT_EQ(a.schedule.assignments(), b.schedule.assignments());
+  EXPECT_EQ(a.rounding_report.lp_solves, b.rounding_report.lp_solves);
+}
+
+TEST(DeterminismTest, ArtSchedulerIsReproducible) {
+  const Instance instance = MakeInstance(405);
+  const ArtSchedulerResult a = ScheduleArtWithAugmentation(instance);
+  const ArtSchedulerResult b = ScheduleArtWithAugmentation(instance);
+  EXPECT_EQ(a.schedule.assignments(), b.schedule.assignments());
+  EXPECT_DOUBLE_EQ(a.rounding_report.lp0_objective,
+                   b.rounding_report.lp0_objective);
+}
+
+TEST(DeterminismTest, AmrtIsReproducible) {
+  const Instance instance = MakeInstance(406);
+  const AmrtResult a = RunAmrt(instance);
+  const AmrtResult b = RunAmrt(instance);
+  EXPECT_EQ(a.schedule.assignments(), b.schedule.assignments());
+  EXPECT_EQ(a.final_rho, b.final_rho);
+}
+
+TEST(DeterminismTest, RandomPolicyReproducibleForSeed) {
+  const Instance instance = MakeInstance(407);
+  auto p1 = MakePolicy("random", /*seed=*/99);
+  auto p2 = MakePolicy("random", /*seed=*/99);
+  const SimulationResult a = Simulate(instance, *p1);
+  const SimulationResult b = Simulate(instance, *p2);
+  EXPECT_EQ(a.schedule.assignments(), b.schedule.assignments());
+  // A different seed gives a different schedule (overwhelmingly likely on
+  // this congested instance).
+  auto p3 = MakePolicy("random", /*seed=*/100);
+  const SimulationResult c = Simulate(instance, *p3);
+  EXPECT_NE(a.schedule.assignments(), c.schedule.assignments());
+}
+
+TEST(DeterminismTest, ResetRestoresRandomPolicyStream) {
+  const Instance instance = MakeInstance(408);
+  auto policy = MakePolicy("random", /*seed=*/7);
+  const SimulationResult a = Simulate(instance, *policy);
+  policy->Reset();
+  const SimulationResult b = Simulate(instance, *policy);
+  EXPECT_EQ(a.schedule.assignments(), b.schedule.assignments());
+}
+
+TEST(DeterminismTest, MatchingPoliciesAreStateless) {
+  const Instance instance = MakeInstance(409);
+  for (const std::string& name : {"maxcard", "minrtime", "maxweight",
+                                  "hybrid", "srpt", "fifo"}) {
+    auto policy = MakePolicy(name);
+    const SimulationResult a = Simulate(instance, *policy);
+    const SimulationResult b = Simulate(instance, *policy);  // No Reset.
+    EXPECT_EQ(a.schedule.assignments(), b.schedule.assignments()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -1,0 +1,100 @@
+// Cross-cutting invariants that tie the algorithms' internal guarantees
+// together on shared workloads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/art_scheduler.h"
+#include "core/mrt_scheduler.h"
+#include "core/online/amrt.h"
+#include "core/online/simulator.h"
+#include "workload/poisson.h"
+
+namespace flowsched {
+namespace {
+
+TEST(InvariantsTest, AmrtBatchesNeverOverlapInTime) {
+  // Our AMRT variant closes each batch's window exactly at the next
+  // boundary, so per-round loads stay within a single batch's budget
+  // (c_p + 2*dmax - 1), strictly better than the lemma's 2x allowance.
+  PoissonConfig cfg;
+  cfg.num_inputs = cfg.num_outputs = 5;
+  cfg.mean_arrivals_per_round = 7.0;
+  cfg.num_rounds = 7;
+  cfg.seed = 511;
+  const Instance instance = GeneratePoisson(cfg);
+  const AmrtResult r = RunAmrt(instance);
+  const Capacity budget = 2 * std::max<Capacity>(instance.MaxDemand(), 1) - 1;
+  EXPECT_FALSE(r.schedule
+                   .ValidationError(instance, CapacityAllowance::Additive(
+                                                  std::max(budget,
+                                                           r.max_batch_violation)))
+                   .has_value());
+}
+
+TEST(InvariantsTest, MrtBinarySearchProbeCountLogarithmic) {
+  PoissonConfig cfg;
+  cfg.num_inputs = cfg.num_outputs = 4;
+  cfg.mean_arrivals_per_round = 10.0;  // Load 2.5: a wide search range.
+  cfg.num_rounds = 6;
+  cfg.seed = 512;
+  const Instance instance = GeneratePoisson(cfg);
+  const MrtSchedulerResult r = MinimizeMaxResponse(instance);
+  // Probes ~ log2(heuristic upper bound) + feasibility check at hi.
+  const int budget =
+      3 + static_cast<int>(std::ceil(std::log2(
+              static_cast<double>(r.heuristic_upper_bound) + 2)));
+  EXPECT_LE(r.binary_search_probes, budget);
+}
+
+TEST(InvariantsTest, MaxCardMatchingBoundedByPorts) {
+  // Per round, MaxCard can schedule at most min(m, m') unit flows under
+  // unit capacities; the simulator must never exceed the makespan bound
+  // derived from that rate.
+  Instance instance(SwitchSpec::Uniform(3, 5), {});
+  for (int i = 0; i < 12; ++i) instance.AddFlow(i % 3, i % 5, 1, 0);
+  auto policy = MakePolicy("maxcard");
+  const SimulationResult r = Simulate(instance, *policy);
+  EXPECT_GE(r.metrics.makespan, 12 / 3);  // >= n / min(m, m').
+}
+
+TEST(InvariantsTest, ArtSchedulerDelayBoundedByReport) {
+  PoissonConfig cfg;
+  cfg.num_inputs = cfg.num_outputs = 4;
+  cfg.mean_arrivals_per_round = 5.0;
+  cfg.num_rounds = 5;
+  cfg.seed = 513;
+  const Instance instance = GeneratePoisson(cfg);
+  ArtSchedulerOptions options;
+  options.c = 2;
+  const ArtSchedulerResult r = ScheduleArtWithAugmentation(instance, options);
+  // Every flow's extra delay over its pseudo round is bounded by
+  // h (interval wait) + ceil(colors / (1+c)) (packing wait), Theorem 1's
+  // accounting.
+  const int packing = (r.max_colors + options.c) / (1 + options.c);
+  EXPECT_LE(r.max_extra_delay, 2 * r.interval_length + packing + 1);
+}
+
+TEST(InvariantsTest, OfflineMrtNeverWorseThanOnlineOnRho) {
+  for (std::uint64_t seed : {601u, 602u, 603u}) {
+    PoissonConfig cfg;
+    cfg.num_inputs = cfg.num_outputs = 5;
+    cfg.mean_arrivals_per_round = 6.0;
+    cfg.num_rounds = 5;
+    cfg.seed = seed;
+    const Instance instance = GeneratePoisson(cfg);
+    const MrtSchedulerResult offline = MinimizeMaxResponse(instance);
+    for (const std::string& name : {"minrtime", "fifo"}) {
+      auto policy = MakePolicy(name);
+      const SimulationResult online = Simulate(instance, *policy);
+      // Online runs without augmentation, offline with it; the offline
+      // max response (== rho_lp <= OPT) can never exceed the online one.
+      EXPECT_LE(offline.metrics.max_response,
+                online.metrics.max_response + 1e-9)
+          << name << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flowsched

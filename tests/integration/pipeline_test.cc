@@ -1,0 +1,119 @@
+// End-to-end pipelines: generator -> algorithm -> validated schedule ->
+// metrics, and the ordering relations between all bounds the library
+// produces (LP lower bounds <= exact optima <= heuristic schedules).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/art_lp.h"
+#include "core/art_scheduler.h"
+#include "core/exact.h"
+#include "core/mrt_scheduler.h"
+#include "core/online/amrt.h"
+#include "core/online/simulator.h"
+#include "model/trace_io.h"
+#include "workload/patterns.h"
+#include "workload/poisson.h"
+
+namespace flowsched {
+namespace {
+
+class PipelineTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineTest, BoundOrderingOnTinyInstances) {
+  PoissonConfig cfg;
+  cfg.num_inputs = cfg.num_outputs = 3;
+  cfg.mean_arrivals_per_round = 1.5;
+  cfg.num_rounds = 3;
+  cfg.seed = GetParam();
+  const Instance instance = GeneratePoisson(cfg);
+  if (instance.num_flows() == 0 || instance.num_flows() > 9) GTEST_SKIP();
+
+  // FS-ART chain: LP(1-4) <= exact OPT <= every online policy.
+  const ArtLpResult lp = SolveArtLp(instance);
+  ASSERT_TRUE(lp.solved);
+  const ExactArtResult exact = ExactMinTotalResponse(instance);
+  EXPECT_LE(lp.total_fractional_response, exact.total_response + 1e-6);
+  for (const std::string& name : AllPolicyNames()) {
+    auto policy = MakePolicy(name, GetParam());
+    const SimulationResult r = Simulate(instance, *policy);
+    EXPECT_GE(r.metrics.total_response, exact.total_response - 1e-9)
+        << name << " beat the exact optimum";
+    EXPECT_GE(r.metrics.total_response, lp.total_fractional_response - 1e-6);
+  }
+
+  // FS-MRT chain: rho_lp <= exact rho <= every online policy's max rho.
+  const MrtSchedulerResult mrt = MinimizeMaxResponse(instance);
+  const auto exact_rho = ExactMinMaxResponse(instance, instance.SafeHorizon());
+  ASSERT_TRUE(exact_rho.has_value());
+  EXPECT_LE(mrt.rho_lp, *exact_rho);
+  for (const std::string& name : AllPolicyNames()) {
+    auto policy = MakePolicy(name, GetParam());
+    const SimulationResult r = Simulate(instance, *policy);
+    EXPECT_GE(r.metrics.max_response + 1e-9, static_cast<double>(*exact_rho))
+        << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineTest,
+                         ::testing::Values(201u, 202u, 203u, 204u, 205u, 206u,
+                                           207u, 208u));
+
+TEST(PipelineTest, OfflineSchedulersOnSharedWorkload) {
+  PoissonConfig cfg;
+  cfg.num_inputs = cfg.num_outputs = 6;
+  cfg.mean_arrivals_per_round = 7.0;
+  cfg.num_rounds = 6;
+  cfg.seed = 303;
+  const Instance instance = GeneratePoisson(cfg);
+
+  const ArtSchedulerResult art = ScheduleArtWithAugmentation(instance);
+  const MrtSchedulerResult mrt = MinimizeMaxResponse(instance);
+  const AmrtResult amrt = RunAmrt(instance);
+  auto policy = MakePolicy("maxweight");
+  const SimulationResult online = Simulate(instance, *policy);
+
+  // The offline MRT schedule has the best max response (it optimizes it,
+  // with augmentation); the ART schedule aims at the average instead.
+  EXPECT_LE(mrt.metrics.max_response, online.metrics.max_response + 1e-9);
+  EXPECT_LE(mrt.metrics.max_response, amrt.metrics.max_response + 1e-9);
+  // All four produced full valid schedules (validated internally).
+  EXPECT_TRUE(art.schedule.AllAssigned());
+  EXPECT_TRUE(mrt.schedule.AllAssigned());
+  EXPECT_TRUE(amrt.schedule.AllAssigned());
+  EXPECT_TRUE(online.schedule.AllAssigned());
+}
+
+TEST(PipelineTest, TraceRoundTripThroughScheduler) {
+  // Generate -> serialize -> parse -> schedule -> serialize schedule.
+  const Instance original = ShuffleWaves(4, 3, 2, 4);
+  std::ostringstream trace;
+  WriteInstanceCsv(original, trace);
+  const auto parsed = ReadInstanceCsv(trace.str());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->num_flows(), original.num_flows());
+  const MrtSchedulerResult mrt = MinimizeMaxResponse(*parsed);
+  std::ostringstream sched_csv;
+  WriteScheduleCsv(mrt.schedule, sched_csv);
+  const auto sched = ReadScheduleCsv(sched_csv.str(), parsed->num_flows());
+  ASSERT_TRUE(sched.has_value());
+  for (int e = 0; e < parsed->num_flows(); ++e) {
+    EXPECT_EQ(sched->round_of(e), mrt.schedule.round_of(e));
+  }
+}
+
+TEST(PipelineTest, IncastShapesMatchTheory) {
+  // k-incast: LP-ART = k^2/2, exact ART = k(k+1)/2, exact/LP MRT = k.
+  const int k = 5;
+  Instance instance(SwitchSpec::Uniform(8, 8), {});
+  AddIncast(instance, 2, k, 0);
+  const ArtLpResult lp = SolveArtLp(instance);
+  EXPECT_NEAR(lp.total_fractional_response, k * k / 2.0, 1e-6);
+  const ExactArtResult exact = ExactMinTotalResponse(instance);
+  EXPECT_DOUBLE_EQ(exact.total_response, k * (k + 1) / 2.0);
+  const MrtSchedulerResult mrt = MinimizeMaxResponse(instance);
+  EXPECT_EQ(mrt.rho_lp, k);
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -1,0 +1,150 @@
+// Stress and adversarial cases for the simplex: classic cycling examples,
+// larger random sweeps, and scheduling-LP-shaped instances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/simplex.h"
+#include "util/rng.h"
+
+namespace flowsched {
+namespace {
+
+using Entry = std::pair<int, double>;
+
+TEST(SimplexStressTest, BealeCyclingExample) {
+  // Beale's classic degenerate LP that cycles under naive Dantzig pivoting:
+  //   min -0.75 x4 + 150 x5 - 0.02 x6 + 6 x7
+  //   s.t. 0.25 x4 - 60 x5 - 0.04 x6 + 9 x7 <= 0
+  //        0.5  x4 - 90 x5 - 0.02 x6 + 3 x7 <= 0
+  //        x6 <= 1
+  // Optimum value -0.05 (x6 = 1). The Bland fallback must terminate.
+  LpProblem lp;
+  const int r0 = lp.AddRow(RowSense::kLe, 0.0);
+  const int r1 = lp.AddRow(RowSense::kLe, 0.0);
+  const int r2 = lp.AddRow(RowSense::kLe, 1.0);
+  lp.AddColumn(-0.75, std::vector<Entry>{{r0, 0.25}, {r1, 0.5}});
+  lp.AddColumn(150.0, std::vector<Entry>{{r0, -60.0}, {r1, -90.0}});
+  lp.AddColumn(-0.02, std::vector<Entry>{{r0, -0.04}, {r1, -0.02}, {r2, 1.0}});
+  lp.AddColumn(6.0, std::vector<Entry>{{r0, 9.0}, {r1, 3.0}});
+  SimplexOptions options;
+  options.stall_limit = 4;  // Provoke the Bland switch early.
+  const SimplexResult res = SolveLp(lp, options);
+  ASSERT_EQ(res.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -0.05, 1e-9);
+}
+
+TEST(SimplexStressTest, KleeMintyCubeSmall) {
+  // Klee-Minty in 4 dimensions: max 2^3 x1 + 2^2 x2 + 2 x3 + x4 with the
+  // usual nested constraints; optimum 5^4 / ... value = 625? For the
+  // standard form: max sum 2^{n-j} x_j st x1<=5, 4x1+x2<=25, 8x1+4x2+x3<=125,
+  // 16x1+8x2+4x3+x4<=625 -> optimum 625 (all slack except last).
+  LpProblem lp;
+  const int n = 4;
+  std::vector<int> rows;
+  double rhs = 5.0;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back(lp.AddRow(RowSense::kLe, rhs));
+    rhs *= 5.0;
+  }
+  for (int j = 0; j < n; ++j) {
+    std::vector<Entry> entries;
+    for (int i = j; i < n; ++i) {
+      const double coef = i == j ? 1.0 : std::pow(2.0, i - j + 1);
+      entries.push_back({rows[i], coef});
+    }
+    lp.AddColumn(-std::pow(2.0, n - 1 - j), entries);
+  }
+  const SimplexResult res = SolveLp(lp);
+  ASSERT_EQ(res.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -625.0, 1e-6);
+}
+
+TEST(SimplexStressTest, LargerRandomDualitySweep) {
+  // Bigger than the unit-test sweep: 60 rows x 400 columns.
+  for (int trial = 0; trial < 3; ++trial) {
+    Rng rng(7000 + trial);
+    const int rows = 60;
+    const int cols = 400;
+    std::vector<double> x0(cols);
+    std::vector<double> activity(rows, 0.0);
+    std::vector<std::vector<Entry>> col_entries(cols);
+    std::vector<double> obj(cols);
+    for (int j = 0; j < cols; ++j) {
+      x0[j] = rng.UniformInt(0, 2);
+      obj[j] = rng.UniformInt(1, 20);
+      for (int k = 0; k < 4; ++k) {
+        const int r = rng.UniformInt(0, rows - 1);
+        const double v = rng.UniformInt(-2, 4);
+        col_entries[j].push_back({r, v});
+        activity[r] += v * x0[j];
+      }
+    }
+    LpProblem lp;
+    std::vector<RowSense> senses(rows);
+    for (int i = 0; i < rows; ++i) {
+      senses[i] = static_cast<RowSense>(rng.UniformInt(0, 2));
+      double rhs = activity[i];
+      if (senses[i] == RowSense::kLe) rhs += rng.UniformInt(0, 4);
+      if (senses[i] == RowSense::kGe) rhs -= rng.UniformInt(0, 4);
+      lp.AddRow(senses[i], rhs);
+    }
+    for (int j = 0; j < cols; ++j) lp.AddColumn(obj[j], col_entries[j]);
+    const SimplexResult res = SolveLp(lp);
+    ASSERT_EQ(res.status, SimplexStatus::kOptimal) << "trial " << trial;
+    EXPECT_LE(res.primal_residual, 1e-5);
+    double dual_obj = 0.0;
+    for (int i = 0; i < rows; ++i) dual_obj += res.duals[i] * lp.rhs(i);
+    EXPECT_NEAR(dual_obj, res.objective,
+                1e-4 * (1.0 + std::abs(res.objective)));
+  }
+}
+
+TEST(SimplexStressTest, AssignmentPolytopeVertexIsIntegral) {
+  // Birkhoff: vertices of the assignment polytope are permutation matrices.
+  // With a generic random objective the optimum is a vertex, so the
+  // simplex must return a 0/1 solution.
+  Rng rng(42);
+  const int k = 8;
+  LpProblem lp;
+  std::vector<int> row_rows;
+  std::vector<int> col_rows;
+  for (int i = 0; i < k; ++i) row_rows.push_back(lp.AddRow(RowSense::kEq, 1.0));
+  for (int j = 0; j < k; ++j) col_rows.push_back(lp.AddRow(RowSense::kEq, 1.0));
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      lp.AddColumn(rng.UniformReal(),
+                   std::vector<Entry>{{row_rows[i], 1.0}, {col_rows[j], 1.0}});
+    }
+  }
+  const SimplexResult res = SolveLp(lp);
+  ASSERT_EQ(res.status, SimplexStatus::kOptimal);
+  for (double v : res.x) {
+    EXPECT_TRUE(std::abs(v) < 1e-7 || std::abs(v - 1.0) < 1e-7) << v;
+  }
+}
+
+TEST(SimplexStressTest, SchedulingShapedLpMatchesClosedForm) {
+  // k-incast as a raw LP (the ART LP built by hand): value k^2/2.
+  const int k = 6;
+  const int horizon = 2 * k;
+  LpProblem lp;
+  std::vector<int> flow_rows;
+  std::vector<int> cap_rows;
+  for (int e = 0; e < k; ++e) flow_rows.push_back(lp.AddRow(RowSense::kGe, 1));
+  for (int t = 0; t < horizon; ++t) {
+    cap_rows.push_back(lp.AddRow(RowSense::kLe, 1));
+  }
+  for (int e = 0; e < k; ++e) {
+    for (int t = 0; t < horizon; ++t) {
+      lp.AddColumn(t + 0.5, std::vector<Entry>{{flow_rows[e], 1.0},
+                                               {cap_rows[t], 1.0}});
+    }
+  }
+  const SimplexResult res = SolveLp(lp);
+  ASSERT_EQ(res.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(res.objective, k * k / 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace flowsched

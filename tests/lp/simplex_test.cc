@@ -1,0 +1,248 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace flowsched {
+namespace {
+
+using Entry = std::pair<int, double>;
+
+// Brute-force check via dual feasibility + strong duality is built into the
+// property tests below; small LPs also get hand-computed optima.
+
+TEST(SimplexTest, SimpleMaximizationAsMinimization) {
+  // max x + y st x <= 2, y <= 3, x + y <= 4  => min -(x+y) = -4.
+  LpProblem lp;
+  const int r0 = lp.AddRow(RowSense::kLe, 2);
+  const int r1 = lp.AddRow(RowSense::kLe, 3);
+  const int r2 = lp.AddRow(RowSense::kLe, 4);
+  lp.AddColumn(-1.0, std::vector<Entry>{{r0, 1.0}, {r2, 1.0}});
+  lp.AddColumn(-1.0, std::vector<Entry>{{r1, 1.0}, {r2, 1.0}});
+  const SimplexResult res = SolveLp(lp);
+  ASSERT_EQ(res.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -4.0, 1e-9);
+  EXPECT_NEAR(res.x[0] + res.x[1], 4.0, 1e-9);
+}
+
+TEST(SimplexTest, CoveringProblem) {
+  // min 2x + 3y st x + y >= 4, x >= 1  => x=4 (y=0): 8? or x=1,y=3: 11.
+  // Optimum: x = 4, y = 0, objective 8.
+  LpProblem lp;
+  const int r0 = lp.AddRow(RowSense::kGe, 4);
+  const int r1 = lp.AddRow(RowSense::kGe, 1);
+  lp.AddColumn(2.0, std::vector<Entry>{{r0, 1.0}, {r1, 1.0}});
+  lp.AddColumn(3.0, std::vector<Entry>{{r0, 1.0}});
+  const SimplexResult res = SolveLp(lp);
+  ASSERT_EQ(res.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 8.0, 1e-9);
+  EXPECT_NEAR(res.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(res.x[1], 0.0, 1e-9);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // min x + 2y st x + y = 3, x <= 1 => x=1, y=2, obj 5.
+  LpProblem lp;
+  const int r0 = lp.AddRow(RowSense::kEq, 3);
+  const int r1 = lp.AddRow(RowSense::kLe, 1);
+  lp.AddColumn(1.0, std::vector<Entry>{{r0, 1.0}, {r1, 1.0}});
+  lp.AddColumn(2.0, std::vector<Entry>{{r0, 1.0}});
+  const SimplexResult res = SolveLp(lp);
+  ASSERT_EQ(res.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 5.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  // x <= 1 and x >= 2.
+  LpProblem lp;
+  const int r0 = lp.AddRow(RowSense::kLe, 1);
+  const int r1 = lp.AddRow(RowSense::kGe, 2);
+  lp.AddColumn(1.0, std::vector<Entry>{{r0, 1.0}, {r1, 1.0}});
+  EXPECT_EQ(SolveLp(lp).status, SimplexStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsInfeasibleEqualitySystem) {
+  // x + y = 1, x + y = 2.
+  LpProblem lp;
+  const int r0 = lp.AddRow(RowSense::kEq, 1);
+  const int r1 = lp.AddRow(RowSense::kEq, 2);
+  lp.AddColumn(0.0, std::vector<Entry>{{r0, 1.0}, {r1, 1.0}});
+  lp.AddColumn(0.0, std::vector<Entry>{{r0, 1.0}, {r1, 1.0}});
+  EXPECT_EQ(SolveLp(lp).status, SimplexStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  // min -x st x >= 1 (x can grow forever).
+  LpProblem lp;
+  const int r0 = lp.AddRow(RowSense::kGe, 1);
+  lp.AddColumn(-1.0, std::vector<Entry>{{r0, 1.0}});
+  EXPECT_EQ(SolveLp(lp).status, SimplexStatus::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeRhsNormalization) {
+  // min x st -x <= -2  (i.e. x >= 2).
+  LpProblem lp;
+  const int r0 = lp.AddRow(RowSense::kLe, -2);
+  lp.AddColumn(1.0, std::vector<Entry>{{r0, -1.0}});
+  const SimplexResult res = SolveLp(lp);
+  ASSERT_EQ(res.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, RedundantEqualityRowsHandled) {
+  // Duplicated equality row: x + y = 2 twice; min x => x=0, y=2.
+  LpProblem lp;
+  const int r0 = lp.AddRow(RowSense::kEq, 2);
+  const int r1 = lp.AddRow(RowSense::kEq, 2);
+  lp.AddColumn(1.0, std::vector<Entry>{{r0, 1.0}, {r1, 1.0}});
+  lp.AddColumn(0.0, std::vector<Entry>{{r0, 1.0}, {r1, 1.0}});
+  const SimplexResult res = SolveLp(lp);
+  ASSERT_EQ(res.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 0.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateLpTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  LpProblem lp;
+  const int r0 = lp.AddRow(RowSense::kLe, 1);
+  const int r1 = lp.AddRow(RowSense::kLe, 1);
+  const int r2 = lp.AddRow(RowSense::kLe, 2);
+  lp.AddColumn(-1.0, std::vector<Entry>{{r0, 1.0}, {r1, 1.0}, {r2, 2.0}});
+  lp.AddColumn(-1.0, std::vector<Entry>{{r0, 1.0}, {r1, 1.0}, {r2, 2.0}});
+  const SimplexResult res = SolveLp(lp);
+  ASSERT_EQ(res.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -1.0, 1e-9);
+}
+
+TEST(SimplexTest, DualsSatisfyStrongDualityOnKnownLp) {
+  LpProblem lp;
+  const int r0 = lp.AddRow(RowSense::kLe, 4);
+  const int r1 = lp.AddRow(RowSense::kGe, 1);
+  lp.AddColumn(-2.0, std::vector<Entry>{{r0, 1.0}, {r1, 1.0}});
+  lp.AddColumn(-1.0, std::vector<Entry>{{r0, 2.0}});
+  const SimplexResult res = SolveLp(lp);
+  ASSERT_EQ(res.status, SimplexStatus::kOptimal);
+  const double dual_obj = res.duals[0] * 4 + res.duals[1] * 1;
+  EXPECT_NEAR(dual_obj, res.objective, 1e-7);
+  EXPECT_LE(res.duals[0], 1e-9);  // <= row: y <= 0.
+  EXPECT_GE(res.duals[1], -1e-9);  // >= row: y >= 0.
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: random feasible bounded LPs must satisfy
+//  (1) primal feasibility, (2) strong duality, (3) dual sign conventions.
+// Feasibility is guaranteed by construction (rhs = A * x0 + margin for <=),
+// boundedness by non-negative objective.
+// ---------------------------------------------------------------------------
+
+struct RandomLpCase {
+  int rows;
+  int cols;
+  int nnz_per_col;
+  std::uint64_t seed;
+};
+
+class SimplexPropertyTest : public ::testing::TestWithParam<RandomLpCase> {};
+
+TEST_P(SimplexPropertyTest, StrongDualityOnRandomLps) {
+  const RandomLpCase param = GetParam();
+  for (int trial = 0; trial < 20; ++trial) {
+    Rng rng = Rng(param.seed).Fork(trial);
+    LpProblem lp;
+    std::vector<RowSense> senses;
+    for (int i = 0; i < param.rows; ++i) {
+      // Mix of row kinds; rhs filled later.
+      senses.push_back(static_cast<RowSense>(rng.UniformInt(0, 2)));
+      lp.AddRow(senses.back(), 0.0);
+    }
+    // Random sparse columns and a random feasible point x0.
+    std::vector<std::vector<Entry>> cols(param.cols);
+    std::vector<double> x0(param.cols);
+    std::vector<double> activity(param.rows, 0.0);
+    std::vector<double> obj(param.cols);
+    for (int j = 0; j < param.cols; ++j) {
+      x0[j] = rng.UniformInt(0, 3);
+      obj[j] = rng.UniformInt(0, 9);
+      for (int k = 0; k < param.nnz_per_col; ++k) {
+        const int row = rng.UniformInt(0, param.rows - 1);
+        const double val = rng.UniformInt(-3, 5);
+        cols[j].push_back({row, val});
+        activity[row] += val * x0[j];
+      }
+    }
+    // Rebuild the LP with rhs consistent with x0.
+    LpProblem lp2;
+    for (int i = 0; i < param.rows; ++i) {
+      double rhs = activity[i];
+      if (senses[i] == RowSense::kLe) rhs += rng.UniformInt(0, 3);
+      if (senses[i] == RowSense::kGe) rhs -= rng.UniformInt(0, 3);
+      lp2.AddRow(senses[i], rhs);
+    }
+    for (int j = 0; j < param.cols; ++j) {
+      lp2.AddColumn(obj[j], cols[j]);
+    }
+    const SimplexResult res = SolveLp(lp2);
+    ASSERT_EQ(res.status, SimplexStatus::kOptimal)
+        << "trial " << trial << " status " << ToString(res.status);
+    // Primal feasibility (residual audit is computed by the solver).
+    EXPECT_LE(res.primal_residual, 1e-6) << "trial " << trial;
+    // Strong duality.
+    double dual_obj = 0.0;
+    for (int i = 0; i < param.rows; ++i) {
+      dual_obj += res.duals[i] * lp2.rhs(i);
+    }
+    EXPECT_NEAR(dual_obj, res.objective, 1e-5 * (1.0 + std::abs(res.objective)))
+        << "trial " << trial;
+    // Dual signs.
+    for (int i = 0; i < param.rows; ++i) {
+      if (senses[i] == RowSense::kLe) {
+        EXPECT_LE(res.duals[i], 1e-6);
+      }
+      if (senses[i] == RowSense::kGe) {
+        EXPECT_GE(res.duals[i], -1e-6);
+      }
+    }
+    // Dual feasibility: reduced costs of structural columns >= 0.
+    for (int j = 0; j < param.cols; ++j) {
+      double ya = 0.0;
+      for (const auto& [row, val] : cols[j]) ya += res.duals[row] * val;
+      EXPECT_GE(obj[j] - ya, -1e-5) << "trial " << trial << " col " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomLps, SimplexPropertyTest,
+    ::testing::Values(RandomLpCase{3, 4, 2, 101}, RandomLpCase{5, 8, 2, 202},
+                      RandomLpCase{8, 20, 3, 303}, RandomLpCase{12, 30, 3, 404},
+                      RandomLpCase{20, 60, 4, 505},
+                      RandomLpCase{30, 120, 3, 606}));
+
+TEST(SimplexTest, ModeratelyLargeSparseLp) {
+  // A transportation-flavored LP: 40 covering rows, 60 capacity rows.
+  Rng rng(99);
+  LpProblem lp;
+  std::vector<int> cover_rows;
+  std::vector<int> cap_rows;
+  for (int i = 0; i < 40; ++i) cover_rows.push_back(lp.AddRow(RowSense::kGe, 1));
+  for (int i = 0; i < 60; ++i) cap_rows.push_back(lp.AddRow(RowSense::kLe, 2));
+  for (int i = 0; i < 40; ++i) {
+    // Each demand can be served from 4 random capacity rows.
+    for (int k = 0; k < 4; ++k) {
+      const int cap = cap_rows[rng.UniformInt(0, 59)];
+      lp.AddColumn(1.0 + 0.1 * k,
+                   std::vector<Entry>{{cover_rows[i], 1.0}, {cap, 1.0}});
+    }
+  }
+  const SimplexResult res = SolveLp(lp);
+  ASSERT_EQ(res.status, SimplexStatus::kOptimal);
+  EXPECT_GE(res.objective, 40.0 - 1e-6);  // At least cost 1 per demand.
+  EXPECT_LE(res.primal_residual, 1e-7);
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -1,0 +1,45 @@
+#include "model/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace flowsched {
+namespace {
+
+TEST(MetricsTest, ComputesResponseStatistics) {
+  Instance instance(SwitchSpec::Uniform(2, 2), {});
+  instance.AddFlow(0, 0, 1, 0);
+  instance.AddFlow(1, 1, 1, 0);
+  instance.AddFlow(0, 1, 1, 2);
+  Schedule s(3);
+  s.Assign(0, 0);  // rho = 1.
+  s.Assign(1, 2);  // rho = 3.
+  s.Assign(2, 3);  // rho = 2.
+  const ScheduleMetrics m = ComputeMetrics(instance, s);
+  EXPECT_EQ(m.response.size(), 3u);
+  EXPECT_DOUBLE_EQ(m.total_response, 6.0);
+  EXPECT_DOUBLE_EQ(m.avg_response, 2.0);
+  EXPECT_DOUBLE_EQ(m.max_response, 3.0);
+  EXPECT_EQ(m.makespan, 4);
+  EXPECT_DOUBLE_EQ(m.p99_response, 3.0);
+}
+
+TEST(MetricsTest, SingleFlow) {
+  Instance instance(SwitchSpec::Uniform(1, 1), {});
+  instance.AddFlow(0, 0, 1, 5);
+  Schedule s(1);
+  s.Assign(0, 5);
+  const ScheduleMetrics m = ComputeMetrics(instance, s);
+  EXPECT_DOUBLE_EQ(m.avg_response, 1.0);
+  EXPECT_DOUBLE_EQ(m.max_response, 1.0);
+  EXPECT_EQ(m.makespan, 6);
+}
+
+TEST(MetricsDeathTest, RequiresFullAssignment) {
+  Instance instance(SwitchSpec::Uniform(1, 1), {});
+  instance.AddFlow(0, 0);
+  const Schedule s(1);
+  EXPECT_DEATH(ComputeMetrics(instance, s), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -1,0 +1,108 @@
+#include "model/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace flowsched {
+namespace {
+
+Instance TwoByTwo() {
+  Instance instance(SwitchSpec::Uniform(2, 2), {});
+  instance.AddFlow(0, 0, 1, 0);
+  instance.AddFlow(0, 1, 1, 0);
+  instance.AddFlow(1, 0, 1, 1);
+  return instance;
+}
+
+TEST(CapacityAllowanceTest, FactorAndAdditive) {
+  EXPECT_EQ(CapacityAllowance::Exact().Allowed(3), 3);
+  EXPECT_EQ(CapacityAllowance::Factor(2.0).Allowed(3), 6);
+  EXPECT_EQ(CapacityAllowance::Additive(2).Allowed(3), 5);
+  EXPECT_EQ((CapacityAllowance{1.5, 1}).Allowed(2), 4);
+}
+
+TEST(ScheduleTest, AssignmentLifecycle) {
+  Schedule s(3);
+  EXPECT_FALSE(s.AllAssigned());
+  s.Assign(0, 2);
+  EXPECT_TRUE(s.IsAssigned(0));
+  EXPECT_EQ(s.round_of(0), 2);
+  s.Unassign(0);
+  EXPECT_FALSE(s.IsAssigned(0));
+  EXPECT_EQ(s.Makespan(), 0);
+  s.Assign(0, 0);
+  s.Assign(1, 1);
+  s.Assign(2, 1);
+  EXPECT_TRUE(s.AllAssigned());
+  EXPECT_EQ(s.Makespan(), 2);
+}
+
+TEST(ScheduleTest, ValidScheduleValidates) {
+  const Instance instance = TwoByTwo();
+  Schedule s(3);
+  s.Assign(0, 0);
+  s.Assign(1, 1);
+  s.Assign(2, 1);
+  EXPECT_FALSE(s.ValidationError(instance).has_value());
+}
+
+TEST(ScheduleTest, DetectsUnassignedFlow) {
+  const Instance instance = TwoByTwo();
+  Schedule s(3);
+  s.Assign(0, 0);
+  const auto err = s.ValidationError(instance);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("unassigned"), std::string::npos);
+}
+
+TEST(ScheduleTest, DetectsReleaseViolation) {
+  const Instance instance = TwoByTwo();
+  Schedule s(3);
+  s.Assign(0, 0);
+  s.Assign(1, 1);
+  s.Assign(2, 0);  // Released at round 1.
+  const auto err = s.ValidationError(instance);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("before its release"), std::string::npos);
+}
+
+TEST(ScheduleTest, DetectsPortOverload) {
+  const Instance instance = TwoByTwo();
+  Schedule s(3);
+  s.Assign(0, 0);
+  s.Assign(1, 0);  // Flows 0 and 1 share input port 0.
+  s.Assign(2, 1);
+  const auto err = s.ValidationError(instance);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("overloaded"), std::string::npos);
+  // With +1 augmentation the same schedule is fine.
+  EXPECT_FALSE(s.ValidationError(instance, CapacityAllowance::Additive(1)));
+}
+
+TEST(ScheduleTest, LoadsAndOverload) {
+  const Instance instance = TwoByTwo();
+  Schedule s(3);
+  s.Assign(0, 0);
+  s.Assign(1, 0);
+  s.Assign(2, 1);
+  const PortLoads loads = s.ComputeLoads(instance);
+  EXPECT_EQ(loads.horizon, 2);
+  EXPECT_EQ(loads.input[0][0], 2);
+  EXPECT_EQ(loads.input[1][1], 1);
+  EXPECT_EQ(loads.output[0][0], 1);
+  EXPECT_EQ(loads.MaxOverload(instance.sw()), 1);
+}
+
+TEST(ScheduleTest, OutputPortOverloadDetected) {
+  Instance instance(SwitchSpec::Uniform(2, 1), {});
+  instance.AddFlow(0, 0, 1, 0);
+  instance.AddFlow(1, 0, 1, 0);
+  Schedule s(2);
+  s.Assign(0, 0);
+  s.Assign(1, 0);
+  const auto err = s.ValidationError(instance);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("output port"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -1,0 +1,71 @@
+#include "model/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace flowsched {
+namespace {
+
+TEST(TraceIoTest, InstanceRoundTrip) {
+  Instance instance(SwitchSpec({2, 3}, {1, 1, 4}), {});
+  instance.AddFlow(0, 2, 2, 0);
+  instance.AddFlow(1, 0, 1, 7);
+  std::ostringstream out;
+  WriteInstanceCsv(instance, out);
+  std::string error;
+  const auto parsed = ReadInstanceCsv(out.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->sw(), instance.sw());
+  ASSERT_EQ(parsed->num_flows(), 2);
+  EXPECT_EQ(parsed->flow(0), instance.flow(0));
+  EXPECT_EQ(parsed->flow(1), instance.flow(1));
+}
+
+TEST(TraceIoTest, EmptyInstanceRoundTrip) {
+  Instance instance(SwitchSpec::Uniform(1, 2), {});
+  std::ostringstream out;
+  WriteInstanceCsv(instance, out);
+  const auto parsed = ReadInstanceCsv(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->num_flows(), 0);
+}
+
+TEST(TraceIoTest, RejectsGarbage) {
+  std::string error;
+  EXPECT_FALSE(ReadInstanceCsv("not,a,trace\n", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(TraceIoTest, RejectsInvalidInstance) {
+  // Demand above kappa fails model validation on read.
+  const std::string content =
+      "input_capacities\n1\noutput_capacities\n1\nsrc,dst,demand,release\n"
+      "0,0,5,0\n";
+  std::string error;
+  EXPECT_FALSE(ReadInstanceCsv(content, &error).has_value());
+  EXPECT_NE(error.find("kappa"), std::string::npos);
+}
+
+TEST(TraceIoTest, ScheduleRoundTrip) {
+  Schedule s(3);
+  s.Assign(0, 4);
+  s.Assign(2, 0);
+  std::ostringstream out;
+  WriteScheduleCsv(s, out);
+  std::string error;
+  const auto parsed = ReadScheduleCsv(out.str(), 3, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->round_of(0), 4);
+  EXPECT_FALSE(parsed->IsAssigned(1));
+  EXPECT_EQ(parsed->round_of(2), 0);
+}
+
+TEST(TraceIoTest, ScheduleRejectsOutOfRangeId) {
+  std::string error;
+  EXPECT_FALSE(ReadScheduleCsv("flow_id,round\n9,0\n", 3, &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -1,0 +1,99 @@
+#include "core/online/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/adversarial.h"
+#include "workload/poisson.h"
+
+namespace flowsched {
+namespace {
+
+TEST(SimulatorTest, EmptyInstanceFinishesImmediately) {
+  Instance instance(SwitchSpec::Uniform(2, 2), {});
+  auto policy = MakePolicy("fifo");
+  const SimulationResult r = Simulate(instance, *policy);
+  EXPECT_EQ(r.realized.num_flows(), 0);
+  EXPECT_EQ(r.rounds, 0);
+}
+
+TEST(SimulatorTest, RealizedInstanceMatchesInput) {
+  PoissonConfig cfg;
+  cfg.num_inputs = cfg.num_outputs = 4;
+  cfg.mean_arrivals_per_round = 3.0;
+  cfg.num_rounds = 5;
+  cfg.seed = 17;
+  const Instance instance = GeneratePoisson(cfg);
+  auto policy = MakePolicy("maxweight");
+  const SimulationResult r = Simulate(instance, *policy);
+  ASSERT_EQ(r.realized.num_flows(), instance.num_flows());
+  // Releases and endpoints survive the replay (ids may be re-ordered only
+  // within a round; GeneratePoisson emits in release order already).
+  for (int e = 0; e < instance.num_flows(); ++e) {
+    EXPECT_EQ(r.realized.flow(e).src, instance.flow(e).src);
+    EXPECT_EQ(r.realized.flow(e).dst, instance.flow(e).dst);
+    EXPECT_EQ(r.realized.flow(e).release, instance.flow(e).release);
+  }
+}
+
+TEST(SimulatorTest, BacklogTraceRecordsQueue) {
+  Instance instance(SwitchSpec::Uniform(1, 1), {});
+  for (int i = 0; i < 3; ++i) instance.AddFlow(0, 0, 1, 0);
+  auto policy = MakePolicy("fifo");
+  SimulationOptions options;
+  options.record_backlog = true;
+  const SimulationResult r = Simulate(instance, *policy, options);
+  // One flow per round: backlog 2, 1, 0.
+  EXPECT_EQ(r.backlog_trace, (std::vector<int>{2, 1, 0}));
+  EXPECT_DOUBLE_EQ(r.metrics.max_response, 3.0);
+}
+
+TEST(SimulatorTest, AdaptiveArtAdversaryRuns) {
+  ArtLowerBoundAdversary adversary(/*phase_rounds=*/5, /*total_rounds=*/30);
+  auto policy = MakePolicy("maxcard");
+  const SimulationResult r =
+      Simulate(ArtLowerBoundAdversary::Switch(), adversary, *policy);
+  EXPECT_EQ(r.realized.num_flows(), adversary.num_flows());
+  // The backlogged side is forced to wait for the stream: total response
+  // far above the offline bound.
+  EXPECT_GT(r.metrics.total_response, adversary.OfflineTotalResponse());
+}
+
+TEST(SimulatorTest, MaxRoundsGuardTriggersOnIdlePolicy) {
+  // A policy that never schedules anything must hit the guard.
+  class IdlePolicy : public SchedulingPolicy {
+   public:
+    std::string_view name() const override { return "idle"; }
+    std::vector<int> SelectFlows(const SwitchSpec&, Round,
+                                 std::span<const PendingFlow>) override {
+      return {};
+    }
+  };
+  Instance instance(SwitchSpec::Uniform(1, 1), {});
+  instance.AddFlow(0, 0);
+  IdlePolicy policy;
+  SimulationOptions options;
+  options.max_rounds = 50;
+  EXPECT_DEATH(Simulate(instance, policy, options), "max_rounds");
+}
+
+TEST(SimulatorTest, MisbehavingPolicyCaught) {
+  // Overloading a port must be rejected by the validator.
+  class OverloadPolicy : public SchedulingPolicy {
+   public:
+    std::string_view name() const override { return "overload"; }
+    std::vector<int> SelectFlows(const SwitchSpec&, Round,
+                                 std::span<const PendingFlow> pending) override {
+      std::vector<int> all(pending.size());
+      for (std::size_t i = 0; i < pending.size(); ++i) all[i] = static_cast<int>(i);
+      return all;
+    }
+  };
+  Instance instance(SwitchSpec::Uniform(1, 1), {});
+  instance.AddFlow(0, 0);
+  instance.AddFlow(0, 0);
+  OverloadPolicy policy;
+  EXPECT_DEATH(Simulate(instance, policy), "overloaded");
+}
+
+}  // namespace
+}  // namespace flowsched

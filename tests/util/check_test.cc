@@ -1,0 +1,24 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace flowsched {
+namespace {
+
+TEST(CheckTest, PassingChecksDoNothing) {
+  FS_CHECK(true);
+  FS_CHECK_EQ(1, 1);
+  FS_CHECK_LE(1, 2);
+  FS_CHECK_GE(2.0, 2.0);
+  FS_CHECK_NE("a", std::string("b"));
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(FS_CHECK(false), "CHECK failed");
+  EXPECT_DEATH(FS_CHECK_EQ(1, 2), "1 == 2");
+  EXPECT_DEATH(FS_CHECK_MSG(false, "context " << 42), "context 42");
+}
+
+}  // namespace
+}  // namespace flowsched

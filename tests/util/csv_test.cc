@@ -1,0 +1,49 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace flowsched {
+namespace {
+
+TEST(CsvTest, WritesSimpleRows) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.Row("a", 1, 2.5);
+  w.Row("b", -3, 0.0);
+  EXPECT_EQ(out.str(), "a,1,2.5\nb,-3,0\n");
+}
+
+TEST(CsvTest, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.Row("has,comma", "has\"quote", "plain");
+  EXPECT_EQ(out.str(), "\"has,comma\",\"has\"\"quote\",plain\n");
+}
+
+TEST(CsvTest, RoundTripsQuotedContent) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.Row("x,y", "line\nbreak", "q\"q");
+  const auto rows = ParseCsv(out.str());
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 3u);
+  EXPECT_EQ(rows[0][0], "x,y");
+  EXPECT_EQ(rows[0][1], "line\nbreak");
+  EXPECT_EQ(rows[0][2], "q\"q");
+}
+
+TEST(CsvTest, ParsesMultipleRowsAndEmptyFields) {
+  const auto rows = ParseCsv("a,,c\r\n1,2,3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvTest, ParseEmptyContent) {
+  EXPECT_TRUE(ParseCsv("").empty());
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -1,0 +1,99 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace flowsched {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const int v = rng.UniformInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::vector<int> hits(4, 0);
+  for (int i = 0; i < 4000; ++i) ++hits[rng.UniformInt(0, 3)];
+  for (int h : hits) EXPECT_GT(h, 800);  // Expect ~1000 each.
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.UniformReal();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, PoissonMeanMatchesSmallMean) {
+  Rng rng(5);
+  const double mean = 4.0;
+  long total = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) total += rng.Poisson(mean);
+  EXPECT_NEAR(static_cast<double>(total) / trials, mean, 0.1);
+}
+
+TEST(RngTest, PoissonMeanMatchesLargeMean) {
+  Rng rng(6);
+  const double mean = 600.0;  // Exercises the normal-approximation branch.
+  long total = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) total += rng.Poisson(mean);
+  EXPECT_NEAR(static_cast<double>(total) / trials, mean, 3.0);
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(8);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, TruncatedGeometricStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    const int v = rng.TruncatedGeometric(0.5, 8);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 8);
+  }
+}
+
+TEST(RngTest, ForkStreamsAreIndependentAndDeterministic) {
+  Rng base(13);
+  Rng s1 = base.Fork(1);
+  Rng s2 = base.Fork(2);
+  Rng s1_again = Rng(13).Fork(1);
+  EXPECT_NE(s1.NextU64(), s2.NextU64());
+  EXPECT_EQ(Rng(13).Fork(1).NextU64(), s1_again.NextU64());
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -1,0 +1,40 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace flowsched {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "v"});
+  t.Row("x", 1);
+  t.Row("longer", 23);
+  std::ostringstream out;
+  t.Print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // All rows have equal rendered width.
+  std::istringstream in(s);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    if (width == 0) width = line.size();
+  }
+  EXPECT_GT(width, 0u);
+}
+
+TEST(TextTableTest, FormatsDoublesWithFixedPrecision) {
+  EXPECT_EQ(TextTable::Format(1.5), "1.500");
+  EXPECT_EQ(TextTable::Format(2.0), "2.000");
+}
+
+TEST(TextTableDeathTest, RejectsWrongArity) {
+  TextTable t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace flowsched

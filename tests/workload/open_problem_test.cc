@@ -1,0 +1,69 @@
+// Tests for the §6 open-problem instance generator.
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "workload/patterns.h"
+
+namespace flowsched {
+namespace {
+
+TEST(OpenProblemInstanceTest, IntervalDegreeExcessAtMostOne) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const Instance instance = OpenProblemInstance(6, 12, 6, rng);
+    EXPECT_FALSE(instance.ValidationError().has_value());
+    EXPECT_LE(MaxIntervalDegreeExcess(instance), 1);
+    // m*T matching flows plus the extras.
+    EXPECT_EQ(instance.num_flows(), 6 * 12 + 6);
+  }
+}
+
+TEST(OpenProblemInstanceTest, NoExtrasMeansPerfectlySchedulable) {
+  Rng rng(3);
+  const Instance instance = OpenProblemInstance(4, 6, /*extra_edges=*/0, rng);
+  EXPECT_EQ(MaxIntervalDegreeExcess(instance), 0);
+  // Each round is a matching: everything runs on release (rho = 1).
+  const auto rho = ExactMinMaxResponse(instance, 3);
+  ASSERT_TRUE(rho.has_value());
+  EXPECT_EQ(*rho, 1);
+}
+
+TEST(OpenProblemInstanceTest, PlusOneAugmentationGivesResponseOne) {
+  // The paper: "all the requests can be satisfied with response time of 1,
+  // assuming an absolutely minimal resource augmentation (of plus 1)".
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(100 + seed);
+    const Instance base = OpenProblemInstance(4, 5, 4, rng);
+    const Instance augmented(
+        AugmentSwitch(base.sw(), CapacityAllowance::Additive(1)),
+        std::vector<Flow>(base.flows()));
+    const auto schedule = ExactMrtFeasible(augmented, 1);
+    EXPECT_TRUE(schedule.has_value()) << "seed " << seed;
+  }
+}
+
+TEST(OpenProblemInstanceTest, WithoutAugmentationNeedsSmallConstant) {
+  // The open question is whether a constant suffices; on small instances
+  // the exact optimum stays tiny.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(200 + seed);
+    const Instance instance = OpenProblemInstance(3, 4, 3, rng);
+    const auto rho = ExactMinMaxResponse(instance, instance.SafeHorizon());
+    ASSERT_TRUE(rho.has_value());
+    EXPECT_LE(*rho, 4) << "seed " << seed;
+  }
+}
+
+TEST(MaxIntervalDegreeExcessTest, HandComputed) {
+  Instance instance(SwitchSpec::Uniform(2, 2), {});
+  // Port 0 requested twice in round 0 and twice in round 1: excess over
+  // [0,1] = 4 - 2 = 2.
+  instance.AddFlow(0, 0, 1, 0);
+  instance.AddFlow(0, 1, 1, 0);
+  instance.AddFlow(0, 0, 1, 1);
+  instance.AddFlow(0, 1, 1, 1);
+  EXPECT_EQ(MaxIntervalDegreeExcess(instance), 2);
+}
+
+}  // namespace
+}  // namespace flowsched

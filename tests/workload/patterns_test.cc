@@ -1,0 +1,62 @@
+#include "workload/patterns.h"
+
+#include <gtest/gtest.h>
+
+namespace flowsched {
+namespace {
+
+TEST(PatternsTest, IncastStructure) {
+  Instance instance(SwitchSpec::Uniform(8, 8), {});
+  AddIncast(instance, /*sink=*/3, /*fan_in=*/5, /*release=*/2);
+  EXPECT_EQ(instance.num_flows(), 5);
+  for (const Flow& e : instance.flows()) {
+    EXPECT_EQ(e.dst, 3);
+    EXPECT_EQ(e.release, 2);
+  }
+  EXPECT_FALSE(instance.ValidationError().has_value());
+}
+
+TEST(PatternsTest, ShuffleIsAllToAll) {
+  Instance instance(SwitchSpec::Uniform(4, 4), {});
+  AddShuffle(instance, 3, 2, 0);
+  EXPECT_EQ(instance.num_flows(), 6);
+  std::vector<std::vector<int>> seen(3, std::vector<int>(2, 0));
+  for (const Flow& e : instance.flows()) ++seen[e.src][e.dst];
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 2; ++j) EXPECT_EQ(seen[i][j], 1);
+  }
+}
+
+TEST(PatternsTest, PermutationHasDistinctPorts) {
+  Instance instance(SwitchSpec::Uniform(6, 6), {});
+  Rng rng(3);
+  AddPermutation(instance, 1, rng);
+  EXPECT_EQ(instance.num_flows(), 6);
+  std::vector<int> out_used(6, 0);
+  for (const Flow& e : instance.flows()) {
+    EXPECT_EQ(e.release, 1);
+    ++out_used[e.dst];
+  }
+  for (int c : out_used) EXPECT_EQ(c, 1);
+}
+
+TEST(PatternsTest, PermutationOnRectangularSwitch) {
+  Instance instance(SwitchSpec::Uniform(3, 7), {});
+  Rng rng(4);
+  AddPermutation(instance, 0, rng);
+  EXPECT_EQ(instance.num_flows(), 3);
+  std::vector<int> out_used(7, 0);
+  for (const Flow& e : instance.flows()) ++out_used[e.dst];
+  for (int c : out_used) EXPECT_LE(c, 1);
+}
+
+TEST(PatternsTest, ShuffleWaves) {
+  const Instance instance = ShuffleWaves(/*num_ports=*/4, /*wave_size=*/2,
+                                         /*num_waves=*/3, /*period=*/5);
+  EXPECT_EQ(instance.num_flows(), 3 * 4);
+  EXPECT_EQ(instance.MaxRelease(), 10);
+  EXPECT_FALSE(instance.ValidationError().has_value());
+}
+
+}  // namespace
+}  // namespace flowsched

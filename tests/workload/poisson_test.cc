@@ -1,0 +1,87 @@
+#include "workload/poisson.h"
+
+#include <gtest/gtest.h>
+
+namespace flowsched {
+namespace {
+
+TEST(PoissonWorkloadTest, DeterministicForSeed) {
+  PoissonConfig cfg;
+  cfg.num_inputs = cfg.num_outputs = 10;
+  cfg.mean_arrivals_per_round = 5.0;
+  cfg.num_rounds = 6;
+  cfg.seed = 42;
+  const Instance a = GeneratePoisson(cfg);
+  const Instance b = GeneratePoisson(cfg);
+  ASSERT_EQ(a.num_flows(), b.num_flows());
+  for (int i = 0; i < a.num_flows(); ++i) EXPECT_EQ(a.flow(i), b.flow(i));
+}
+
+TEST(PoissonWorkloadTest, ArrivalCountNearMeanTimesRounds) {
+  PoissonConfig cfg;
+  cfg.num_inputs = cfg.num_outputs = 20;
+  cfg.mean_arrivals_per_round = 30.0;
+  cfg.num_rounds = 100;
+  cfg.seed = 7;
+  const Instance instance = GeneratePoisson(cfg);
+  // Expect ~3000 flows; Poisson sd is ~55, allow 6 sigma.
+  EXPECT_NEAR(instance.num_flows(), 3000, 350);
+}
+
+TEST(PoissonWorkloadTest, ReleasesWithinRangeAndPortsValid) {
+  PoissonConfig cfg;
+  cfg.num_inputs = 4;
+  cfg.num_outputs = 6;
+  cfg.mean_arrivals_per_round = 3.0;
+  cfg.num_rounds = 5;
+  cfg.seed = 3;
+  const Instance instance = GeneratePoisson(cfg);
+  EXPECT_FALSE(instance.ValidationError().has_value());
+  for (const Flow& e : instance.flows()) {
+    EXPECT_GE(e.release, 0);
+    EXPECT_LT(e.release, 5);
+    EXPECT_LT(e.src, 4);
+    EXPECT_LT(e.dst, 6);
+    EXPECT_EQ(e.demand, 1);
+  }
+}
+
+TEST(PoissonWorkloadTest, GeneralDemandsRespectKappa) {
+  PoissonConfig cfg;
+  cfg.num_inputs = cfg.num_outputs = 5;
+  cfg.port_capacity = 4;
+  cfg.max_demand = 8;  // Clamped to kappa = 4.
+  cfg.mean_arrivals_per_round = 10.0;
+  cfg.num_rounds = 4;
+  cfg.seed = 11;
+  const Instance instance = GeneratePoisson(cfg);
+  EXPECT_FALSE(instance.ValidationError().has_value());
+  bool saw_above_one = false;
+  for (const Flow& e : instance.flows()) {
+    EXPECT_LE(e.demand, 4);
+    if (e.demand > 1) saw_above_one = true;
+  }
+  EXPECT_TRUE(saw_above_one);
+}
+
+TEST(PoissonWorkloadTest, PortsCoverTheSwitch) {
+  PoissonConfig cfg;
+  cfg.num_inputs = cfg.num_outputs = 8;
+  cfg.mean_arrivals_per_round = 100.0;
+  cfg.num_rounds = 10;
+  cfg.seed = 13;
+  const Instance instance = GeneratePoisson(cfg);
+  std::vector<int> in_hits(8, 0);
+  std::vector<int> out_hits(8, 0);
+  for (const Flow& e : instance.flows()) {
+    ++in_hits[e.src];
+    ++out_hits[e.dst];
+  }
+  for (int p = 0; p < 8; ++p) {
+    EXPECT_GT(in_hits[p], 0);
+    EXPECT_GT(out_hits[p], 0);
+  }
+}
+
+}  // namespace
+}  // namespace flowsched

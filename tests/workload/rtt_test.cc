@@ -1,0 +1,97 @@
+#include "workload/rtt.h"
+
+#include <gtest/gtest.h>
+
+namespace flowsched {
+namespace {
+
+RttInstance FeasibleRtt() {
+  // Two teachers, three classes; plainly satisfiable.
+  RttInstance rtt;
+  rtt.num_teachers = 2;
+  rtt.num_classes = 3;
+  rtt.available = {{0, 1}, {0, 1, 2}};
+  rtt.classes = {{0, 1}, {0, 1, 2}};
+  return rtt;
+}
+
+TEST(RttTest, ValidityChecks) {
+  EXPECT_TRUE(FeasibleRtt().Valid());
+  RttInstance bad = FeasibleRtt();
+  bad.classes[0] = {0};  // Size mismatch with available.
+  EXPECT_FALSE(bad.Valid());
+  RttInstance bad2 = FeasibleRtt();
+  bad2.available[0] = {0, 4};
+  EXPECT_FALSE(bad2.Valid());
+  RttInstance bad3 = FeasibleRtt();
+  bad3.classes[1] = {0, 0, 1};  // Duplicate class.
+  EXPECT_FALSE(bad3.Valid());
+}
+
+TEST(RttTest, FeasibleInstanceIsFeasible) {
+  // Teacher 0 can take class 0 at hour 0 and class 1 at hour 1; teacher 1
+  // then fits (e.g. 1@0, 0@1, 2@2 ... some permutation works).
+  EXPECT_TRUE(RttFeasible(FeasibleRtt()));
+}
+
+TEST(RttTest, InfeasibleInstanceDetected) {
+  // Three teachers all restricted to hours {0,1} and all teaching classes
+  // {0,1}: class 0 needs three distinct (hour) slots but only 2 exist.
+  RttInstance rtt;
+  rtt.num_teachers = 3;
+  rtt.num_classes = 3;
+  rtt.available = {{0, 1}, {0, 1}, {0, 1}};
+  rtt.classes = {{0, 1}, {0, 1}, {0, 1}};
+  EXPECT_TRUE(rtt.Valid());
+  EXPECT_FALSE(RttFeasible(rtt));
+}
+
+TEST(RttTest, RandomInstancesAreValid) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    Rng r = rng.Fork(i);
+    const RttInstance rtt = RandomRtt(3, 4, r);
+    EXPECT_TRUE(rtt.Valid());
+  }
+}
+
+TEST(RttReductionTest, StructureMatchesConstruction) {
+  RttInstance rtt;
+  rtt.num_teachers = 2;
+  rtt.num_classes = 3;
+  rtt.available = {{0, 2}, {1, 2}};  // Teacher 0 needs the {0,2} gadget.
+  rtt.classes = {{0, 2}, {1, 2}};
+  const RttReduction red = ReduceRttToFsMrt(rtt);
+  const Instance& instance = red.instance;
+  EXPECT_FALSE(instance.ValidationError().has_value());
+  // Inputs: 2 teachers + 9 class blockers + 3 gadget blockers.
+  EXPECT_EQ(instance.sw().num_inputs(), 2 + 9 + 3);
+  // Outputs: 3 classes + 1 gadget.
+  EXPECT_EQ(instance.sw().num_outputs(), 3 + 1);
+  // Teaching flows released at min(T_i).
+  ASSERT_EQ(red.teaching_flow.size(), 2u);
+  for (FlowId f : red.teaching_flow[0]) {
+    EXPECT_EQ(instance.flow(f).release, 0);
+    EXPECT_EQ(instance.flow(f).src, 0);
+  }
+  for (FlowId f : red.teaching_flow[1]) {
+    EXPECT_EQ(instance.flow(f).release, 1);
+  }
+  // Flow count: teaching (4) + class blockers (9) + gadget (1 pin + 3).
+  EXPECT_EQ(instance.num_flows(), 4 + 9 + 4);
+}
+
+TEST(RttReductionTest, NoGadgetsWhenHoursAreSuffix) {
+  RttInstance rtt;
+  rtt.num_teachers = 2;
+  rtt.num_classes = 3;
+  rtt.available = {{1, 2}, {0, 1, 2}};
+  rtt.classes = {{0, 1}, {0, 1, 2}};
+  const RttReduction red = ReduceRttToFsMrt(rtt);
+  // No {0,1}/{0,2} teachers: inputs = 2 + 9, outputs = 3.
+  EXPECT_EQ(red.instance.sw().num_inputs(), 11);
+  EXPECT_EQ(red.instance.sw().num_outputs(), 3);
+}
+
+}  // namespace
+}  // namespace flowsched
