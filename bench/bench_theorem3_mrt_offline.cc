@@ -1,14 +1,15 @@
 // Theorem 3 validation: optimal max response with additive augmentation
-// 2*dmax - 1.
+// 2*dmax - 1, driven through the Solver facade ("mrt.theorem3").
 //
 // Sweeps the maximum demand dmax and the load, reporting: the LP's minimum
-// feasible rho (a lower bound on the true optimum), the rounded schedule's
-// max response (always == rho_lp), the measured capacity violation against
-// the theorem bound 2*dmax - 1, and the rounder's internals.
+// feasible rho (the report's lower_bound), the rounded schedule's max
+// response (always == rho_lp), the measured capacity violation against the
+// theorem bound 2*dmax - 1, and the rounder's internals — all read from the
+// report's diagnostics map.
 #include <iostream>
 
+#include "api/registry.h"
 #include "bench_common.h"
-#include "core/mrt_scheduler.h"
 
 namespace flowsched::bench {
 namespace {
@@ -22,24 +23,27 @@ void Run() {
   const int ports = 6;
   const int rounds = bs == BenchScale::kFull ? 10 : 6;
   const int trials = bs == BenchScale::kFull ? 5 : 3;
+  const SolverRegistry& registry = SolverRegistry::Global();
 
   auto file = OpenCsv("theorem3_mrt");
   CsvWriter csv(file);
   csv.Row("dmax", "load", "n", "rho_lp", "achieved_max", "violation", "bound",
-          "hard_drops", "lp_solves", "probes");
+          "hard_drops", "lp_solves", "probes", "wall_ms");
 
   PrintHeader("Theorem 3: optimal rho with +(2*dmax-1) capacity",
               "violation column must stay <= bound (no hard drops expected)");
   TextTable table({"dmax", "load", "n", "rho_LP", "achieved", "violation",
-                   "bound", "hard_drops", "lp_solves", "probes"});
+                   "bound", "hard_drops", "lp_solves", "probes", "wall_ms"});
   for (const Capacity dmax : dmaxes) {
     for (const double load : loads) {
       RunningStats rho_stats;
+      RunningStats achieved_stats;
       RunningStats violation_stats;
       long hard_drops = 0;
       long lp_solves = 0;
       long probes = 0;
       int n_total = 0;
+      double wall_ms = 0.0;
       for (int trial = 0; trial < trials; ++trial) {
         PoissonConfig cfg;
         cfg.num_inputs = cfg.num_outputs = ports;
@@ -53,24 +57,31 @@ void Run() {
         cfg.seed = 3000 + 71 * trial;
         const Instance instance = GeneratePoisson(cfg);
         if (instance.num_flows() == 0) continue;
-        const MrtSchedulerResult r = MinimizeMaxResponse(instance);
-        rho_stats.Add(static_cast<double>(r.rho_lp));
-        violation_stats.Add(
-            static_cast<double>(r.rounding_report.max_violation));
-        hard_drops += r.rounding_report.hard_drops;
-        lp_solves += r.rounding_report.lp_solves;
-        probes += r.binary_search_probes;
+        const SolveReport r = registry.Solve("mrt.theorem3", instance);
+        if (!r.ok) {
+          std::cerr << "mrt.theorem3 failed: " << r.error << "\n";
+          continue;
+        }
+        rho_stats.Add(*r.lower_bound);
+        achieved_stats.Add(r.metrics.max_response);
+        violation_stats.Add(r.diagnostics.at("max_violation"));
+        hard_drops += static_cast<long>(r.diagnostics.at("hard_drops"));
+        lp_solves += static_cast<long>(r.diagnostics.at("lp_solves"));
+        probes +=
+            static_cast<long>(r.diagnostics.at("binary_search_probes"));
         n_total += instance.num_flows();
+        wall_ms += r.wall_seconds * 1e3;
       }
       const Capacity bound = 2 * dmax - 1;
       table.Row(static_cast<long long>(dmax), load, n_total / trials,
-                rho_stats.mean(), rho_stats.mean(), violation_stats.max(),
-                static_cast<long long>(bound), hard_drops,
-                lp_solves / trials, probes / trials);
+                rho_stats.mean(), achieved_stats.mean(),
+                violation_stats.max(), static_cast<long long>(bound),
+                hard_drops, lp_solves / trials, probes / trials,
+                wall_ms / trials);
       csv.Row(static_cast<long long>(dmax), load, n_total / trials,
-              rho_stats.mean(), rho_stats.mean(), violation_stats.max(),
+              rho_stats.mean(), achieved_stats.mean(), violation_stats.max(),
               static_cast<long long>(bound), hard_drops, lp_solves / trials,
-              probes / trials);
+              probes / trials, wall_ms / trials);
     }
   }
   table.Print(std::cout);

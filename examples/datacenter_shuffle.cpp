@@ -9,8 +9,7 @@
 // Run: ./build/examples/datacenter_shuffle
 #include <iostream>
 
-#include "core/online/simulator.h"
-#include "util/rng.h"
+#include "api/registry.h"
 #include "util/table.h"
 #include "workload/patterns.h"
 #include "workload/poisson.h"
@@ -37,17 +36,23 @@ int main() {
   std::cout << "workload: " << instance.num_flows() << " flows over "
             << kPorts << "x" << kPorts << " switch\n\n";
 
+  const SolverRegistry& registry = SolverRegistry::Global();
+  SolveOptions options;
+  options.params["record_backlog"] = "1";
   TextTable table({"policy", "avg_response", "p95", "p99", "max_response",
-                   "makespan", "rounds_simulated"});
+                   "makespan", "rounds_simulated", "max_backlog"});
   for (const std::string& name :
-       {"maxcard", "minrtime", "maxweight", "fifo", "srpt", "hybrid"}) {
-    auto policy = MakePolicy(name);
-    SimulationOptions options;
-    options.record_backlog = true;
-    const SimulationResult r = Simulate(instance, *policy, options);
+       {"online.maxcard", "online.minrtime", "online.maxweight",
+        "online.fifo", "online.srpt", "online.hybrid"}) {
+    const SolveReport r = registry.Solve(name, instance, options);
+    if (!r.ok) {
+      std::cerr << name << " failed: " << r.error << "\n";
+      continue;
+    }
     table.Row(name, r.metrics.avg_response, r.metrics.p95_response,
               r.metrics.p99_response, r.metrics.max_response,
-              r.metrics.makespan, r.rounds);
+              r.metrics.makespan, r.diagnostics.at("rounds_simulated"),
+              r.diagnostics.at("max_backlog"));
   }
   table.Print(std::cout);
 

@@ -9,9 +9,26 @@
 //
 // Run: ./build/examples/deadline_planner
 #include <iostream>
+#include <string>
+#include <vector>
 
-#include "core/mrt_scheduler.h"
+#include "api/registry.h"
 #include "util/table.h"
+
+namespace {
+
+// The "mrt.deadline" solver takes per-flow deadlines as a comma-joined
+// parameter string (one entry per flow id).
+std::string JoinDeadlines(const std::vector<flowsched::Round>& deadlines) {
+  std::string joined;
+  for (flowsched::Round d : deadlines) {
+    if (!joined.empty()) joined += ",";
+    joined += std::to_string(d);
+  }
+  return joined;
+}
+
+}  // namespace
 
 int main() {
   using namespace flowsched;
@@ -43,29 +60,34 @@ int main() {
   add("warmup_b", 6, 1, 1, 4, 5);
   add("warmup_c", 7, 2, 1, 5, 6);
 
-  const auto plan = ScheduleWithDeadlines(instance, deadline);
-  if (!plan.has_value()) {
-    std::cout << "plan infeasible: no schedule (even with augmentation) can "
-                 "meet all deadlines\n";
+  const SolverRegistry& registry = SolverRegistry::Global();
+  SolveOptions options;
+  options.params["deadlines"] = JoinDeadlines(deadline);
+  const SolveReport plan = registry.Solve("mrt.deadline", instance, options);
+  if (!plan.ok) {
+    std::cout << "plan infeasible: " << plan.error << "\n";
     return 1;
   }
   TextTable table({"transfer", "demand", "release", "deadline", "round",
                    "slack"});
   for (const Flow& e : instance.flows()) {
-    const Round t = plan->schedule.round_of(e.id);
+    const Round t = plan.schedule.round_of(e.id);
     table.Row(label[e.id], static_cast<long long>(e.demand), e.release,
               deadline[e.id], t, deadline[e.id] - t);
   }
   table.Print(std::cout);
   std::cout << "\nall " << instance.num_flows()
             << " transfers meet their deadlines; max port overload used: +"
-            << plan->rounding_report.max_violation << " (theorem budget +"
-            << plan->rounding_report.bound << ")\n";
+            << plan.diagnostics.at("max_violation") << " (theorem budget +"
+            << plan.diagnostics.at("violation_bound") << "), solved in "
+            << plan.wall_seconds * 1e3 << " ms\n";
 
   // Tighten the warmup deadlines until the plan breaks, to show detection.
   std::vector<Round> too_tight = deadline;
   for (int i = 0; i < 6; ++i) too_tight[i] = 1;  // All backups in 2 rounds.
-  if (!ScheduleWithDeadlines(instance, too_tight).has_value()) {
+  SolveOptions tight_options;
+  tight_options.params["deadlines"] = JoinDeadlines(too_tight);
+  if (!registry.Solve("mrt.deadline", instance, tight_options).ok) {
     std::cout << "tightened plan correctly reported infeasible (6 demand-4 "
                  "backups cannot cross a capacity-4 port in 2 rounds)\n";
   }

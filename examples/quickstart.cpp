@@ -1,16 +1,15 @@
 // Quickstart: the five-minute tour of the flowsched public API.
 //
 //   1. Describe the switch and the flow requests (model/).
-//   2. Run an online scheduling policy round by round (core/online/).
-//   3. Compute an offline near-optimal schedule and an LP lower bound.
+//   2. Pick schedulers by name from the SolverRegistry (api/).
+//   3. Compare an online policy against the offline theorems through the
+//      one uniform entry point: Solve(instance, options) -> SolveReport.
 //   4. Validate and inspect metrics.
 //
 // Build & run:  ./build/examples/quickstart
 #include <iostream>
 
-#include "core/art_lp.h"
-#include "core/mrt_scheduler.h"
-#include "core/online/simulator.h"
+#include "api/registry.h"
 #include "util/table.h"
 
 int main() {
@@ -32,23 +31,37 @@ int main() {
     return 1;
   }
 
+  const SolverRegistry& registry = SolverRegistry::Global();
+
   // --- Online: the paper's MaxWeight heuristic (§5.2.1). ---------------
-  auto policy = MakePolicy("maxweight");
-  const SimulationResult online = Simulate(instance, *policy);
+  const SolveReport online = registry.Solve("online.maxweight", instance);
+  if (!online.ok) {
+    std::cerr << "online.maxweight failed: " << online.error << "\n";
+    return 1;
+  }
   std::cout << "MaxWeight online:  avg response = "
             << online.metrics.avg_response
             << ", max response = " << online.metrics.max_response << "\n";
 
-  // --- Offline: optimal max response with +1 port capacity (Theorem 3).
-  const MrtSchedulerResult offline = MinimizeMaxResponse(instance);
-  std::cout << "Offline Theorem 3: rho* = " << offline.rho_lp
+  // --- Offline: optimal max response with augmented capacity (Theorem 3).
+  // The report's lower_bound is rho*: no schedule at base capacities beats
+  // it, and the returned schedule achieves it under `allowance`.
+  const SolveReport offline = registry.Solve("mrt.theorem3", instance);
+  if (!offline.ok) {
+    std::cerr << "mrt.theorem3 failed: " << offline.error << "\n";
+    return 1;
+  }
+  std::cout << "Offline Theorem 3: rho* = " << *offline.lower_bound
             << " (augmentation used: +"
-            << offline.rounding_report.max_violation << " capacity)\n";
+            << offline.diagnostics.at("max_violation") << " capacity)\n";
 
-  // --- Lower bound: LP (1)-(4) on total response (Lemma 3.1). ----------
-  const ArtLpResult lp = SolveArtLp(instance);
-  std::cout << "LP lower bound on total response = "
-            << lp.total_fractional_response
+  // --- Lower bound on total response (Lemma 3.1, via Theorem 1's LP(0)).
+  const SolveReport art = registry.Solve("art.theorem1", instance);
+  if (!art.ok) {
+    std::cerr << "art.theorem1 failed: " << art.error << "\n";
+    return 1;
+  }
+  std::cout << "LP lower bound on total response = " << *art.lower_bound
             << " (online achieved " << online.metrics.total_response << ")\n";
 
   // --- Inspect the offline schedule. ------------------------------------
@@ -60,7 +73,8 @@ int main() {
   }
   table.Print(std::cout);
 
-  // Every schedule can be validated against any capacity allowance:
+  // Solve() already validated the schedule against report.allowance; any
+  // schedule can also be re-checked against a different allowance:
   const auto err = offline.schedule.ValidationError(
       instance, CapacityAllowance::Additive(1));
   std::cout << (err ? "schedule INVALID: " + *err : "schedule valid under +1")

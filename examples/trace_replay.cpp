@@ -1,68 +1,50 @@
-// Trace replay: schedule flow traces from CSV files and write the resulting
-// schedule back — the integration path for using flowsched with external
-// workload data.
+// Trace replay: schedule flow traces from CSV files (or inline generator
+// specs) and write the resulting schedule back — the integration path for
+// using flowsched with external workload data.
 //
 // Usage:
 //   ./build/examples/trace_replay                  (runs a built-in demo)
 //   ./build/examples/trace_replay trace.csv        (schedules your trace)
 //   ./build/examples/trace_replay trace.csv out.csv
+//   ./build/examples/trace_replay poisson:ports=16,load=1.25,rounds=12
 //
-// Trace format (see model/trace_io.h):
-//   input_capacities / <values> / output_capacities / <values> /
-//   src,dst,demand,release / one row per flow.
+// Trace format: see model/trace_io.h. Every "online.*" solver in the
+// registry competes; the best-by-average schedule is written out.
 #include <fstream>
 #include <iostream>
-#include <sstream>
 
-#include "core/online/simulator.h"
+#include "api/instance_source.h"
+#include "api/registry.h"
 #include "model/trace_io.h"
 #include "util/table.h"
-#include "workload/poisson.h"
-
-namespace {
-
-std::string ReadFile(const std::string& path) {
-  std::ifstream in(path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace flowsched;
 
-  Instance instance;
-  if (argc > 1) {
-    std::string error;
-    const auto parsed = ReadInstanceCsv(ReadFile(argv[1]), &error);
-    if (!parsed.has_value()) {
-      std::cerr << "failed to parse " << argv[1] << ": " << error << "\n";
-      return 1;
-    }
-    instance = *parsed;
-    std::cout << "loaded " << instance.num_flows() << " flows from " << argv[1]
-              << "\n";
-  } else {
-    PoissonConfig cfg;
-    cfg.num_inputs = cfg.num_outputs = 16;
-    cfg.mean_arrivals_per_round = 20.0;
-    cfg.num_rounds = 12;
-    cfg.seed = 4;
-    instance = GeneratePoisson(cfg);
-    std::cout << "no trace given; generated a demo workload ("
-              << instance.num_flows() << " flows on 16x16)\n";
+  const std::string source =
+      argc > 1 ? argv[1] : "poisson:ports=16,load=1.25,rounds=12,seed=4";
+  std::string error;
+  const auto instance = LoadInstance(source, &error);
+  if (!instance.has_value()) {
+    std::cerr << "failed to load " << source << ": " << error << "\n";
+    return 1;
   }
+  std::cout << "loaded " << instance->num_flows() << " flows from " << source
+            << "\n";
 
-  // Schedule with every policy; keep the best-by-average.
+  // Schedule with every registered online policy; keep the best-by-average.
+  const SolverRegistry& registry = SolverRegistry::Global();
   TextTable table({"policy", "avg_response", "max_response", "makespan"});
   std::string best_name;
   double best_avg = 0.0;
   Schedule best_schedule;
-  for (const std::string& name : AllPolicyNames()) {
-    auto policy = MakePolicy(name);
-    const SimulationResult r = Simulate(instance, *policy);
+  for (const std::string& name : registry.Names()) {
+    if (name.rfind("online.", 0) != 0) continue;
+    const SolveReport r = registry.Solve(name, *instance);
+    if (!r.ok) {
+      std::cerr << name << " failed: " << r.error << "\n";
+      continue;
+    }
     table.Row(name, r.metrics.avg_response, r.metrics.max_response,
               r.metrics.makespan);
     if (best_name.empty() || r.metrics.avg_response < best_avg) {
@@ -72,6 +54,10 @@ int main(int argc, char** argv) {
     }
   }
   table.Print(std::cout);
+  if (best_name.empty()) {
+    std::cerr << "no policy produced a schedule\n";
+    return 1;
+  }
 
   const std::string out_path = argc > 2 ? argv[2] : "trace_schedule.csv";
   std::ofstream out(out_path);

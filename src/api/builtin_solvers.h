@@ -1,0 +1,22 @@
+// Internal: registration hooks for the built-in solver adapters, split by
+// family (api/offline_solvers.cc, api/online_solvers.cc). Use
+// RegisterBuiltinSolvers (api/registry.h) from application code.
+#ifndef FLOWSCHED_API_BUILTIN_SOLVERS_H_
+#define FLOWSCHED_API_BUILTIN_SOLVERS_H_
+
+namespace flowsched {
+
+class SolverRegistry;
+
+namespace internal {
+
+// art.theorem1, art.exact, mrt.theorem3, mrt.exact, mrt.deadline.
+void RegisterOfflineSolvers(SolverRegistry& registry);
+
+// online.<policy> for every AllPolicyNames() entry.
+void RegisterOnlineSolvers(SolverRegistry& registry);
+
+}  // namespace internal
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_API_BUILTIN_SOLVERS_H_

@@ -1,0 +1,184 @@
+#include "api/instance_source.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "model/trace_io.h"
+#include "workload/adversarial.h"
+#include "workload/patterns.h"
+#include "workload/poisson.h"
+
+namespace flowsched {
+namespace {
+
+bool Fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+struct Spec {
+  std::string generator;
+  std::map<std::string, std::string> kv;
+};
+
+bool SplitSpec(const std::string& source, Spec& spec, std::string* error) {
+  const auto colon = source.find(':');
+  spec.generator = source.substr(0, colon);
+  if (colon == std::string::npos) return true;
+  std::stringstream rest(source.substr(colon + 1));
+  std::string pair;
+  while (std::getline(rest, pair, ',')) {
+    if (pair.empty()) continue;
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return Fail(error, "generator spec: expected key=value, got \"" + pair +
+                             "\"");
+    }
+    spec.kv[pair.substr(0, eq)] = pair.substr(eq + 1);
+  }
+  return true;
+}
+
+// Reads spec values with defaults; collects unknown-key / parse errors.
+class SpecReader {
+ public:
+  explicit SpecReader(const Spec& spec) : spec_(spec) {}
+
+  double Get(const std::string& key, double fallback) {
+    used_.push_back(key);
+    const auto it = spec_.kv.find(key);
+    if (it == spec_.kv.end()) return fallback;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == nullptr || *end != '\0' || end == it->second.c_str()) {
+      Error(key + ": unparsable value \"" + it->second + "\"");
+      return fallback;
+    }
+    return v;
+  }
+
+  long long GetInt(const std::string& key, long long fallback) {
+    used_.push_back(key);
+    const auto it = spec_.kv.find(key);
+    if (it == spec_.kv.end()) return fallback;
+    long long v = 0;
+    const char* first = it->second.data();
+    const char* last = first + it->second.size();
+    auto [ptr, ec] = std::from_chars(first, last, v);
+    if (ec != std::errc() || ptr != last) {
+      Error(key + ": unparsable value \"" + it->second + "\"");
+      return fallback;
+    }
+    return v;
+  }
+
+  // Call after all Get*(): flags keys the generator does not understand.
+  void CheckUnknown() {
+    for (const auto& [key, value] : spec_.kv) {
+      if (std::find(used_.begin(), used_.end(), key) == used_.end()) {
+        Error("unknown key \"" + key + "\" for generator " + spec_.generator);
+      }
+    }
+  }
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+ private:
+  void Error(const std::string& msg) {
+    if (!error_.empty()) error_ += "; ";
+    error_ += msg;
+  }
+
+  const Spec& spec_;
+  std::vector<std::string> used_;
+  std::string error_;
+};
+
+std::optional<Instance> Generate(const Spec& spec, std::string* error) {
+  SpecReader r(spec);
+  std::optional<Instance> result;
+  if (spec.generator == "poisson") {
+    PoissonConfig cfg;
+    cfg.num_inputs = cfg.num_outputs = static_cast<int>(r.GetInt("ports", 16));
+    cfg.port_capacity = r.GetInt("cap", 1);
+    cfg.mean_arrivals_per_round = r.Get("load", 1.0) * cfg.num_inputs;
+    cfg.num_rounds = static_cast<int>(r.GetInt("rounds", 10));
+    cfg.max_demand = r.GetInt("dmax", 1);
+    cfg.seed = static_cast<std::uint64_t>(r.GetInt("seed", 1));
+    if (r.ok()) result = GeneratePoisson(cfg);
+  } else if (spec.generator == "shuffle") {
+    const int ports = static_cast<int>(r.GetInt("ports", 16));
+    const int wave = static_cast<int>(r.GetInt("wave", 4));
+    const int waves = static_cast<int>(r.GetInt("waves", 3));
+    const int period = static_cast<int>(r.GetInt("period", 4));
+    if (r.ok()) result = ShuffleWaves(ports, wave, waves, period);
+  } else if (spec.generator == "incast") {
+    const int ports = static_cast<int>(r.GetInt("ports", 16));
+    const int fanin = static_cast<int>(r.GetInt("fanin", ports - 1));
+    const auto release = static_cast<Round>(r.GetInt("release", 0));
+    if (r.ok()) {
+      Instance instance(SwitchSpec::Uniform(ports, ports, 1), {});
+      AddIncast(instance, /*sink=*/ports - 1, fanin, release);
+      result = std::move(instance);
+    }
+  } else if (spec.generator == "fig4a") {
+    const int phase = static_cast<int>(r.GetInt("phase", 6));
+    const int total = static_cast<int>(r.GetInt("total", 30));
+    if (r.ok()) result = Fig4aInstance(phase, total);
+  } else if (spec.generator == "fig4b") {
+    result = Fig4bInstance();
+  } else {
+    Fail(error, "unknown generator \"" + spec.generator + "\"");
+    return std::nullopt;
+  }
+  r.CheckUnknown();
+  if (!r.ok()) {
+    Fail(error, r.error());
+    return std::nullopt;
+  }
+  if (auto verr = result->ValidationError()) {
+    Fail(error, "generated instance invalid: " + *verr);
+    return std::nullopt;
+  }
+  return result;
+}
+
+}  // namespace
+
+bool IsGeneratorSpec(const std::string& source) {
+  const std::string name = source.substr(0, source.find(':'));
+  return name == "poisson" || name == "shuffle" || name == "incast" ||
+         name == "fig4a" || name == "fig4b";
+}
+
+std::optional<Instance> LoadInstance(const std::string& source,
+                                     std::string* error) {
+  if (IsGeneratorSpec(source)) {
+    Spec spec;
+    if (!SplitSpec(source, spec, error)) return std::nullopt;
+    return Generate(spec, error);
+  }
+  std::ifstream in(source);
+  if (!in) {
+    Fail(error, "cannot open \"" + source +
+                    "\" (not a file, and not a known generator spec)");
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string parse_error;
+  auto instance = ReadInstanceCsv(buffer.str(), &parse_error);
+  if (!instance.has_value()) {
+    Fail(error, source + ": " + parse_error);
+    return std::nullopt;
+  }
+  return instance;
+}
+
+}  // namespace flowsched

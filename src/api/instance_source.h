@@ -1,0 +1,33 @@
+// Turns a --instance argument into an Instance: either a CSV trace path
+// (model/trace_io.h format) or an inline generator spec.
+//
+// Generator specs: "<name>" or "<name>:key=value,key=value,...".
+//   poisson   ports, cap, load (arrivals = load*ports), rounds, dmax, seed
+//   shuffle   ports, wave, waves, period        (workload ShuffleWaves)
+//   incast    ports, fanin, release             (single hotspot on the last
+//                                                output port)
+//   fig4a     phase, total                      (Lemma 5.1 lower-bound
+//                                                instance, wlog choice baked)
+//   fig4b     -                                 (Lemma 5.2 instance)
+// Anything that is not a known generator name is treated as a file path.
+#ifndef FLOWSCHED_API_INSTANCE_SOURCE_H_
+#define FLOWSCHED_API_INSTANCE_SOURCE_H_
+
+#include <optional>
+#include <string>
+
+#include "model/instance.h"
+
+namespace flowsched {
+
+// Loads from a generator spec or a CSV file; nullopt + *error on failure
+// (unknown generator key, malformed value, unreadable/unparsable file).
+std::optional<Instance> LoadInstance(const std::string& source,
+                                     std::string* error = nullptr);
+
+// True when `source` names a generator (vs. a file path).
+bool IsGeneratorSpec(const std::string& source);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_API_INSTANCE_SOURCE_H_

@@ -1,0 +1,72 @@
+#include "api/registry.h"
+
+#include <utility>
+
+#include "api/builtin_solvers.h"
+
+namespace flowsched {
+
+SolverRegistry& SolverRegistry::Global() {
+  static SolverRegistry* registry = [] {
+    auto* r = new SolverRegistry();
+    RegisterBuiltinSolvers(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void SolverRegistry::Register(std::string name, std::string description,
+                              SolverFactory factory) {
+  entries_[std::move(name)] = Entry{std::move(description),
+                                    std::move(factory)};
+}
+
+bool SolverRegistry::Contains(std::string_view name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+std::vector<std::string> SolverRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;  // std::map iterates sorted.
+}
+
+std::string SolverRegistry::Description(std::string_view name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? std::string() : it->second.description;
+}
+
+std::unique_ptr<Solver> SolverRegistry::Create(std::string_view name,
+                                               std::string* error) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    if (error != nullptr) {
+      *error = "unknown solver \"" + std::string(name) + "\"; registered:";
+      for (const auto& n : Names()) *error += " " + n;
+    }
+    return nullptr;
+  }
+  return it->second.factory();
+}
+
+SolveReport SolverRegistry::Solve(std::string_view name,
+                                  const Instance& instance,
+                                  const SolveOptions& options) const {
+  std::string error;
+  auto solver = Create(name, &error);
+  if (solver == nullptr) {
+    SolveReport report;
+    report.solver = std::string(name);
+    report.error = error;
+    return report;
+  }
+  return solver->Solve(instance, options);
+}
+
+void RegisterBuiltinSolvers(SolverRegistry& registry) {
+  internal::RegisterOfflineSolvers(registry);
+  internal::RegisterOnlineSolvers(registry);
+}
+
+}  // namespace flowsched

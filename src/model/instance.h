@@ -28,6 +28,12 @@ class Instance {
 
   // Returns an error message if the instance is malformed (port out of
   // range, demand < 1 or > kappa_e, negative release), nullopt when valid.
+  //
+  // Flows with src == dst are legal: inputs and outputs are separate index
+  // spaces of the bipartite switch (paper §2), so input port p and output
+  // port p are distinct physical ports — such a flow is a host sending to
+  // a same-numbered peer (shuffles routinely emit mapper i -> reducer i),
+  // not a self-loop that could bypass the switch.
   std::optional<std::string> ValidationError() const;
 
   // Aggregate properties used throughout the algorithms.

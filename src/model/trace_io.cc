@@ -27,12 +27,21 @@ bool Fail(std::string* error, const std::string& msg) {
   return false;
 }
 
+// 1-based line number of row index `i` (blank lines are skipped by
+// ParseCsv, so this is exact for files without them).
+std::string LineTag(std::size_t row_index) {
+  return "line " + std::to_string(row_index + 1) + ": ";
+}
+
 bool ParseCapacityRow(const std::vector<std::string>& row,
-                      std::vector<Capacity>& caps, std::string* error) {
+                      std::size_t row_index, std::vector<Capacity>& caps,
+                      std::string* error) {
   caps.clear();
   for (const auto& field : row) {
     std::int64_t v = 0;
-    if (!ParseInt64(field, v)) return Fail(error, "bad capacity: " + field);
+    if (!ParseInt64(field, v)) {
+      return Fail(error, LineTag(row_index) + "bad capacity: " + field);
+    }
     caps.push_back(v);
   }
   return true;
@@ -75,8 +84,8 @@ std::optional<Instance> ReadInstanceCsv(const std::string& content,
   }
   std::vector<Capacity> in_caps;
   std::vector<Capacity> out_caps;
-  if (!ParseCapacityRow(rows[1], in_caps, error)) return std::nullopt;
-  if (!ParseCapacityRow(rows[3], out_caps, error)) return std::nullopt;
+  if (!ParseCapacityRow(rows[1], 1, in_caps, error)) return std::nullopt;
+  if (!ParseCapacityRow(rows[3], 3, out_caps, error)) return std::nullopt;
   if (rows[4] != std::vector<std::string>{"src", "dst", "demand", "release"}) {
     Fail(error, "missing flow header row");
     return std::nullopt;
@@ -85,13 +94,14 @@ std::optional<Instance> ReadInstanceCsv(const std::string& content,
   for (std::size_t i = 5; i < rows.size(); ++i) {
     const auto& row = rows[i];
     if (row.size() != 4) {
-      Fail(error, "flow row with wrong field count");
+      Fail(error, LineTag(i) + "flow row has " + std::to_string(row.size()) +
+                      " fields, want 4 (src,dst,demand,release)");
       return std::nullopt;
     }
     Flow e;
     if (!ParseInt(row[0], e.src) || !ParseInt(row[1], e.dst) ||
         !ParseInt64(row[2], e.demand) || !ParseInt(row[3], e.release)) {
-      Fail(error, "unparsable flow row " + std::to_string(i));
+      Fail(error, LineTag(i) + "unparsable flow row");
       return std::nullopt;
     }
     flows.push_back(e);
@@ -126,11 +136,11 @@ std::optional<Schedule> ReadScheduleCsv(const std::string& content,
     int id = 0;
     int round = 0;
     if (row.size() != 2 || !ParseInt(row[0], id) || !ParseInt(row[1], round)) {
-      Fail(error, "unparsable schedule row " + std::to_string(i));
+      Fail(error, LineTag(i) + "unparsable schedule row");
       return std::nullopt;
     }
     if (id < 0 || id >= num_flows) {
-      Fail(error, "flow id out of range: " + row[0]);
+      Fail(error, LineTag(i) + "flow id out of range: " + row[0]);
       return std::nullopt;
     }
     if (round >= 0) schedule.Assign(id, round);

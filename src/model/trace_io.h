@@ -20,7 +20,9 @@ namespace flowsched {
 void WriteInstanceCsv(const Instance& instance, std::ostream& out);
 
 // Parses an instance written by WriteInstanceCsv. Returns nullopt and fills
-// `error` (if non-null) on malformed input.
+// `error` (if non-null) on malformed input; row-level errors carry the
+// 1-based line number (exact when the file has no blank lines, which the
+// parser skips).
 std::optional<Instance> ReadInstanceCsv(const std::string& content,
                                         std::string* error = nullptr);
 

@@ -1,0 +1,97 @@
+#include "api/instance_source.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "model/trace_io.h"
+#include "workload/adversarial.h"
+#include "workload/poisson.h"
+
+namespace flowsched {
+namespace {
+
+TEST(InstanceSourceTest, RecognizesGeneratorSpecs) {
+  EXPECT_TRUE(IsGeneratorSpec("poisson"));
+  EXPECT_TRUE(IsGeneratorSpec("poisson:ports=4,load=1.0"));
+  EXPECT_TRUE(IsGeneratorSpec("fig4b"));
+  EXPECT_FALSE(IsGeneratorSpec("trace.csv"));
+  EXPECT_FALSE(IsGeneratorSpec("/tmp/poisson.csv"));
+}
+
+TEST(InstanceSourceTest, PoissonSpecMatchesGeneratePoisson) {
+  const auto loaded =
+      LoadInstance("poisson:ports=6,load=1.5,rounds=4,seed=9,dmax=2,cap=4");
+  ASSERT_TRUE(loaded.has_value());
+
+  PoissonConfig cfg;
+  cfg.num_inputs = cfg.num_outputs = 6;
+  cfg.port_capacity = 4;
+  cfg.mean_arrivals_per_round = 1.5 * 6;
+  cfg.num_rounds = 4;
+  cfg.max_demand = 2;
+  cfg.seed = 9;
+  const Instance direct = GeneratePoisson(cfg);
+
+  ASSERT_EQ(loaded->num_flows(), direct.num_flows());
+  for (FlowId e = 0; e < direct.num_flows(); ++e) {
+    EXPECT_EQ(loaded->flow(e), direct.flow(e));
+  }
+}
+
+TEST(InstanceSourceTest, Fig4bSpecMatchesTheCanonicalInstance) {
+  const auto loaded = LoadInstance("fig4b");
+  ASSERT_TRUE(loaded.has_value());
+  const Instance direct = Fig4bInstance();
+  ASSERT_EQ(loaded->num_flows(), direct.num_flows());
+  EXPECT_EQ(loaded->sw(), direct.sw());
+}
+
+TEST(InstanceSourceTest, LoadsCsvTraceFiles) {
+  Instance instance(SwitchSpec({2, 2}, {1, 3}), {});
+  instance.AddFlow(0, 1, 2, 0);
+  instance.AddFlow(1, 0, 1, 3);
+  std::ostringstream csv;
+  WriteInstanceCsv(instance, csv);
+
+  const std::string path = testing::TempDir() + "/instance_source_trace.csv";
+  {
+    std::ofstream out(path);
+    out << csv.str();
+  }
+  std::string error;
+  const auto loaded = LoadInstance(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->num_flows(), 2);
+  EXPECT_EQ(loaded->flow(0), instance.flow(0));
+  std::remove(path.c_str());
+}
+
+TEST(InstanceSourceTest, MissingFileNamesThePath) {
+  std::string error;
+  EXPECT_FALSE(LoadInstance("/no/such/file.csv", &error).has_value());
+  EXPECT_NE(error.find("/no/such/file.csv"), std::string::npos);
+}
+
+TEST(InstanceSourceTest, UnknownSpecKeyIsAnError) {
+  std::string error;
+  EXPECT_FALSE(LoadInstance("poisson:portz=4", &error).has_value());
+  EXPECT_NE(error.find("portz"), std::string::npos);
+}
+
+TEST(InstanceSourceTest, MalformedSpecValueIsAnError) {
+  std::string error;
+  EXPECT_FALSE(LoadInstance("poisson:ports=abc", &error).has_value());
+  EXPECT_NE(error.find("abc"), std::string::npos);
+}
+
+TEST(InstanceSourceTest, MalformedPairIsAnError) {
+  std::string error;
+  EXPECT_FALSE(LoadInstance("poisson:ports", &error).has_value());
+  EXPECT_NE(error.find("key=value"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -59,6 +59,16 @@ TEST(InstanceTest, ValidationCatchesZeroDemandAndNegativeRelease) {
   EXPECT_TRUE(b.ValidationError().has_value());
 }
 
+TEST(InstanceTest, SameIndexSrcAndDstIsLegal) {
+  // Inputs and outputs are separate index spaces (paper §2): input port p
+  // and output port p are distinct physical ports, so src == dst is a
+  // normal flow (shuffles emit mapper i -> reducer i), not a self-loop.
+  // Regression guard: validation must keep accepting these.
+  Instance instance(SwitchSpec::Uniform(3, 3, 2), {});
+  for (PortId p = 0; p < 3; ++p) instance.AddFlow(p, p, 2, 0);
+  EXPECT_EQ(instance.ValidationError(), std::nullopt);
+}
+
 TEST(InstanceTest, AggregateProperties) {
   Instance instance(SwitchSpec::Uniform(3, 3, 4), {});
   instance.AddFlow(0, 1, 2, 5);

@@ -47,6 +47,30 @@ TEST(TraceIoTest, RejectsInvalidInstance) {
   EXPECT_NE(error.find("kappa"), std::string::npos);
 }
 
+TEST(TraceIoTest, MalformedFlowRowErrorsCarryTheLineNumber) {
+  const std::string header =
+      "input_capacities\n1,1\noutput_capacities\n1,1\n"
+      "src,dst,demand,release\n";
+  std::string error;
+  // Line 7 (the second flow row) has too few fields.
+  EXPECT_FALSE(
+      ReadInstanceCsv(header + "0,1,1,0\n0,1\n", &error).has_value());
+  EXPECT_NE(error.find("line 7"), std::string::npos) << error;
+  // Line 6 (the first flow row) has a non-numeric demand.
+  EXPECT_FALSE(
+      ReadInstanceCsv(header + "0,1,x,0\n", &error).has_value());
+  EXPECT_NE(error.find("line 6"), std::string::npos) << error;
+}
+
+TEST(TraceIoTest, MalformedCapacityRowErrorsCarryTheLineNumber) {
+  std::string error;
+  EXPECT_FALSE(ReadInstanceCsv("input_capacities\n1,zap\noutput_capacities\n"
+                               "1\nsrc,dst,demand,release\n",
+                               &error)
+                   .has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
 TEST(TraceIoTest, ScheduleRoundTrip) {
   Schedule s(3);
   s.Assign(0, 4);

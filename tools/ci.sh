@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml: the tier-1 verify sequence in
+# Debug and Release, plus a CLI smoke test.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+for build_type in Debug Release; do
+  build_dir="build-ci-${build_type,,}"
+  echo "=== ${build_type} ==="
+  cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE="${build_type}"
+  cmake --build "${build_dir}" -j "$(nproc)"
+  (cd "${build_dir}" && ctest --output-on-failure -j "$(nproc)")
+  "./${build_dir}/tools/flowsched_cli" \
+      --instance=poisson:ports=6,load=1.0,rounds=6 --solver=all
+done
+echo "CI OK"
