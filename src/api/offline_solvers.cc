@@ -88,7 +88,7 @@ class ArtTheorem1Solver : public Solver {
            "(Theorem 1)";
   }
   std::vector<std::string> ParamKeys() const override {
-    return {"c", "interval_length"};
+    return {"c", "interval_length", "coloring", "validate"};
   }
 
  protected:
@@ -105,6 +105,14 @@ class ArtTheorem1Solver : public Solver {
     opts.c = static_cast<int>(options.IntParamOr("c", opts.c, &perr));
     opts.interval_length = static_cast<int>(
         options.IntParamOr("interval_length", opts.interval_length, &perr));
+    opts.validate = options.IntParamOr("validate", 1, &perr) != 0;
+    const std::string coloring = options.ParamOr("coloring", "koenig");
+    if (coloring == "euler") {
+      opts.coloring = EdgeColoringAlgorithm::kEulerSplit;
+    } else if (coloring != "koenig") {
+      report.error = "parameter coloring must be koenig or euler";
+      return report;
+    }
     if (!perr.empty()) {
       report.error = perr;
       return report;

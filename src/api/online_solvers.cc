@@ -35,7 +35,7 @@ class OnlinePolicySolver : public Solver {
     return "round-by-round simulation of the online policy (paper §5.2.1)";
   }
   std::vector<std::string> ParamKeys() const override {
-    return {"record_backlog"};
+    return {"record_backlog", "validate"};
   }
 
  protected:
@@ -62,6 +62,7 @@ class OnlinePolicySolver : public Solver {
     }
     std::string perr;
     sim.record_backlog = options.IntParamOr("record_backlog", 0, &perr) != 0;
+    sim.validate = options.IntParamOr("validate", 1, &perr) != 0;
     if (!perr.empty()) {
       report.error = perr;
       return report;
@@ -85,6 +86,7 @@ class OnlinePolicySolver : public Solver {
     report.allowance = CapacityAllowance::Exact();
     report.diagnostics["rounds_simulated"] = r.rounds;
     report.diagnostics["avg_port_utilization"] = r.avg_port_utilization;
+    report.diagnostics["peak_backlog"] = r.peak_backlog;
     if (sim.record_backlog && !r.backlog_trace.empty()) {
       report.diagnostics["max_backlog"] =
           *std::max_element(r.backlog_trace.begin(), r.backlog_trace.end());

@@ -49,15 +49,16 @@ ArtSchedulerResult ScheduleArtWithAugmentation(
   // only for small n where the O(log n) constants dominate).
   const int stack = 1 + options.c;
   Round cursor = 0;
+  ReplicatedGraph rg;  // Reused across intervals.
   for (int j = 0; j < num_intervals; ++j) {
     if (interval_flows[j].empty()) continue;
-    const ReplicatedGraph rg = Replicate(instance, interval_flows[j]);
-    const EdgeColoring ec = ColorBipartiteEdges(rg.graph);
-    FS_CHECK(IsValidEdgeColoring(rg.graph, ec));
+    Replicate(instance, interval_flows[j], &rg);
+    const EdgeColoring ec = ColorBipartiteEdges(rg.graph, options.coloring);
+    if (options.validate) FS_CHECK(IsValidEdgeColoring(rg.graph, ec));
     result.max_colors = std::max(result.max_colors, ec.num_colors);
     const Round interval_start = (j + 1) * static_cast<Round>(h);
     cursor = std::max(cursor, interval_start);
-    const auto classes = ec.ColorClasses();
+    const auto classes = ec.ColorClasses(options.validate);
     for (std::size_t color = 0; color < classes.size(); ++color) {
       const Round round = cursor + static_cast<Round>(color) / stack;
       for (int edge : classes[color]) {
@@ -73,9 +74,11 @@ ArtSchedulerResult ScheduleArtWithAugmentation(
     cursor += (static_cast<Round>(ec.num_colors) + stack - 1) / stack;
   }
   FS_CHECK(result.schedule.AllAssigned());
-  FS_CHECK_MSG(
-      !result.schedule.ValidationError(instance, result.allowance).has_value(),
-      *result.schedule.ValidationError(instance, result.allowance));
+  if (options.validate) {
+    FS_CHECK_MSG(
+        !result.schedule.ValidationError(instance, result.allowance).has_value(),
+        *result.schedule.ValidationError(instance, result.allowance));
+  }
   result.metrics = ComputeMetrics(instance, result.schedule);
   if (result.rounding_report.lp0_objective > 0.0) {
     result.approx_ratio_vs_lp =

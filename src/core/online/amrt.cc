@@ -33,17 +33,20 @@ AmrtResult RunAmrt(const Instance& instance, const AmrtOptions& options) {
   Round prev = 0;
   Round boundary = 0;
   std::size_t next = 0;
+  std::vector<FlowId> batch;
+  std::vector<Flow> flows;
   while (prev <= max_release || next < order.size()) {
     const Round t = boundary;
-    // Batch: everything released in [prev, t).
-    std::vector<FlowId> batch;
+    // Batch: everything released in [prev, t). The buffer is reused across
+    // batches (cleared, capacity kept).
+    batch.clear();
     while (next < order.size() && instance.flow(order[next]).release < t) {
       batch.push_back(order[next++]);
     }
     if (!batch.empty()) {
       ++result.batches;
       // Sub-instance over the batch flows (ids renumbered 0..k-1).
-      std::vector<Flow> flows;
+      flows.clear();
       flows.reserve(batch.size());
       for (FlowId e : batch) flows.push_back(instance.flow(e));
       const Instance sub(instance.sw(), std::move(flows));

@@ -1,15 +1,15 @@
 #include "core/online/max_card_policy.h"
 
-#include "graph/hopcroft_karp.h"
-
 namespace flowsched {
 
-std::vector<int> MaxCardPolicy::SelectFlows(
-    const SwitchSpec& sw, Round /*t*/, std::span<const PendingFlow> pending) {
-  if (pending.empty()) return {};
-  const BipartiteGraph g = BuildBacklogGraph(sw, pending);
+void MaxCardPolicy::SelectFlowsInto(const SwitchSpec& sw, Round /*t*/,
+                                    std::span<const PendingFlow> pending,
+                                    std::vector<int>* picked) {
+  picked->clear();
+  if (pending.empty()) return;
+  const BipartiteGraph& g = builder_.Build(sw, pending);
   // Edge i of the backlog graph is pending[i].
-  return MaxCardinalityMatching(g);
+  matcher_.Solve(g, picked);
 }
 
 }  // namespace flowsched

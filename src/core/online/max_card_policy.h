@@ -5,14 +5,20 @@
 #define FLOWSCHED_CORE_ONLINE_MAX_CARD_POLICY_H_
 
 #include "core/online/policy.h"
+#include "graph/hopcroft_karp.h"
 
 namespace flowsched {
 
 class MaxCardPolicy : public SchedulingPolicy {
  public:
   std::string_view name() const override { return "maxcard"; }
-  std::vector<int> SelectFlows(const SwitchSpec& sw, Round t,
-                               std::span<const PendingFlow> pending) override;
+  void SelectFlowsInto(const SwitchSpec& sw, Round t,
+                       std::span<const PendingFlow> pending,
+                       std::vector<int>* picked) override;
+
+ private:
+  BacklogGraphBuilder builder_;  // Graph + solver scratch persist across
+  HopcroftKarpSolver matcher_;   // rounds: steady state allocates nothing.
 };
 
 }  // namespace flowsched

@@ -1,26 +1,26 @@
 #include "core/online/max_weight_policy.h"
 
-#include "graph/max_weight_matching.h"
-
 namespace flowsched {
 
-std::vector<int> MaxWeightPolicy::SelectFlows(
-    const SwitchSpec& sw, Round /*t*/, std::span<const PendingFlow> pending) {
-  if (pending.empty()) return {};
-  const BipartiteGraph g = BuildBacklogGraph(sw, pending);
+void MaxWeightPolicy::SelectFlowsInto(const SwitchSpec& sw, Round /*t*/,
+                                      std::span<const PendingFlow> pending,
+                                      std::vector<int>* picked) {
+  picked->clear();
+  if (pending.empty()) return;
+  const BipartiteGraph& g = builder_.Build(sw, pending);
   // Queue length = number of backlogged flows touching the port.
-  std::vector<int> in_queue(sw.num_inputs(), 0);
-  std::vector<int> out_queue(sw.num_outputs(), 0);
+  in_queue_.assign(sw.num_inputs(), 0);
+  out_queue_.assign(sw.num_outputs(), 0);
   for (const PendingFlow& f : pending) {
-    ++in_queue[f.src];
-    ++out_queue[f.dst];
+    ++in_queue_[f.src];
+    ++out_queue_[f.dst];
   }
-  std::vector<double> weight(pending.size());
+  weight_.resize(pending.size());
   for (std::size_t i = 0; i < pending.size(); ++i) {
-    weight[i] =
-        static_cast<double>(in_queue[pending[i].src] + out_queue[pending[i].dst]);
+    weight_[i] = static_cast<double>(in_queue_[pending[i].src] +
+                                     out_queue_[pending[i].dst]);
   }
-  return MaxWeightMatching(g, weight);
+  matcher_.Solve(g, weight_, picked);
 }
 
 }  // namespace flowsched

@@ -5,14 +5,23 @@
 #define FLOWSCHED_CORE_ONLINE_MAX_WEIGHT_POLICY_H_
 
 #include "core/online/policy.h"
+#include "graph/max_weight_matching.h"
 
 namespace flowsched {
 
 class MaxWeightPolicy : public SchedulingPolicy {
  public:
   std::string_view name() const override { return "maxweight"; }
-  std::vector<int> SelectFlows(const SwitchSpec& sw, Round t,
-                               std::span<const PendingFlow> pending) override;
+  void SelectFlowsInto(const SwitchSpec& sw, Round t,
+                       std::span<const PendingFlow> pending,
+                       std::vector<int>* picked) override;
+
+ private:
+  BacklogGraphBuilder builder_;  // Graph, matcher and weight scratch persist
+  MaxWeightMatcher matcher_;     // across rounds: steady state allocates
+  std::vector<int> in_queue_;    // nothing.
+  std::vector<int> out_queue_;
+  std::vector<double> weight_;
 };
 
 }  // namespace flowsched

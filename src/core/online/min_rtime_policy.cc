@@ -1,22 +1,23 @@
 #include "core/online/min_rtime_policy.h"
 
-#include "graph/max_weight_matching.h"
 #include "util/check.h"
 
 namespace flowsched {
 
-std::vector<int> MinRTimePolicy::SelectFlows(
-    const SwitchSpec& sw, Round t, std::span<const PendingFlow> pending) {
-  if (pending.empty()) return {};
-  const BipartiteGraph g = BuildBacklogGraph(sw, pending);
-  std::vector<double> weight(pending.size());
+void MinRTimePolicy::SelectFlowsInto(const SwitchSpec& sw, Round t,
+                                     std::span<const PendingFlow> pending,
+                                     std::vector<int>* picked) {
+  picked->clear();
+  if (pending.empty()) return;
+  const BipartiteGraph& g = builder_.Build(sw, pending);
+  weight_.resize(pending.size());
   for (std::size_t i = 0; i < pending.size(); ++i) {
     // Paper weight is t - r_e; +1 keeps fresh arrivals strictly positive so
     // the matcher never leaves a port idle for free.
     FS_CHECK_LE(pending[i].release, t);
-    weight[i] = static_cast<double>(t - pending[i].release + 1);
+    weight_[i] = static_cast<double>(t - pending[i].release + 1);
   }
-  return MaxWeightMatching(g, weight);
+  matcher_.Solve(g, weight_, picked);
 }
 
 }  // namespace flowsched

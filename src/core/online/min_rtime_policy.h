@@ -5,14 +5,21 @@
 #define FLOWSCHED_CORE_ONLINE_MIN_RTIME_POLICY_H_
 
 #include "core/online/policy.h"
+#include "graph/max_weight_matching.h"
 
 namespace flowsched {
 
 class MinRTimePolicy : public SchedulingPolicy {
  public:
   std::string_view name() const override { return "minrtime"; }
-  std::vector<int> SelectFlows(const SwitchSpec& sw, Round t,
-                               std::span<const PendingFlow> pending) override;
+  void SelectFlowsInto(const SwitchSpec& sw, Round t,
+                       std::span<const PendingFlow> pending,
+                       std::vector<int>* picked) override;
+
+ private:
+  BacklogGraphBuilder builder_;
+  MaxWeightMatcher matcher_;
+  std::vector<double> weight_;
 };
 
 }  // namespace flowsched

@@ -33,18 +33,52 @@ class SchedulingPolicy {
 
   virtual std::string_view name() const = 0;
 
-  // Returns indices into `pending` of the flows to schedule in round t.
-  // Must be capacity-feasible for `sw` (the simulator validates).
-  virtual std::vector<int> SelectFlows(const SwitchSpec& sw, Round t,
-                                       std::span<const PendingFlow> pending) = 0;
+  // Overwrites *picked with indices into `pending` of the flows to schedule
+  // in round t. Must be capacity-feasible for `sw` (the simulator validates
+  // when SimulationOptions::validate is set). The out-parameter lets the
+  // simulator hot loop hand the same buffer back every round; policies keep
+  // their own scratch across calls and may allocate only while the backlog
+  // grows past its previous peak.
+  virtual void SelectFlowsInto(const SwitchSpec& sw, Round t,
+                               std::span<const PendingFlow> pending,
+                               std::vector<int>* picked) = 0;
+
+  // One-shot convenience wrapper around SelectFlowsInto.
+  std::vector<int> SelectFlows(const SwitchSpec& sw, Round t,
+                               std::span<const PendingFlow> pending);
 
   // Clears internal state (e.g. RNG) between simulations.
   virtual void Reset() {}
 };
 
-// Builds the backlog multigraph over *port replicas*: edge i corresponds to
-// pending[i]; matchings of this graph are exactly the capacity-feasible
-// unit-demand subsets. Requires unit demands.
+// Buffer-reusing builder for the backlog multigraph over *port replicas*:
+// edge i corresponds to pending[i]; matchings of this graph are exactly the
+// capacity-feasible unit-demand subsets. Requires unit demands. The replica
+// layout mirrors graph/expansion.cc but works from PendingFlow (the
+// simulator does not materialize an Instance mid-flight).
+//
+// Each Build() patches the previous round's graph in place: the replica
+// base offsets are recomputed only when the switch changes, and the edge /
+// adjacency storage of the held BipartiteGraph is reused, so steady-state
+// rounds touch no heap at all.
+class BacklogGraphBuilder {
+ public:
+  const BipartiteGraph& Build(const SwitchSpec& sw,
+                              std::span<const PendingFlow> pending);
+
+  const BipartiteGraph& graph() const { return graph_; }
+
+ private:
+  BipartiteGraph graph_{0, 0};
+  SwitchSpec cached_switch_;  // Base offsets below are valid for this spec.
+  bool have_switch_ = false;
+  std::vector<int> in_base_;
+  std::vector<int> out_base_;
+  std::vector<int> in_cursor_;
+  std::vector<int> out_cursor_;
+};
+
+// One-shot convenience wrapper around BacklogGraphBuilder.
 BipartiteGraph BuildBacklogGraph(const SwitchSpec& sw,
                                  std::span<const PendingFlow> pending);
 

@@ -4,48 +4,47 @@
 #include <numeric>
 
 namespace flowsched {
-namespace {
 
-std::vector<int> GreedyPack(const SwitchSpec& sw,
-                            std::span<const PendingFlow> pending,
-                            std::span<const int> order) {
-  std::vector<Capacity> in_res(sw.input_capacities());
-  std::vector<Capacity> out_res(sw.output_capacities());
-  std::vector<int> picked;
-  for (int i : order) {
+void GreedyPackPolicyBase::Pack(const SwitchSpec& sw,
+                                std::span<const PendingFlow> pending,
+                                std::vector<int>* picked) {
+  in_res_.assign(sw.input_capacities().begin(), sw.input_capacities().end());
+  out_res_.assign(sw.output_capacities().begin(), sw.output_capacities().end());
+  for (int i : order_) {
     const PendingFlow& f = pending[i];
-    if (f.demand <= in_res[f.src] && f.demand <= out_res[f.dst]) {
-      in_res[f.src] -= f.demand;
-      out_res[f.dst] -= f.demand;
-      picked.push_back(i);
+    if (f.demand <= in_res_[f.src] && f.demand <= out_res_[f.dst]) {
+      in_res_[f.src] -= f.demand;
+      out_res_[f.dst] -= f.demand;
+      picked->push_back(i);
     }
   }
-  return picked;
 }
 
-}  // namespace
-
-std::vector<int> FifoGreedyPolicy::SelectFlows(
-    const SwitchSpec& sw, Round /*t*/, std::span<const PendingFlow> pending) {
-  std::vector<int> order(pending.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+void FifoGreedyPolicy::SelectFlowsInto(const SwitchSpec& sw, Round /*t*/,
+                                       std::span<const PendingFlow> pending,
+                                       std::vector<int>* picked) {
+  picked->clear();
+  order_.resize(pending.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  std::stable_sort(order_.begin(), order_.end(), [&](int a, int b) {
     if (pending[a].release != pending[b].release) {
       return pending[a].release < pending[b].release;
     }
     return pending[a].id < pending[b].id;
   });
-  return GreedyPack(sw, pending, order);
+  Pack(sw, pending, picked);
 }
 
-std::vector<int> RandomPolicy::SelectFlows(
-    const SwitchSpec& sw, Round /*t*/, std::span<const PendingFlow> pending) {
-  std::vector<int> order(pending.size());
-  std::iota(order.begin(), order.end(), 0);
-  for (std::size_t i = order.size(); i > 1; --i) {
-    std::swap(order[i - 1], order[rng_.UniformU64(i)]);
+void RandomPolicy::SelectFlowsInto(const SwitchSpec& sw, Round /*t*/,
+                                   std::span<const PendingFlow> pending,
+                                   std::vector<int>* picked) {
+  picked->clear();
+  order_.resize(pending.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  for (std::size_t i = order_.size(); i > 1; --i) {
+    std::swap(order_[i - 1], order_[rng_.UniformU64(i)]);
   }
-  return GreedyPack(sw, pending, order);
+  Pack(sw, pending, picked);
 }
 
 }  // namespace flowsched

@@ -8,22 +8,39 @@
 
 namespace flowsched {
 
+// Shared greedy-packing scratch: an order buffer plus residual port
+// capacities, reused across rounds.
+class GreedyPackPolicyBase : public SchedulingPolicy {
+ protected:
+  // Packs pending flows in order_ into *picked, respecting residuals.
+  void Pack(const SwitchSpec& sw, std::span<const PendingFlow> pending,
+            std::vector<int>* picked);
+
+  std::vector<int> order_;
+
+ private:
+  std::vector<Capacity> in_res_;
+  std::vector<Capacity> out_res_;
+};
+
 // Scans the backlog by (release, id) and packs every flow that still fits
 // the residual capacities. 3-2/m-competitive flavor of FIFO for Rmax.
-class FifoGreedyPolicy : public SchedulingPolicy {
+class FifoGreedyPolicy : public GreedyPackPolicyBase {
  public:
   std::string_view name() const override { return "fifo"; }
-  std::vector<int> SelectFlows(const SwitchSpec& sw, Round t,
-                               std::span<const PendingFlow> pending) override;
+  void SelectFlowsInto(const SwitchSpec& sw, Round t,
+                       std::span<const PendingFlow> pending,
+                       std::vector<int>* picked) override;
 };
 
 // Greedy packing in uniformly random order; a sanity floor for experiments.
-class RandomPolicy : public SchedulingPolicy {
+class RandomPolicy : public GreedyPackPolicyBase {
  public:
   explicit RandomPolicy(std::uint64_t seed) : seed_(seed), rng_(seed) {}
   std::string_view name() const override { return "random"; }
-  std::vector<int> SelectFlows(const SwitchSpec& sw, Round t,
-                               std::span<const PendingFlow> pending) override;
+  void SelectFlowsInto(const SwitchSpec& sw, Round t,
+                       std::span<const PendingFlow> pending,
+                       std::vector<int>* picked) override;
   void Reset() override { rng_ = Rng(seed_); }
 
  private:

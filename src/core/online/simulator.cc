@@ -17,46 +17,66 @@ class ReplayArrivals : public ArrivalProcess {
     std::stable_sort(order_.begin(), order_.end(), [&](FlowId a, FlowId b) {
       return instance.flow(a).release < instance.flow(b).release;
     });
+    releases_.reserve(order_.size());
+    for (FlowId id : order_) releases_.push_back(instance.flow(id).release);
   }
 
   std::vector<Flow> Arrivals(Round t, std::span<const Flow>) override {
     std::vector<Flow> out;
-    while (next_ < order_.size() &&
-           instance_.flow(order_[next_]).release == t) {
-      out.push_back(instance_.flow(order_[next_]));
-      ++next_;
-    }
+    Append(t, &out);
     return out;
+  }
+
+  void ArrivalsInto(Round t, std::span<const Flow>,
+                    std::vector<Flow>* out) override {
+    Append(t, out);
   }
 
   bool Exhausted(Round /*t*/) const override { return next_ >= order_.size(); }
 
+  Round NextArrivalRound(Round t) const override {
+    // Binary search the sorted release order for the first release >= t;
+    // the simulator then skips the idle gap in one step instead of polling
+    // every empty round.
+    const auto it =
+        std::lower_bound(releases_.begin() + next_, releases_.end(), t);
+    return it == releases_.end() ? t : std::max(t, *it);
+  }
+
  private:
+  void Append(Round t, std::vector<Flow>* out) {
+    const std::size_t end =
+        std::upper_bound(releases_.begin() + next_, releases_.end(), t) -
+        releases_.begin();
+    for (; next_ < end; ++next_) out->push_back(instance_.flow(order_[next_]));
+  }
+
   const Instance& instance_;
   std::vector<FlowId> order_;
+  std::vector<Round> releases_;  // Aligned with order_ (non-decreasing).
   std::size_t next_ = 0;
 };
 
 void ValidateSelection(const SwitchSpec& sw,
                        std::span<const PendingFlow> pending,
-                       std::span<const int> picked) {
-  std::vector<Capacity> in_load(sw.num_inputs(), 0);
-  std::vector<Capacity> out_load(sw.num_outputs(), 0);
-  std::vector<char> used(pending.size(), 0);
+                       std::span<const int> picked, SimulationContext& ctx) {
+  ctx.in_load.assign(sw.num_inputs(), 0);
+  ctx.out_load.assign(sw.num_outputs(), 0);
+  ctx.used.assign(pending.size(), 0);
   for (int i : picked) {
     FS_CHECK_MSG(i >= 0 && i < static_cast<int>(pending.size()),
                  "policy returned an out-of-range backlog index " << i);
-    FS_CHECK_MSG(!used[i], "policy selected backlog index " << i << " twice");
-    used[i] = 1;
-    in_load[pending[i].src] += pending[i].demand;
-    out_load[pending[i].dst] += pending[i].demand;
+    FS_CHECK_MSG(!ctx.used[i], "policy selected backlog index " << i << " twice");
+    ctx.used[i] = 1;
+    ctx.in_load[pending[i].src] += pending[i].demand;
+    ctx.out_load[pending[i].dst] += pending[i].demand;
   }
   for (PortId p = 0; p < sw.num_inputs(); ++p) {
-    FS_CHECK_MSG(in_load[p] <= sw.input_capacity(p),
+    FS_CHECK_MSG(ctx.in_load[p] <= sw.input_capacity(p),
                  "policy overloaded input port " << p);
   }
   for (PortId q = 0; q < sw.num_outputs(); ++q) {
-    FS_CHECK_MSG(out_load[q] <= sw.output_capacity(q),
+    FS_CHECK_MSG(ctx.out_load[q] <= sw.output_capacity(q),
                  "policy overloaded output port " << q);
   }
 }
@@ -65,58 +85,73 @@ void ValidateSelection(const SwitchSpec& sw,
 
 SimulationResult Simulate(const SwitchSpec& sw, ArrivalProcess& arrivals,
                           SchedulingPolicy& policy,
-                          const SimulationOptions& options) {
+                          const SimulationOptions& options,
+                          SimulationContext* context) {
+  SimulationContext local_context;
+  SimulationContext& ctx = context != nullptr ? *context : local_context;
+  ctx.Clear();
   SimulationResult result;
   result.realized = Instance(sw, {});
-  std::vector<Round> assigned_round;  // Indexed by realized flow id.
-  std::vector<Flow> backlog;
-  std::vector<PendingFlow> pending;
   Round t = 0;
   for (; t < options.max_rounds; ++t) {
     // Arrivals for round t (the adversary sees the current backlog).
-    std::vector<Flow> arrived = arrivals.Arrivals(t, backlog);
-    for (Flow f : arrived) {
+    ctx.arrivals.clear();
+    arrivals.ArrivalsInto(t, ctx.backlog, &ctx.arrivals);
+    for (Flow f : ctx.arrivals) {
       f.release = t;
       f.id = result.realized.AddFlow(f.src, f.dst, f.demand, f.release);
-      assigned_round.push_back(kUnassigned);
-      backlog.push_back(f);
+      ctx.assigned_round.push_back(kUnassigned);
+      ctx.backlog.push_back(f);
     }
-    if (backlog.empty()) {
+    if (ctx.backlog.empty()) {
       if (arrivals.Exhausted(t + 1)) break;
+      // Fast-forward the idle gap: with nothing pending and nothing
+      // released before `next`, the intermediate rounds are no-ops. Never
+      // skip past the round cap — result.rounds must stay <= max_rounds
+      // exactly as if the gap had been walked one round at a time.
+      const Round next =
+          std::min(arrivals.NextArrivalRound(t + 1), options.max_rounds);
+      if (next > t + 1) t = next - 1;  // ++t lands on `next`.
       continue;
     }
-    pending.clear();
-    pending.reserve(backlog.size());
-    for (const Flow& f : backlog) {
-      pending.push_back(PendingFlow{f.id, f.src, f.dst, f.demand, f.release});
+    ctx.pending.clear();
+    for (const Flow& f : ctx.backlog) {
+      ctx.pending.push_back(PendingFlow{f.id, f.src, f.dst, f.demand, f.release});
     }
-    const std::vector<int> picked = policy.SelectFlows(sw, t, pending);
-    ValidateSelection(sw, pending, picked);
-    std::vector<char> remove(backlog.size(), 0);
-    for (int i : picked) {
-      assigned_round[pending[i].id] = t;
-      remove[i] = 1;
+    result.peak_backlog =
+        std::max(result.peak_backlog, static_cast<int>(ctx.pending.size()));
+    policy.SelectFlowsInto(sw, t, ctx.pending, &ctx.picked);
+    if (options.validate) ValidateSelection(sw, ctx.pending, ctx.picked, ctx);
+    ctx.remove.assign(ctx.backlog.size(), 0);
+    for (int i : ctx.picked) {
+      ctx.assigned_round[ctx.pending[i].id] = t;
+      ctx.remove[i] = 1;
     }
-    std::vector<Flow> next_backlog;
-    next_backlog.reserve(backlog.size() - picked.size());
-    for (std::size_t i = 0; i < backlog.size(); ++i) {
-      if (!remove[i]) next_backlog.push_back(backlog[i]);
+    // Stable in-place compaction of the surviving backlog.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < ctx.backlog.size(); ++i) {
+      if (!ctx.remove[i]) {
+        if (kept != i) ctx.backlog[kept] = ctx.backlog[i];
+        ++kept;
+      }
     }
-    backlog.swap(next_backlog);
+    ctx.backlog.resize(kept);
     if (options.record_backlog) {
-      result.backlog_trace.push_back(static_cast<int>(backlog.size()));
+      result.backlog_trace.push_back(static_cast<int>(kept));
     }
   }
-  FS_CHECK_MSG(backlog.empty(),
-               "simulation hit max_rounds with " << backlog.size()
+  FS_CHECK_MSG(ctx.backlog.empty(),
+               "simulation hit max_rounds with " << ctx.backlog.size()
                                                  << " flows still pending");
   result.rounds = t;
   result.schedule = Schedule(result.realized.num_flows());
   for (FlowId e = 0; e < result.realized.num_flows(); ++e) {
-    FS_CHECK_NE(assigned_round[e], kUnassigned);
-    result.schedule.Assign(e, assigned_round[e]);
+    FS_CHECK_NE(ctx.assigned_round[e], kUnassigned);
+    result.schedule.Assign(e, ctx.assigned_round[e]);
   }
-  FS_CHECK(!result.schedule.ValidationError(result.realized).has_value());
+  if (options.validate) {
+    FS_CHECK(!result.schedule.ValidationError(result.realized).has_value());
+  }
   result.metrics = ComputeMetrics(result.realized, result.schedule);
   if (result.rounds > 0) {
     Capacity in_bw = 0;
@@ -133,10 +168,11 @@ SimulationResult Simulate(const SwitchSpec& sw, ArrivalProcess& arrivals,
 }
 
 SimulationResult Simulate(const Instance& instance, SchedulingPolicy& policy,
-                          const SimulationOptions& options) {
+                          const SimulationOptions& options,
+                          SimulationContext* context) {
   FS_CHECK(!instance.ValidationError().has_value());
   ReplayArrivals arrivals(instance);
-  return Simulate(instance.sw(), arrivals, policy, options);
+  return Simulate(instance.sw(), arrivals, policy, options, context);
 }
 
 }  // namespace flowsched

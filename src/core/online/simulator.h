@@ -2,13 +2,18 @@
 //
 // Maintains the backlog bipartite graph G_t: released-but-unscheduled flows.
 // Each round, arrivals join the backlog, the policy extracts a
-// capacity-feasible subset (validated), and those flows complete within the
-// round. Per-port queues are open — the policy may pick any backlog flow,
-// not just the oldest.
+// capacity-feasible subset (validated when options.validate is set), and
+// those flows complete within the round. Per-port queues are open — the
+// policy may pick any backlog flow, not just the oldest.
+//
+// The round loop is allocation-free at steady state: every per-round buffer
+// lives in a SimulationContext that is reused across rounds (and, when the
+// caller passes one in, across whole simulations).
 #ifndef FLOWSCHED_CORE_ONLINE_SIMULATOR_H_
 #define FLOWSCHED_CORE_ONLINE_SIMULATOR_H_
 
 #include "core/online/policy.h"
+#include "core/online/simulation_context.h"
 #include "model/metrics.h"
 #include "model/schedule.h"
 #include "workload/adversarial.h"
@@ -18,6 +23,11 @@ namespace flowsched {
 struct SimulationOptions {
   Round max_rounds = 1 << 20;   // Hard stop (policy livelock guard).
   bool record_backlog = false;  // Per-round backlog sizes.
+  // Check every policy selection for duplicate indices and port overloads
+  // (three O(backlog + ports) scans per round). On by default — a buggy
+  // policy corrupts the realized schedule silently otherwise; benchmarks
+  // turn it off to keep the measured loop free of audit overhead.
+  bool validate = true;
 };
 
 struct SimulationResult {
@@ -26,21 +36,25 @@ struct SimulationResult {
   ScheduleMetrics metrics;
   Round rounds = 0;                // Rounds simulated until drain.
   std::vector<int> backlog_trace;  // If record_backlog.
+  int peak_backlog = 0;  // Largest backlog any policy call ever saw.
   // Scheduled demand / available port bandwidth over the simulated rounds,
   // averaged over the two sides (1.0 = every port saturated every round).
   double avg_port_utilization = 0.0;
 };
 
 // Replays a fixed instance (the "online" policy still only sees released
-// flows each round).
+// flows each round). A caller-provided context is reused (benchmarks,
+// sweeps); when null an internal one is used.
 SimulationResult Simulate(const Instance& instance, SchedulingPolicy& policy,
-                          const SimulationOptions& options = {});
+                          const SimulationOptions& options = {},
+                          SimulationContext* context = nullptr);
 
 // Drives an arrival process (possibly adaptive) until it is exhausted and
 // the backlog drains.
 SimulationResult Simulate(const SwitchSpec& sw, ArrivalProcess& arrivals,
                           SchedulingPolicy& policy,
-                          const SimulationOptions& options = {});
+                          const SimulationOptions& options = {},
+                          SimulationContext* context = nullptr);
 
 }  // namespace flowsched
 

@@ -3,17 +3,18 @@
 #include <algorithm>
 #include <numeric>
 
-#include "graph/max_weight_matching.h"
 #include "util/check.h"
 
 namespace flowsched {
 
-std::vector<int> SrptPolicy::SelectFlows(const SwitchSpec& sw, Round /*t*/,
-                                         std::span<const PendingFlow> pending) {
+void SrptPolicy::SelectFlowsInto(const SwitchSpec& sw, Round /*t*/,
+                                 std::span<const PendingFlow> pending,
+                                 std::vector<int>* picked) {
+  picked->clear();
   // Greedy pack by (demand, release, id): cheapest flows first, FIFO ties.
-  std::vector<int> order(pending.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+  order_.resize(pending.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  std::stable_sort(order_.begin(), order_.end(), [&](int a, int b) {
     if (pending[a].demand != pending[b].demand) {
       return pending[a].demand < pending[b].demand;
     }
@@ -22,39 +23,39 @@ std::vector<int> SrptPolicy::SelectFlows(const SwitchSpec& sw, Round /*t*/,
     }
     return pending[a].id < pending[b].id;
   });
-  std::vector<Capacity> in_res(sw.input_capacities());
-  std::vector<Capacity> out_res(sw.output_capacities());
-  std::vector<int> picked;
-  for (int i : order) {
+  in_res_.assign(sw.input_capacities().begin(), sw.input_capacities().end());
+  out_res_.assign(sw.output_capacities().begin(), sw.output_capacities().end());
+  for (int i : order_) {
     const PendingFlow& f = pending[i];
-    if (f.demand <= in_res[f.src] && f.demand <= out_res[f.dst]) {
-      in_res[f.src] -= f.demand;
-      out_res[f.dst] -= f.demand;
-      picked.push_back(i);
+    if (f.demand <= in_res_[f.src] && f.demand <= out_res_[f.dst]) {
+      in_res_[f.src] -= f.demand;
+      out_res_[f.dst] -= f.demand;
+      picked->push_back(i);
     }
   }
-  return picked;
 }
 
-std::vector<int> HybridPolicy::SelectFlows(
-    const SwitchSpec& sw, Round t, std::span<const PendingFlow> pending) {
-  if (pending.empty()) return {};
-  const BipartiteGraph g = BuildBacklogGraph(sw, pending);
-  std::vector<int> in_queue(sw.num_inputs(), 0);
-  std::vector<int> out_queue(sw.num_outputs(), 0);
+void HybridPolicy::SelectFlowsInto(const SwitchSpec& sw, Round t,
+                                   std::span<const PendingFlow> pending,
+                                   std::vector<int>* picked) {
+  picked->clear();
+  if (pending.empty()) return;
+  const BipartiteGraph& g = builder_.Build(sw, pending);
+  in_queue_.assign(sw.num_inputs(), 0);
+  out_queue_.assign(sw.num_outputs(), 0);
   for (const PendingFlow& f : pending) {
-    ++in_queue[f.src];
-    ++out_queue[f.dst];
+    ++in_queue_[f.src];
+    ++out_queue_[f.dst];
   }
-  std::vector<double> weight(pending.size());
+  weight_.resize(pending.size());
   for (std::size_t i = 0; i < pending.size(); ++i) {
     FS_CHECK_LE(pending[i].release, t);
     const double age = static_cast<double>(t - pending[i].release + 1);
-    const double pressure = static_cast<double>(in_queue[pending[i].src] +
-                                                out_queue[pending[i].dst]);
-    weight[i] = age + alpha_ * pressure;
+    const double pressure = static_cast<double>(in_queue_[pending[i].src] +
+                                                out_queue_[pending[i].dst]);
+    weight_[i] = age + alpha_ * pressure;
   }
-  return MaxWeightMatching(g, weight);
+  matcher_.Solve(g, weight_, picked);
 }
 
 }  // namespace flowsched

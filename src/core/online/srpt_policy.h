@@ -5,6 +5,7 @@
 #define FLOWSCHED_CORE_ONLINE_SRPT_POLICY_H_
 
 #include "core/online/policy.h"
+#include "graph/max_weight_matching.h"
 
 namespace flowsched {
 
@@ -15,8 +16,14 @@ namespace flowsched {
 class SrptPolicy : public SchedulingPolicy {
  public:
   std::string_view name() const override { return "srpt"; }
-  std::vector<int> SelectFlows(const SwitchSpec& sw, Round t,
-                               std::span<const PendingFlow> pending) override;
+  void SelectFlowsInto(const SwitchSpec& sw, Round t,
+                       std::span<const PendingFlow> pending,
+                       std::vector<int>* picked) override;
+
+ private:
+  std::vector<int> order_;
+  std::vector<Capacity> in_res_;
+  std::vector<Capacity> out_res_;
 };
 
 // The compromise the paper's conclusion (§5.2.3) gestures at: a
@@ -28,11 +35,17 @@ class HybridPolicy : public SchedulingPolicy {
  public:
   explicit HybridPolicy(double alpha = 0.5) : alpha_(alpha) {}
   std::string_view name() const override { return "hybrid"; }
-  std::vector<int> SelectFlows(const SwitchSpec& sw, Round t,
-                               std::span<const PendingFlow> pending) override;
+  void SelectFlowsInto(const SwitchSpec& sw, Round t,
+                       std::span<const PendingFlow> pending,
+                       std::vector<int>* picked) override;
 
  private:
   double alpha_;
+  BacklogGraphBuilder builder_;
+  MaxWeightMatcher matcher_;
+  std::vector<int> in_queue_;
+  std::vector<int> out_queue_;
+  std::vector<double> weight_;
 };
 
 }  // namespace flowsched

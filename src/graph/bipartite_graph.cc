@@ -15,6 +15,25 @@ BipartiteGraph::BipartiteGraph(int num_left, int num_right)
   FS_CHECK_GE(num_right, 0);
 }
 
+void BipartiteGraph::Reset(int num_left, int num_right) {
+  FS_CHECK_GE(num_left, 0);
+  FS_CHECK_GE(num_right, 0);
+  num_left_ = num_left;
+  num_right_ = num_right;
+  edges_.clear();
+  // resize() only reallocates when growing; shrinking keeps the vector of
+  // vectors (and clear() keeps each inner capacity), so steady-state rounds
+  // touch no heap at all.
+  if (static_cast<int>(left_adj_.size()) < num_left) left_adj_.resize(num_left);
+  if (static_cast<int>(right_adj_.size()) < num_right) {
+    right_adj_.resize(num_right);
+  }
+  // Clear every stored list, including ones beyond the (possibly shrunk)
+  // vertex count, so no stale adjacency survives a dimension change.
+  for (auto& adj : left_adj_) adj.clear();
+  for (auto& adj : right_adj_) adj.clear();
+}
+
 int BipartiteGraph::AddEdge(int u, int v) {
   FS_CHECK(u >= 0 && u < num_left_);
   FS_CHECK(v >= 0 && v < num_right_);

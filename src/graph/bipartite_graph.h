@@ -20,6 +20,15 @@ class BipartiteGraph {
 
   BipartiteGraph(int num_left, int num_right);
 
+  // Re-initializes to an edgeless graph with the given dimensions while
+  // keeping previously allocated edge and adjacency storage. Hot loops that
+  // rebuild a graph of (roughly) the same shape every round use this to
+  // avoid re-allocating the per-vertex adjacency vectors.
+  void Reset(int num_left, int num_right);
+
+  // Pre-sizes the edge list (adjacency lists grow on demand).
+  void ReserveEdges(int n) { edges_.reserve(n); }
+
   // Adds an edge and returns its index. Parallel edges allowed.
   int AddEdge(int u, int v);
 

@@ -4,6 +4,21 @@
 // matchings. This is the algorithmic heart of the paper's Birkhoff–von
 // Neumann step (Theorem 1): the combined interval graph is decomposed into
 // matchings that are then packed into (1+c)-augmented rounds.
+//
+// Two algorithms sit behind the same API:
+//   kKoenig      alternating-path recoloring, O(V * E). The historical
+//                default; kept as the reference implementation and the
+//                fallback for sparse or irregular inputs.
+//   kEulerSplit  recursive Euler partition over a D-regularized copy of the
+//                graph, ~O(E log D) plus a Hopcroft–Karp perfect matching
+//                per odd level. Much faster on the dense interval graphs
+//                Theorem 1 produces; trades O(s*D) scratch memory (s = the
+//                larger side) for speed, so very sparse graphs with one
+//                high-degree vertex should stay on kKoenig.
+// Both return a valid coloring with exactly max(MaxDegree, 1) colors; the
+// *assignment* of edges to colors generally differs between algorithms, so
+// reproducible pipelines must pick one and stick to it (the default is
+// kKoenig, which keeps historical schedules bit-identical).
 #ifndef FLOWSCHED_GRAPH_EDGE_COLORING_H_
 #define FLOWSCHED_GRAPH_EDGE_COLORING_H_
 
@@ -13,17 +28,23 @@
 
 namespace flowsched {
 
+enum class EdgeColoringAlgorithm { kKoenig, kEulerSplit };
+
 struct EdgeColoring {
   int num_colors = 0;
   std::vector<int> color_of_edge;  // In [0, num_colors).
 
-  // Edge indices per color class (each class is a matching).
-  std::vector<std::vector<int>> ColorClasses() const;
+  // Edge indices per color class (each class is a matching). `validate`
+  // range-checks every stored color (FS_CHECK) before bucketing — the safe
+  // default; hot loops that already trust their coloring (benchmarks,
+  // ArtSchedulerOptions::validate == false) pass false to skip the audit.
+  std::vector<std::vector<int>> ColorClasses(bool validate = true) const;
 };
 
-// Colors all edges of `g` with MaxDegree() colors in O(V * E) via
-// alternating-path recoloring.
-EdgeColoring ColorBipartiteEdges(const BipartiteGraph& g);
+// Colors all edges of `g` with MaxDegree() colors.
+EdgeColoring ColorBipartiteEdges(
+    const BipartiteGraph& g,
+    EdgeColoringAlgorithm algorithm = EdgeColoringAlgorithm::kKoenig);
 
 // Validation helper for tests: every color class is a matching and every
 // edge has a color in range.

@@ -6,10 +6,9 @@
 
 namespace flowsched {
 
-ReplicatedGraph Replicate(const Instance& instance,
-                          std::span<const FlowId> flow_ids) {
+void Replicate(const Instance& instance, std::span<const FlowId> flow_ids,
+               ReplicatedGraph* out) {
   const SwitchSpec& sw = instance.sw();
-  ReplicatedGraph out;
   // Replica index ranges per port.
   std::vector<int> in_base(sw.num_inputs() + 1, 0);
   std::vector<int> out_base(sw.num_outputs() + 1, 0);
@@ -21,19 +20,21 @@ ReplicatedGraph Replicate(const Instance& instance,
   }
   const int num_left = in_base[sw.num_inputs()];
   const int num_right = out_base[sw.num_outputs()];
-  out.graph = BipartiteGraph(num_left, num_right);
-  out.left_port.resize(num_left);
-  out.right_port.resize(num_right);
+  out->graph.Reset(num_left, num_right);
+  out->graph.ReserveEdges(static_cast<int>(flow_ids.size()));
+  out->left_port.resize(num_left);
+  out->right_port.resize(num_right);
   for (PortId p = 0; p < sw.num_inputs(); ++p) {
-    for (int r = in_base[p]; r < in_base[p + 1]; ++r) out.left_port[r] = p;
+    for (int r = in_base[p]; r < in_base[p + 1]; ++r) out->left_port[r] = p;
   }
   for (PortId q = 0; q < sw.num_outputs(); ++q) {
-    for (int r = out_base[q]; r < out_base[q + 1]; ++r) out.right_port[r] = q;
+    for (int r = out_base[q]; r < out_base[q + 1]; ++r) out->right_port[r] = q;
   }
   // Round-robin cursors per port, as in the paper's construction.
   std::vector<int> in_cursor(sw.num_inputs(), 0);
   std::vector<int> out_cursor(sw.num_outputs(), 0);
-  out.edge_to_input_index.reserve(flow_ids.size());
+  out->edge_to_input_index.clear();
+  out->edge_to_input_index.reserve(flow_ids.size());
   for (std::size_t i = 0; i < flow_ids.size(); ++i) {
     const Flow& e = instance.flow(flow_ids[i]);
     FS_CHECK_MSG(e.demand == 1,
@@ -45,9 +46,15 @@ ReplicatedGraph Replicate(const Instance& instance,
     const int rv = out_base[e.dst] + out_cursor[e.dst];
     in_cursor[e.src] = (in_cursor[e.src] + 1) % cap_in;
     out_cursor[e.dst] = (out_cursor[e.dst] + 1) % cap_out;
-    out.graph.AddEdge(lu, rv);
-    out.edge_to_input_index.push_back(static_cast<int>(i));
+    out->graph.AddEdge(lu, rv);
+    out->edge_to_input_index.push_back(static_cast<int>(i));
   }
+}
+
+ReplicatedGraph Replicate(const Instance& instance,
+                          std::span<const FlowId> flow_ids) {
+  ReplicatedGraph out;
+  Replicate(instance, flow_ids, &out);
   return out;
 }
 

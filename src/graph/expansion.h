@@ -32,6 +32,12 @@ struct ReplicatedGraph {
 ReplicatedGraph Replicate(const Instance& instance,
                           std::span<const FlowId> flow_ids);
 
+// Buffer-reusing overload: rebuilds into *out, keeping its graph adjacency
+// and mapping storage alive. Callers replicating every interval (Theorem 1)
+// or every round reuse one ReplicatedGraph instead of reallocating.
+void Replicate(const Instance& instance, std::span<const FlowId> flow_ids,
+               ReplicatedGraph* out);
+
 }  // namespace flowsched
 
 #endif  // FLOWSCHED_GRAPH_EXPANSION_H_

@@ -1,94 +1,103 @@
 #include "graph/hopcroft_karp.h"
 
 #include <limits>
-#include <queue>
+
+#include "util/check.h"
 
 namespace flowsched {
 namespace {
 
 constexpr int kInf = std::numeric_limits<int>::max();
 
-// Standard Hopcroft–Karp over vertex adjacency; parallel edges are harmless
-// (only one copy can ever be matched).
-class HopcroftKarp {
- public:
-  explicit HopcroftKarp(const BipartiteGraph& g)
-      : g_(g),
-        match_left_(g.num_left(), -1),   // Edge id matched at left vertex.
-        match_right_(g.num_right(), -1),
-        dist_(g.num_left(), kInf) {}
+}  // namespace
 
-  std::vector<int> Run() {
-    while (Bfs()) {
-      for (int u = 0; u < g_.num_left(); ++u) {
-        if (match_left_[u] == -1) Dfs(u);
-      }
-    }
-    std::vector<int> edges;
-    for (int u = 0; u < g_.num_left(); ++u) {
-      if (match_left_[u] != -1) edges.push_back(match_left_[u]);
-    }
-    return edges;
+void HopcroftKarpSolver::Solve(const BipartiteGraph& g, std::vector<int>* out) {
+  match_left_.assign(g.num_left(), -1);
+  match_right_.assign(g.num_right(), -1);
+  Run(g, out);
+}
+
+void HopcroftKarpSolver::SolveWarm(const BipartiteGraph& g,
+                                   std::span<const int> seed_matching,
+                                   std::vector<int>* out) {
+  match_left_.assign(g.num_left(), -1);
+  match_right_.assign(g.num_right(), -1);
+  for (int e : seed_matching) {
+    FS_CHECK(e >= 0 && e < g.num_edges());
+    const int u = g.edge(e).u;
+    const int v = g.edge(e).v;
+    FS_CHECK_MSG(match_left_[u] == -1 && match_right_[v] == -1,
+                 "warm-start seed is not a matching");
+    match_left_[u] = e;
+    match_right_[v] = e;
   }
+  Run(g, out);
+}
 
- private:
-  // Layers free left vertices; returns true if an augmenting path exists.
-  bool Bfs() {
-    std::queue<int> q;
-    for (int u = 0; u < g_.num_left(); ++u) {
-      if (match_left_[u] == -1) {
-        dist_[u] = 0;
-        q.push(u);
-      } else {
-        dist_[u] = kInf;
-      }
+void HopcroftKarpSolver::Run(const BipartiteGraph& g, std::vector<int>* out) {
+  dist_.assign(g.num_left(), kInf);
+  while (Bfs(g)) {
+    for (int u = 0; u < g.num_left(); ++u) {
+      if (match_left_[u] == -1) Dfs(g, u);
     }
-    bool found = false;
-    while (!q.empty()) {
-      const int u = q.front();
-      q.pop();
-      for (int e : g_.left_adj(u)) {
-        const int v = g_.edge(e).v;
-        const int me = match_right_[v];
-        if (me == -1) {
-          found = true;
-        } else {
-          const int w = g_.edge(me).u;
-          if (dist_[w] == kInf) {
-            dist_[w] = dist_[u] + 1;
-            q.push(w);
-          }
+  }
+  out->clear();
+  for (int u = 0; u < g.num_left(); ++u) {
+    if (match_left_[u] != -1) out->push_back(match_left_[u]);
+  }
+}
+
+// Layers free left vertices; returns true if an augmenting path exists.
+bool HopcroftKarpSolver::Bfs(const BipartiteGraph& g) {
+  queue_.clear();
+  for (int u = 0; u < g.num_left(); ++u) {
+    if (match_left_[u] == -1) {
+      dist_[u] = 0;
+      queue_.push_back(u);
+    } else {
+      dist_[u] = kInf;
+    }
+  }
+  bool found = false;
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const int u = queue_[head];
+    for (int e : g.left_adj(u)) {
+      const int v = g.edge(e).v;
+      const int me = match_right_[v];
+      if (me == -1) {
+        found = true;
+      } else {
+        const int w = g.edge(me).u;
+        if (dist_[w] == kInf) {
+          dist_[w] = dist_[u] + 1;
+          queue_.push_back(w);
         }
       }
     }
-    return found;
   }
+  return found;
+}
 
-  bool Dfs(int u) {
-    for (int e : g_.left_adj(u)) {
-      const int v = g_.edge(e).v;
-      const int me = match_right_[v];
-      if (me == -1 ||
-          (dist_[g_.edge(me).u] == dist_[u] + 1 && Dfs(g_.edge(me).u))) {
-        match_left_[u] = e;
-        match_right_[v] = e;
-        return true;
-      }
+bool HopcroftKarpSolver::Dfs(const BipartiteGraph& g, int u) {
+  for (int e : g.left_adj(u)) {
+    const int v = g.edge(e).v;
+    const int me = match_right_[v];
+    if (me == -1 ||
+        (dist_[g.edge(me).u] == dist_[u] + 1 && Dfs(g, g.edge(me).u))) {
+      match_left_[u] = e;
+      match_right_[v] = e;
+      return true;
     }
-    dist_[u] = kInf;
-    return false;
   }
-
-  const BipartiteGraph& g_;
-  std::vector<int> match_left_;
-  std::vector<int> match_right_;
-  std::vector<int> dist_;
-};
-
-}  // namespace
+  dist_[u] = kInf;
+  return false;
+}
 
 std::vector<int> MaxCardinalityMatching(const BipartiteGraph& g) {
-  return HopcroftKarp(g).Run();
+  HopcroftKarpSolver solver;
+  std::vector<int> edges;
+  solver.Solve(g, &edges);
+  return edges;
 }
 
 }  // namespace flowsched

@@ -1,124 +1,364 @@
 #include "graph/max_weight_matching.h"
 
-#include <algorithm>
+#include <cstdint>
 #include <limits>
 
 #include "util/check.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define FLOWSCHED_MWM_X86 1
+#include <immintrin.h>
+#endif
 
 namespace flowsched {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Hungarian algorithm (potentials + shortest augmenting path), minimizing
-// cost over a dense n x m matrix with n <= m. Returns assignment[row] = col.
-// Classic formulation from cp-algorithms; handles arbitrary real costs.
-std::vector<int> HungarianMinCost(const std::vector<std::vector<double>>& a) {
-  const int n = static_cast<int>(a.size());
-  const int m = n == 0 ? 0 : static_cast<int>(a[0].size());
-  FS_CHECK_LE(n, m);
-  std::vector<double> u(n + 1, 0.0);
-  std::vector<double> v(m + 1, 0.0);
-  std::vector<int> p(m + 1, 0);    // p[j] = row matched to column j (1-based).
-  std::vector<int> way(m + 1, 0);
-  for (int i = 1; i <= n; ++i) {
-    p[0] = i;
-    int j0 = 0;
-    std::vector<double> minv(m + 1, kInf);
-    std::vector<char> used(m + 1, 0);
-    do {
-      used[j0] = 1;
-      const int i0 = p[j0];
-      double delta = kInf;
-      int j1 = -1;
-      for (int j = 1; j <= m; ++j) {
-        if (used[j]) continue;
-        const double cur = a[i0 - 1][j - 1] - u[i0] - v[j];
-        if (cur < minv[j]) {
-          minv[j] = cur;
-          way[j] = j0;
-        }
-        if (minv[j] < delta) {
-          delta = minv[j];
-          j1 = j;
-        }
-      }
-      FS_CHECK_GE(j1, 0);
-      for (int j = 0; j <= m; ++j) {
-        if (used[j]) {
-          u[p[j]] += delta;
-          v[j] -= delta;
-        } else {
-          minv[j] -= delta;
-        }
-      }
-      j0 = j1;
-    } while (p[j0] != 0);
-    do {
-      const int j1 = way[j0];
-      p[j0] = p[j1];
-      j0 = j1;
-    } while (j0 != 0);
+// The fused Hungarian row scan + delta search over all m columns:
+//   minv[j] = min(minv[j] - delta, arow[j] - ui - vv[j])
+// recording way[j] = j0 where the fresh candidate wins, and returning
+// (best, j1) = the minimum updated minv and the FIRST column attaining it.
+//
+// `delta` folds the previous iteration's uniform "minv -= delta" update
+// into this scan (one subtraction either way — identical value, one fewer
+// memory pass). Used columns carry vv[j] = -inf, which drives their
+// candidate to +inf so they can never win a comparison; their minv is
+// already pinned to +inf, and +inf - delta stays +inf, so they also never
+// win the delta search. Every element sees the same IEEE operations in the
+// same order as the classic formulation, and the first-column tie-break of
+// the sequential strict-< scan is reproduced exactly, so the returned pair
+// — and therefore the final matching — is identical on every code path.
+struct ScanResult {
+  double best;
+  int j1;  // 0-based column, -1 when every entry is +inf.
+};
+
+ScanResult ScanRowScalar(const double* arow, double ui, const double* vv,
+                         double* minv, std::int64_t* way, int m, double delta,
+                         std::int64_t j0) {
+  double best = kInf;
+  int j1 = -1;
+  for (int j = 0; j < m; ++j) {
+    const double mv = minv[j] - delta;
+    const double cur = arow[j] - ui - vv[j];
+    const bool better = cur < mv;
+    const double nm = better ? cur : mv;
+    minv[j] = nm;
+    way[j] = better ? j0 : way[j];
+    if (nm < best) {
+      best = nm;
+      j1 = j;
+    }
   }
-  std::vector<int> assignment(n, -1);
-  for (int j = 1; j <= m; ++j) {
-    if (p[j] != 0) assignment[p[j] - 1] = j - 1;
+  return {best, j1};
+}
+
+#if FLOWSCHED_MWM_X86
+
+__attribute__((target("avx2"))) ScanResult ScanRowAvx2(
+    const double* arow, double ui, const double* vv, double* minv,
+    std::int64_t* way, int m, double delta, std::int64_t j0) {
+  const __m256d delta_b = _mm256_set1_pd(delta);
+  const __m256d ui_b = _mm256_set1_pd(ui);
+  const __m256i j0_b = _mm256_set1_epi64x(j0);
+  __m256d run_min = _mm256_set1_pd(kInf);
+  __m256i run_idx = _mm256_set1_epi64x(-1);
+  __m256i jvec = _mm256_setr_epi64x(0, 1, 2, 3);
+  const __m256i four = _mm256_set1_epi64x(4);
+  int j = 0;
+  if (delta == 0.0) {
+    // Tie-heavy instances produce many zero deltas; x - (+/-0.0) differs
+    // from x at most in the sign of a zero, which no comparison can see, so
+    // minv only changes where a candidate wins — skip the stores (and the
+    // way load) whenever the win mask is empty.
+    for (; j + 4 <= m; j += 4) {
+      const __m256d mv = _mm256_loadu_pd(minv + j);
+      const __m256d cur = _mm256_sub_pd(
+          _mm256_sub_pd(_mm256_loadu_pd(arow + j), ui_b),
+          _mm256_loadu_pd(vv + j));
+      const __m256d better = _mm256_cmp_pd(cur, mv, _CMP_LT_OQ);
+      __m256d nm = mv;
+      if (_mm256_movemask_pd(better) != 0) {
+        nm = _mm256_blendv_pd(mv, cur, better);
+        _mm256_storeu_pd(minv + j, nm);
+        const __m256i wv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(way + j));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(way + j),
+            _mm256_blendv_epi8(wv, j0_b, _mm256_castpd_si256(better)));
+      }
+      const __m256d lt = _mm256_cmp_pd(nm, run_min, _CMP_LT_OQ);
+      run_min = _mm256_blendv_pd(run_min, nm, lt);
+      run_idx = _mm256_blendv_epi8(run_idx, jvec, _mm256_castpd_si256(lt));
+      jvec = _mm256_add_epi64(jvec, four);
+    }
   }
-  return assignment;
+  for (; j + 4 <= m; j += 4) {
+    const __m256d mv =
+        _mm256_sub_pd(_mm256_loadu_pd(minv + j), delta_b);
+    const __m256d cur = _mm256_sub_pd(
+        _mm256_sub_pd(_mm256_loadu_pd(arow + j), ui_b),
+        _mm256_loadu_pd(vv + j));
+    const __m256d better = _mm256_cmp_pd(cur, mv, _CMP_LT_OQ);
+    const __m256d nm = _mm256_blendv_pd(mv, cur, better);
+    _mm256_storeu_pd(minv + j, nm);
+    const __m256i wv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(way + j));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(way + j),
+        _mm256_blendv_epi8(wv, j0_b, _mm256_castpd_si256(better)));
+    // Per-lane strict-< argmin: each lane keeps the first index (within its
+    // stride-4 subsequence) attaining its running minimum.
+    const __m256d lt = _mm256_cmp_pd(nm, run_min, _CMP_LT_OQ);
+    run_min = _mm256_blendv_pd(run_min, nm, lt);
+    run_idx = _mm256_blendv_epi8(run_idx, jvec, _mm256_castpd_si256(lt));
+    jvec = _mm256_add_epi64(jvec, four);
+  }
+  // Lane combine: strictly smaller value wins; equal values keep the
+  // smaller column — together this reproduces the sequential first-argmin.
+  alignas(32) double lane_min[4];
+  alignas(32) std::int64_t lane_idx[4];
+  _mm256_store_pd(lane_min, run_min);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lane_idx), run_idx);
+  double best = kInf;
+  std::int64_t j1 = -1;
+  for (int lane = 0; lane < 4; ++lane) {
+    if (lane_idx[lane] < 0) continue;  // Lane never saw a finite value.
+    if (lane_min[lane] < best ||
+        (lane_min[lane] == best && lane_idx[lane] < j1)) {
+      best = lane_min[lane];
+      j1 = lane_idx[lane];
+    }
+  }
+  // Tail columns come after every vectorized column, so strict < keeps the
+  // earlier winner on ties.
+  for (; j < m; ++j) {
+    const double mv = minv[j] - delta;
+    const double cur = arow[j] - ui - vv[j];
+    const bool better = cur < mv;
+    const double nm = better ? cur : mv;
+    minv[j] = nm;
+    way[j] = better ? j0 : way[j];
+    if (nm < best) {
+      best = nm;
+      j1 = j;
+    }
+  }
+  return {best, static_cast<int>(j1)};
+}
+
+__attribute__((target("avx512f"))) ScanResult ScanRowAvx512(
+    const double* arow, double ui, const double* vv, double* minv,
+    std::int64_t* way, int m, double delta, std::int64_t j0) {
+  const __m512d delta_b = _mm512_set1_pd(delta);
+  const __m512d ui_b = _mm512_set1_pd(ui);
+  const __m512i j0_b = _mm512_set1_epi64(j0);
+  __m512d run_min = _mm512_set1_pd(kInf);
+  __m512i run_idx = _mm512_set1_epi64(-1);
+  __m512i jvec = _mm512_setr_epi64(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m512i eight = _mm512_set1_epi64(8);
+  int j = 0;
+  if (delta == 0.0) {
+    // See the AVX2 path: zero deltas leave minv bitwise unchanged (up to
+    // invisible zero signs) except where a candidate wins, so stores and
+    // the way load are masked out entirely on empty win masks.
+    for (; j + 8 <= m; j += 8) {
+      const __m512d mv = _mm512_loadu_pd(minv + j);
+      const __m512d cur = _mm512_sub_pd(
+          _mm512_sub_pd(_mm512_loadu_pd(arow + j), ui_b),
+          _mm512_loadu_pd(vv + j));
+      const __mmask8 better = _mm512_cmp_pd_mask(cur, mv, _CMP_LT_OQ);
+      __m512d nm = mv;
+      if (better != 0) {
+        nm = _mm512_mask_blend_pd(better, mv, cur);
+        _mm512_storeu_pd(minv + j, nm);
+        _mm512_mask_storeu_epi64(way + j, better, j0_b);
+      }
+      const __mmask8 lt = _mm512_cmp_pd_mask(nm, run_min, _CMP_LT_OQ);
+      run_min = _mm512_mask_blend_pd(lt, run_min, nm);
+      run_idx = _mm512_mask_blend_epi64(lt, run_idx, jvec);
+      jvec = _mm512_add_epi64(jvec, eight);
+    }
+  }
+  for (; j + 8 <= m; j += 8) {
+    const __m512d mv = _mm512_sub_pd(_mm512_loadu_pd(minv + j), delta_b);
+    const __m512d cur = _mm512_sub_pd(
+        _mm512_sub_pd(_mm512_loadu_pd(arow + j), ui_b),
+        _mm512_loadu_pd(vv + j));
+    const __mmask8 better = _mm512_cmp_pd_mask(cur, mv, _CMP_LT_OQ);
+    const __m512d nm = _mm512_mask_blend_pd(better, mv, cur);
+    _mm512_storeu_pd(minv + j, nm);
+    const __m512i wv = _mm512_loadu_si512(way + j);
+    _mm512_storeu_si512(way + j, _mm512_mask_blend_epi64(better, wv, j0_b));
+    const __mmask8 lt = _mm512_cmp_pd_mask(nm, run_min, _CMP_LT_OQ);
+    run_min = _mm512_mask_blend_pd(lt, run_min, nm);
+    run_idx = _mm512_mask_blend_epi64(lt, run_idx, jvec);
+    jvec = _mm512_add_epi64(jvec, eight);
+  }
+  alignas(64) double lane_min[8];
+  alignas(64) std::int64_t lane_idx[8];
+  _mm512_store_pd(lane_min, run_min);
+  _mm512_store_si512(lane_idx, run_idx);
+  double best = kInf;
+  std::int64_t j1 = -1;
+  for (int lane = 0; lane < 8; ++lane) {
+    if (lane_idx[lane] < 0) continue;  // Lane never saw a finite value.
+    if (lane_min[lane] < best ||
+        (lane_min[lane] == best && lane_idx[lane] < j1)) {
+      best = lane_min[lane];
+      j1 = lane_idx[lane];
+    }
+  }
+  for (; j < m; ++j) {
+    const double mv = minv[j] - delta;
+    const double cur = arow[j] - ui - vv[j];
+    const bool better = cur < mv;
+    const double nm = better ? cur : mv;
+    minv[j] = nm;
+    way[j] = better ? j0 : way[j];
+    if (nm < best) {
+      best = nm;
+      j1 = j;
+    }
+  }
+  return {best, static_cast<int>(j1)};
+}
+
+#endif  // FLOWSCHED_MWM_X86
+
+using ScanRowFn = ScanResult (*)(const double*, double, const double*,
+                                 double*, std::int64_t*, int, double,
+                                 std::int64_t);
+
+ScanRowFn ResolveScanRow() {
+#if FLOWSCHED_MWM_X86
+  if (__builtin_cpu_supports("avx512f")) return ScanRowAvx512;
+  if (__builtin_cpu_supports("avx2")) return ScanRowAvx2;
+#endif
+  return ScanRowScalar;
 }
 
 }  // namespace
 
-std::vector<int> MaxWeightMatching(const BipartiteGraph& g,
-                                   std::span<const double> weight) {
+void MaxWeightMatcher::Solve(const BipartiteGraph& g,
+                             std::span<const double> weight,
+                             std::vector<int>* out) {
   FS_CHECK_EQ(static_cast<int>(weight.size()), g.num_edges());
-  if (g.num_edges() == 0) return {};
+  out->clear();
+  if (g.num_edges() == 0) return;
+
   // Only left/right vertices that actually carry edges participate; compact
   // them so the dense matrix stays as small as the backlog, not the switch.
-  std::vector<int> left_ids;
-  std::vector<int> right_ids;
-  std::vector<int> left_index(g.num_left(), -1);
-  std::vector<int> right_index(g.num_right(), -1);
+  left_index_.assign(g.num_left(), -1);
+  right_index_.assign(g.num_right(), -1);
+  left_ids_.clear();
+  right_ids_.clear();
   for (const auto& e : g.edges()) {
-    if (left_index[e.u] == -1) {
-      left_index[e.u] = static_cast<int>(left_ids.size());
-      left_ids.push_back(e.u);
+    if (left_index_[e.u] == -1) {
+      left_index_[e.u] = static_cast<int>(left_ids_.size());
+      left_ids_.push_back(e.u);
     }
-    if (right_index[e.v] == -1) {
-      right_index[e.v] = static_cast<int>(right_ids.size());
-      right_ids.push_back(e.v);
+    if (right_index_[e.v] == -1) {
+      right_index_[e.v] = static_cast<int>(right_ids_.size());
+      right_ids_.push_back(e.v);
     }
   }
-  const int nl = static_cast<int>(left_ids.size());
-  const int nr = static_cast<int>(right_ids.size());
+  const int nl = static_cast<int>(left_ids_.size());
+  const int nr = static_cast<int>(right_ids_.size());
   // Keep, per (u, v) cell, the best (max-weight) edge; parallel edges can
   // never both be matched. Cells without an edge cost 0 == "leave unmatched".
   const bool transpose = nl > nr;
   const int rows = transpose ? nr : nl;
   const int cols = transpose ? nl : nr;
-  std::vector<std::vector<double>> cost(rows, std::vector<double>(cols, 0.0));
-  std::vector<std::vector<int>> best_edge(rows, std::vector<int>(cols, -1));
+  cost_.assign(static_cast<std::size_t>(rows) * cols, 0.0);
+  best_edge_.assign(static_cast<std::size_t>(rows) * cols, -1);
   for (int e = 0; e < g.num_edges(); ++e) {
     FS_CHECK_GE(weight[e], 0.0);
-    int r = left_index[g.edge(e).u];
-    int c = right_index[g.edge(e).v];
+    int r = left_index_[g.edge(e).u];
+    int c = right_index_[g.edge(e).v];
     if (transpose) std::swap(r, c);
-    if (best_edge[r][c] == -1 || weight[e] > -cost[r][c]) {
-      cost[r][c] = -weight[e];
-      best_edge[r][c] = e;
+    const std::size_t rc = static_cast<std::size_t>(r) * cols + c;
+    if (best_edge_[rc] == -1 || weight[e] > -cost_[rc]) {
+      cost_[rc] = -weight[e];
+      best_edge_[rc] = e;
     }
   }
-  const std::vector<int> assignment = HungarianMinCost(cost);
-  std::vector<int> matching;
+
+  // Hungarian algorithm (potentials + shortest augmenting path), minimizing
+  // cost over the dense rows x cols matrix with rows <= cols. Classic
+  // cp-algorithms formulation restructured for streaming over flat reused
+  // arrays; the restructure is value-preserving (see HungarianScanRow and
+  // the masked-potential scheme), so the matching comes back identical to
+  // the historical implementation edge for edge.
+  static const ScanRowFn scan_row = ResolveScanRow();
+  const int n = rows;
+  const int m = cols;
+  u_.assign(n + 1, 0.0);
+  v_.assign(m + 1, 0.0);
+  vv_.assign(m + 1, 0.0);  // == v_ while a column is open, -inf once used.
+  p_.assign(m + 1, 0);     // p_[j] = row matched to column j (1-based).
+  way_.assign(m + 1, 0);
+  minv_.resize(m + 1);
+  for (int i = 1; i <= n; ++i) {
+    p_[0] = i;
+    int j0 = 0;
+    for (int j = 1; j <= m; ++j) minv_[j] = kInf;
+    used_cols_.clear();
+    double delta = 0.0;  // Folded into the next row scan.
+    do {
+      used_cols_.push_back(j0);
+      if (j0 >= 1) vv_[j0] = -kInf;
+      minv_[j0] = kInf;
+      const int i0 = p_[j0];
+      const double* arow =
+          cost_.data() + static_cast<std::size_t>(i0 - 1) * m;
+      const ScanResult scan =
+          scan_row(arow, u_[i0], vv_.data() + 1, minv_.data() + 1,
+                   way_.data() + 1, m, delta, j0);
+      const int j1 = scan.j1 + 1;  // Back to 1-based columns.
+      FS_CHECK_GE(scan.j1, 0);
+      if (scan.best != 0.0) {  // +/- 0 updates cannot change any comparison.
+        for (int j : used_cols_) {
+          u_[p_[j]] += scan.best;
+          v_[j] -= scan.best;
+        }
+      }
+      delta = scan.best;
+      j0 = j1;
+    } while (p_[j0] != 0);
+    for (int j : used_cols_) {
+      if (j >= 1) vv_[j] = v_[j];  // Re-open the column for the next row.
+    }
+    do {
+      const int j1 = static_cast<int>(way_[j0]);
+      p_[j0] = p_[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+  assignment_.assign(n, -1);
+  for (int j = 1; j <= m; ++j) {
+    if (p_[j] != 0) assignment_[p_[j] - 1] = j - 1;
+  }
+
   for (int r = 0; r < rows; ++r) {
-    const int c = assignment[r];
+    const int c = assignment_[r];
+    if (c < 0) continue;
     // Zero-weight cells are "unmatched" pads; only keep real positive picks
     // plus real zero-weight edges (harmless either way, so require an edge).
-    if (c >= 0 && best_edge[r][c] != -1 && weight[best_edge[r][c]] >= 0.0 &&
-        cost[r][c] < 0.0) {
-      matching.push_back(best_edge[r][c]);
+    const std::size_t rc = static_cast<std::size_t>(r) * cols + c;
+    if (best_edge_[rc] != -1 && weight[best_edge_[rc]] >= 0.0 &&
+        cost_[rc] < 0.0) {
+      out->push_back(best_edge_[rc]);
     }
   }
+}
+
+std::vector<int> MaxWeightMatching(const BipartiteGraph& g,
+                                   std::span<const double> weight) {
+  MaxWeightMatcher matcher;
+  std::vector<int> matching;
+  matcher.Solve(g, weight, &matching);
   return matching;
 }
 

@@ -1,12 +1,22 @@
 // Maximum-weight bipartite matching (not necessarily perfect).
 //
-// Used by the MinRTime and MaxWeight online heuristics (paper §5.2.1),
-// which each round extract a maximum-weight matching from the backlog graph.
-// Weights must be non-negative; leaving a vertex unmatched is always allowed
-// (equivalently, the matching maximizes total weight, not cardinality).
+// Used by the MinRTime, MaxWeight and Hybrid online heuristics (paper
+// §5.2.1), which each round extract a maximum-weight matching from the
+// backlog graph. Weights must be non-negative; leaving a vertex unmatched is
+// always allowed (equivalently, the matching maximizes total weight, not
+// cardinality).
+//
+// The solver class keeps the dense cost matrix and all Hungarian scratch
+// alive across calls: per-round calls in the simulator hot loop touch the
+// heap only while the backlog is still growing past its previous peak. The
+// result is bit-identical to the historical one-shot implementation — the
+// inner loops were restructured (flat matrix, inert-column sentinels) but
+// every floating-point operation sequence that feeds a comparison is
+// preserved, so the same matching comes back edge for edge.
 #ifndef FLOWSCHED_GRAPH_MAX_WEIGHT_MATCHING_H_
 #define FLOWSCHED_GRAPH_MAX_WEIGHT_MATCHING_H_
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -14,10 +24,36 @@
 
 namespace flowsched {
 
-// Returns edge indices of a maximum-weight matching of `g` with the given
-// per-edge weights (weight.size() == g.num_edges(), all weights >= 0).
-// Runs the O(n^3) Hungarian algorithm on a dense padded matrix; for the
-// switch sizes in this project (ports <= a few hundred) this is fast.
+class MaxWeightMatcher {
+ public:
+  // Overwrites *out with edge indices of a maximum-weight matching of `g`
+  // under the given per-edge weights (weight.size() == g.num_edges(), all
+  // weights >= 0). Runs the O(n^3) Hungarian algorithm on a dense matrix
+  // over the vertices that actually carry edges.
+  void Solve(const BipartiteGraph& g, std::span<const double> weight,
+             std::vector<int>* out);
+
+ private:
+  // Vertex compaction scratch.
+  std::vector<int> left_index_;
+  std::vector<int> right_index_;
+  std::vector<int> left_ids_;
+  std::vector<int> right_ids_;
+  // Dense matrix over compacted vertices, row-major (rows <= cols).
+  std::vector<double> cost_;
+  std::vector<int> best_edge_;
+  // Hungarian state (1-based over cols, index 0 is the virtual column).
+  std::vector<double> u_;
+  std::vector<double> v_;
+  std::vector<double> minv_;
+  std::vector<double> vv_;  // == v_ for open columns, -inf once used.
+  std::vector<int> p_;
+  std::vector<std::int64_t> way_;
+  std::vector<int> used_cols_;
+  std::vector<int> assignment_;
+};
+
+// One-shot convenience wrapper around MaxWeightMatcher.
 std::vector<int> MaxWeightMatching(const BipartiteGraph& g,
                                    std::span<const double> weight);
 

@@ -26,6 +26,10 @@ class Instance {
   // Adds a flow (id assigned automatically); returns its id.
   FlowId AddFlow(PortId src, PortId dst, Capacity demand = 1, Round release = 0);
 
+  // Pre-sizes the flow list for callers that grow an instance flow by flow
+  // (trace parsers, generators, the simulator's realized instance).
+  void Reserve(int num_flows) { flows_.reserve(num_flows); }
+
   // Returns an error message if the instance is malformed (port out of
   // range, demand < 1 or > kappa_e, negative release), nullopt when valid.
   //

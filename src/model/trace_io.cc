@@ -37,6 +37,7 @@ bool ParseCapacityRow(const std::vector<std::string>& row,
                       std::size_t row_index, std::vector<Capacity>& caps,
                       std::string* error) {
   caps.clear();
+  caps.reserve(row.size());
   for (const auto& field : row) {
     std::int64_t v = 0;
     if (!ParseInt64(field, v)) {
@@ -54,6 +55,7 @@ void WriteInstanceCsv(const Instance& instance, std::ostream& out) {
   w.Row("input_capacities");
   {
     std::vector<std::string> row;
+    row.reserve(instance.sw().num_inputs());
     for (Capacity c : instance.sw().input_capacities()) {
       row.push_back(std::to_string(c));
     }
@@ -62,6 +64,7 @@ void WriteInstanceCsv(const Instance& instance, std::ostream& out) {
   w.Row("output_capacities");
   {
     std::vector<std::string> row;
+    row.reserve(instance.sw().num_outputs());
     for (Capacity c : instance.sw().output_capacities()) {
       row.push_back(std::to_string(c));
     }
@@ -91,6 +94,7 @@ std::optional<Instance> ReadInstanceCsv(const std::string& content,
     return std::nullopt;
   }
   std::vector<Flow> flows;
+  flows.reserve(rows.size() - 5);
   for (std::size_t i = 5; i < rows.size(); ++i) {
     const auto& row = rows[i];
     if (row.size() != 4) {
@@ -112,7 +116,7 @@ std::optional<Instance> ReadInstanceCsv(const std::string& content,
     Fail(error, *verr);
     return std::nullopt;
   }
-  return instance;
+  return instance;  // Implicitly moved into the optional (C++20).
 }
 
 void WriteScheduleCsv(const Schedule& schedule, std::ostream& out) {

@@ -4,6 +4,12 @@
 
 namespace flowsched {
 
+void ArrivalProcess::ArrivalsInto(Round t, std::span<const Flow> pending,
+                                  std::vector<Flow>* out) {
+  const std::vector<Flow> arrived = Arrivals(t, pending);
+  out->insert(out->end(), arrived.begin(), arrived.end());
+}
+
 ArtLowerBoundAdversary::ArtLowerBoundAdversary(int phase_rounds,
                                                int total_rounds)
     : phase_rounds_(phase_rounds), total_rounds_(total_rounds) {

@@ -24,9 +24,21 @@ class ArrivalProcess {
   // simulator; ids are assigned on arrival).
   virtual std::vector<Flow> Arrivals(Round t,
                                      std::span<const Flow> pending) = 0;
+  // Out-parameter overload used by the simulator hot loop: appends round-t
+  // arrivals to *out (which the caller has cleared). The default adapts
+  // Arrivals(); processes on hot paths override this to stay
+  // allocation-free.
+  virtual void ArrivalsInto(Round t, std::span<const Flow> pending,
+                            std::vector<Flow>* out);
   // True when no arrivals will occur at or after round t (the simulator then
   // only drains the backlog).
   virtual bool Exhausted(Round t) const = 0;
+  // Earliest round >= t at which flows may be released. The simulator uses
+  // this to fast-forward idle gaps while the backlog is empty. The default
+  // returns t ("maybe right now"), which is the only safe answer for
+  // adaptive adversaries that must be polled every round; replayed traces
+  // know their release order and skip ahead.
+  virtual Round NextArrivalRound(Round t) const { return t; }
 };
 
 // Lemma 5.1 / Figure 4(a): unbounded average-response competitive ratio.

@@ -89,5 +89,133 @@ TEST(EdgeColoringTest, LargeDenseGraphStressValid) {
   EXPECT_EQ(ec.num_colors, g.MaxDegree());
 }
 
+// --- Euler-split cross-validation against the König reference. ------------
+
+TEST(EulerSplitTest, SingleEdgeAndParallelEdges) {
+  BipartiteGraph g(1, 1);
+  g.AddEdge(0, 0);
+  EdgeColoring ec = ColorBipartiteEdges(g, EdgeColoringAlgorithm::kEulerSplit);
+  EXPECT_EQ(ec.num_colors, 1);
+  EXPECT_TRUE(IsValidEdgeColoring(g, ec));
+  for (int i = 0; i < 4; ++i) g.AddEdge(0, 0);
+  ec = ColorBipartiteEdges(g, EdgeColoringAlgorithm::kEulerSplit);
+  EXPECT_EQ(ec.num_colors, 5);
+  EXPECT_TRUE(IsValidEdgeColoring(g, ec));
+}
+
+TEST(EulerSplitTest, EdgelessAndDegreeOneGraphs) {
+  const BipartiteGraph empty(3, 5);
+  const EdgeColoring ec0 =
+      ColorBipartiteEdges(empty, EdgeColoringAlgorithm::kEulerSplit);
+  EXPECT_EQ(ec0.color_of_edge.size(), 0u);
+  // A perfect matching needs exactly one color.
+  BipartiteGraph g(6, 6);
+  for (int i = 0; i < 6; ++i) g.AddEdge(i, (i + 2) % 6);
+  const EdgeColoring ec =
+      ColorBipartiteEdges(g, EdgeColoringAlgorithm::kEulerSplit);
+  EXPECT_EQ(ec.num_colors, 1);
+  EXPECT_TRUE(IsValidEdgeColoring(g, ec));
+}
+
+TEST(EulerSplitTest, RectangularSides) {
+  // num_left != num_right exercises the square regularization.
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    Rng r = rng.Fork(trial);
+    const int nl = r.UniformInt(1, 12);
+    const int nr = r.UniformInt(1, 12);
+    const int edges = r.UniformInt(1, 4 * std::max(nl, nr));
+    BipartiteGraph g(nl, nr);
+    for (int i = 0; i < edges; ++i) {
+      g.AddEdge(r.UniformInt(0, nl - 1), r.UniformInt(0, nr - 1));
+    }
+    const EdgeColoring ec =
+        ColorBipartiteEdges(g, EdgeColoringAlgorithm::kEulerSplit);
+    EXPECT_EQ(ec.num_colors, std::max(g.MaxDegree(), 1));
+    ASSERT_TRUE(IsValidEdgeColoring(g, ec));
+  }
+}
+
+// 1000+ random multigraphs: both algorithms must produce a valid coloring
+// with exactly max(MaxDegree, 1) colors. Shapes sweep sparse-to-dense,
+// skewed sides, heavy parallel edges, and hub (degree-concentrated) graphs.
+TEST(EulerSplitTest, CrossValidatesAgainstKoenigOnRandomMultigraphs) {
+  Rng rng(2026);
+  int checked = 0;
+  for (int trial = 0; trial < 1100; ++trial) {
+    Rng r = rng.Fork(trial);
+    const int shape = trial % 4;
+    int nl = 0;
+    int nr = 0;
+    int edges = 0;
+    BipartiteGraph g(1, 1);
+    if (shape == 0) {  // Uniform random, sparse to dense.
+      nl = r.UniformInt(1, 20);
+      nr = r.UniformInt(1, 20);
+      edges = r.UniformInt(0, 3 * (nl + nr));
+      g = BipartiteGraph(nl, nr);
+      for (int i = 0; i < edges; ++i) {
+        g.AddEdge(r.UniformInt(0, nl - 1), r.UniformInt(0, nr - 1));
+      }
+    } else if (shape == 1) {  // Parallel-edge heavy: few distinct pairs.
+      nl = r.UniformInt(1, 6);
+      nr = r.UniformInt(1, 6);
+      edges = r.UniformInt(1, 40);
+      g = BipartiteGraph(nl, nr);
+      const int pairs = r.UniformInt(1, 3);
+      for (int i = 0; i < edges; ++i) {
+        const int p = r.UniformInt(0, pairs - 1);
+        g.AddEdge((p * 7) % nl, (p * 5) % nr);
+      }
+    } else if (shape == 2) {  // Hub: one vertex carries most edges.
+      nl = r.UniformInt(2, 16);
+      nr = r.UniformInt(2, 16);
+      edges = r.UniformInt(1, 2 * nr);
+      g = BipartiteGraph(nl, nr);
+      for (int i = 0; i < edges; ++i) {
+        g.AddEdge(0, r.UniformInt(0, nr - 1));
+      }
+      g.AddEdge(r.UniformInt(1, nl - 1), r.UniformInt(0, nr - 1));
+    } else {  // Near-regular: round-robin with a few random extras.
+      nl = nr = r.UniformInt(2, 12);
+      const int d = r.UniformInt(1, 6);
+      g = BipartiteGraph(nl, nr);
+      for (int k = 0; k < d; ++k) {
+        for (int u = 0; u < nl; ++u) g.AddEdge(u, (u + k) % nr);
+      }
+      for (int i = r.UniformInt(0, 3); i > 0; --i) {
+        g.AddEdge(r.UniformInt(0, nl - 1), r.UniformInt(0, nr - 1));
+      }
+    }
+    const int want_colors = std::max(g.MaxDegree(), 1);
+    const EdgeColoring koenig =
+        ColorBipartiteEdges(g, EdgeColoringAlgorithm::kKoenig);
+    const EdgeColoring euler =
+        ColorBipartiteEdges(g, EdgeColoringAlgorithm::kEulerSplit);
+    ASSERT_EQ(koenig.num_colors, want_colors) << "trial " << trial;
+    ASSERT_EQ(euler.num_colors, want_colors) << "trial " << trial;
+    ASSERT_TRUE(IsValidEdgeColoring(g, koenig)) << "trial " << trial;
+    ASSERT_TRUE(IsValidEdgeColoring(g, euler)) << "trial " << trial;
+    ++checked;
+  }
+  EXPECT_GE(checked, 1000);
+}
+
+TEST(EulerSplitTest, DenseGraphMatchesKoenigColorCount) {
+  Rng rng(55);
+  BipartiteGraph g(48, 48);
+  for (int i = 0; i < 4000; ++i) {
+    g.AddEdge(rng.UniformInt(0, 47), rng.UniformInt(0, 47));
+  }
+  const EdgeColoring koenig =
+      ColorBipartiteEdges(g, EdgeColoringAlgorithm::kKoenig);
+  const EdgeColoring euler =
+      ColorBipartiteEdges(g, EdgeColoringAlgorithm::kEulerSplit);
+  EXPECT_EQ(koenig.num_colors, g.MaxDegree());
+  EXPECT_EQ(euler.num_colors, g.MaxDegree());
+  EXPECT_TRUE(IsValidEdgeColoring(g, koenig));
+  EXPECT_TRUE(IsValidEdgeColoring(g, euler));
+}
+
 }  // namespace
 }  // namespace flowsched

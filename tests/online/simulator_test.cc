@@ -63,9 +63,9 @@ TEST(SimulatorTest, MaxRoundsGuardTriggersOnIdlePolicy) {
   class IdlePolicy : public SchedulingPolicy {
    public:
     std::string_view name() const override { return "idle"; }
-    std::vector<int> SelectFlows(const SwitchSpec&, Round,
-                                 std::span<const PendingFlow>) override {
-      return {};
+    void SelectFlowsInto(const SwitchSpec&, Round, std::span<const PendingFlow>,
+                         std::vector<int>* picked) override {
+      picked->clear();
     }
   };
   Instance instance(SwitchSpec::Uniform(1, 1), {});
@@ -81,11 +81,13 @@ TEST(SimulatorTest, MisbehavingPolicyCaught) {
   class OverloadPolicy : public SchedulingPolicy {
    public:
     std::string_view name() const override { return "overload"; }
-    std::vector<int> SelectFlows(const SwitchSpec&, Round,
-                                 std::span<const PendingFlow> pending) override {
-      std::vector<int> all(pending.size());
-      for (std::size_t i = 0; i < pending.size(); ++i) all[i] = static_cast<int>(i);
-      return all;
+    void SelectFlowsInto(const SwitchSpec&, Round,
+                         std::span<const PendingFlow> pending,
+                         std::vector<int>* picked) override {
+      picked->resize(pending.size());
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        (*picked)[i] = static_cast<int>(i);
+      }
     }
   };
   Instance instance(SwitchSpec::Uniform(1, 1), {});

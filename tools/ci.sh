@@ -12,5 +12,11 @@ for build_type in Debug Release; do
   (cd "${build_dir}" && ctest --output-on-failure -j "$(nproc)")
   "./${build_dir}/tools/flowsched_cli" \
       --instance=poisson:ports=6,load=1.0,rounds=6 --solver=all
+  if [[ "${build_type}" == "Release" ]]; then
+    # Bench smoke: every cell must succeed; JSON is the artifact.
+    "./${build_dir}/tools/flowsched_bench" --suite=smoke --repeat=2 \
+        --out="${build_dir}/BENCH_smoke.json"
+    echo "bench smoke written to ${build_dir}/BENCH_smoke.json"
+  fi
 done
 echo "CI OK"

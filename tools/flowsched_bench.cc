@@ -1,0 +1,396 @@
+// flowsched_bench: the reproducible performance harness. Runs a fixed suite
+// of generator specs across registered solvers (validation off — the point
+// is to measure the scheduling hot path, not the audit scaffolding), times
+// the decomposition kernels, and writes a machine-readable BENCH_<suite>.json
+// so every future change has a comparable baseline. CI runs the "smoke"
+// suite in Release as a sanity check and uploads the JSON as an artifact.
+//
+// Usage:
+//   flowsched_bench [--suite=core|smoke] [--out=PATH] [--repeat=N]
+//                   [--seed=N] [--list]
+//
+// Suites:
+//   core   the paper-scale online suite — a 256x256 switch with ~50k
+//          Poisson flows plus shuffle / incast / Figure-4 instances across
+//          every online.* policy — and the König vs Euler-split edge
+//          coloring kernels on a dense multigraph.
+//   smoke  a down-scaled copy of core that finishes in seconds (CI).
+//
+// Timing: each (instance, solver) cell runs --repeat times (default 3) and
+// reports the fastest run — the minimum is the standard noise-robust
+// estimator for throughput benches on shared machines.
+//
+// The JSON schema is documented in README.md ("Performance" section).
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "api/instance_source.h"
+#include "api/registry.h"
+#include "graph/edge_coloring.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+// ---- Global allocation counter -------------------------------------------
+// Replacing the global operator new lets the harness report how many heap
+// allocations each measured run performs (the zero-allocation claim for the
+// simulator core is checked in CI from exactly this number).
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace flowsched {
+namespace {
+
+struct BenchCell {
+  std::string instance;
+  std::string solver;
+  bool ok = false;
+  std::string error;
+  double wall_seconds = 0.0;
+  long long rounds = 0;
+  double rounds_per_sec = 0.0;
+  long long peak_backlog = 0;
+  long long allocations = 0;
+  double total_response = 0.0;
+  double avg_response = 0.0;
+  double max_response = 0.0;
+  long long makespan = 0;
+};
+
+struct KernelCell {
+  std::string name;
+  long long edges = 0;
+  long long max_degree = 0;
+  long long num_colors = 0;
+  double wall_seconds = 0.0;
+};
+
+struct SuiteSpec {
+  std::string name;
+  std::vector<std::string> instances;
+  // Dense multigraph for the edge-coloring kernel comparison.
+  int coloring_side = 0;
+  int coloring_edges = 0;
+};
+
+SuiteSpec MakeSuite(const std::string& name) {
+  if (name == "core") {
+    return SuiteSpec{
+        "core",
+        {
+            "poisson:ports=256,load=1.0,rounds=195,seed=1",
+            "shuffle:ports=256,wave=64,waves=8,period=2",
+            "incast:ports=256,fanin=255",
+            "fig4a:phase=128,total=1024",
+            "fig4b",
+        },
+        /*coloring_side=*/256,
+        /*coloring_edges=*/200000,
+    };
+  }
+  if (name == "smoke") {
+    return SuiteSpec{
+        "smoke",
+        {
+            "poisson:ports=32,load=1.0,rounds=40,seed=1",
+            "incast:ports=32,fanin=31",
+            "fig4b",
+        },
+        /*coloring_side=*/64,
+        /*coloring_edges=*/4000,
+    };
+  }
+  return SuiteSpec{};
+}
+
+std::vector<std::string> OnlineSolverNames() {
+  std::vector<std::string> names;
+  for (const std::string& name : SolverRegistry::Global().Names()) {
+    if (name.rfind("online.", 0) == 0) names.push_back(name);
+  }
+  return names;
+}
+
+BenchCell RunCell(const std::string& instance_spec, const Instance& instance,
+                  const std::string& solver, std::uint64_t seed, int repeat) {
+  BenchCell cell;
+  cell.instance = instance_spec;
+  cell.solver = solver;
+  SolveOptions options;
+  options.seed = seed;
+  options.params["validate"] = "0";
+  for (int rep = 0; rep < repeat; ++rep) {
+    const std::uint64_t allocs_before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    const SolveReport report =
+        SolverRegistry::Global().Solve(solver, instance, options);
+    const std::uint64_t allocs_after =
+        g_alloc_count.load(std::memory_order_relaxed);
+    if (!report.ok) {
+      cell.ok = false;
+      cell.error = report.error;
+      return cell;
+    }
+    if (rep == 0 || report.wall_seconds < cell.wall_seconds) {
+      cell.wall_seconds = report.wall_seconds;
+      cell.allocations =
+          static_cast<long long>(allocs_after - allocs_before);
+    }
+    cell.ok = true;
+    cell.total_response = report.metrics.total_response;
+    cell.avg_response = report.metrics.avg_response;
+    cell.max_response = report.metrics.max_response;
+    cell.makespan = report.metrics.makespan;
+    const auto rounds = report.diagnostics.find("rounds_simulated");
+    cell.rounds = rounds == report.diagnostics.end()
+                      ? 0
+                      : static_cast<long long>(rounds->second);
+    const auto peak = report.diagnostics.find("peak_backlog");
+    cell.peak_backlog = peak == report.diagnostics.end()
+                            ? 0
+                            : static_cast<long long>(peak->second);
+  }
+  if (cell.wall_seconds > 0.0 && cell.rounds > 0) {
+    cell.rounds_per_sec = static_cast<double>(cell.rounds) / cell.wall_seconds;
+  }
+  return cell;
+}
+
+KernelCell RunColoringKernel(const std::string& name,
+                             EdgeColoringAlgorithm algorithm,
+                             const BipartiteGraph& g, int repeat) {
+  KernelCell cell;
+  cell.name = name;
+  cell.edges = g.num_edges();
+  cell.max_degree = g.MaxDegree();
+  for (int rep = 0; rep < repeat; ++rep) {
+    Stopwatch sw;
+    const EdgeColoring ec = ColorBipartiteEdges(g, algorithm);
+    const double s = sw.ElapsedSeconds();
+    if (rep == 0 || s < cell.wall_seconds) cell.wall_seconds = s;
+    cell.num_colors = ec.num_colors;
+  }
+  return cell;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string JsonNum(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void WriteJson(std::ostream& out, const SuiteSpec& suite,
+               const std::vector<BenchCell>& cells,
+               const std::vector<KernelCell>& kernels, int repeat,
+               std::uint64_t seed) {
+  long long total_rounds = 0;
+  double total_wall = 0.0;
+  for (const BenchCell& c : cells) {
+    if (!c.ok) continue;
+    total_rounds += c.rounds;
+    total_wall += c.wall_seconds;
+  }
+  out << "{\n";
+  out << "  \"suite\": \"" << JsonEscape(suite.name) << "\",\n";
+#ifdef NDEBUG
+  out << "  \"build_type\": \"Release\",\n";
+#else
+  out << "  \"build_type\": \"Debug\",\n";
+#endif
+  out << "  \"repeat\": " << repeat << ",\n";
+  out << "  \"seed\": " << seed << ",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const BenchCell& c = cells[i];
+    out << "    {\"instance\": \"" << JsonEscape(c.instance)
+        << "\", \"solver\": \"" << JsonEscape(c.solver) << "\", \"ok\": "
+        << (c.ok ? "true" : "false");
+    if (c.ok) {
+      out << ", \"wall_seconds\": " << JsonNum(c.wall_seconds)
+          << ", \"rounds\": " << c.rounds
+          << ", \"rounds_per_sec\": " << JsonNum(c.rounds_per_sec)
+          << ", \"peak_backlog\": " << c.peak_backlog
+          << ", \"allocations\": " << c.allocations
+          << ", \"total_response\": " << JsonNum(c.total_response)
+          << ", \"avg_response\": " << JsonNum(c.avg_response)
+          << ", \"max_response\": " << JsonNum(c.max_response)
+          << ", \"makespan\": " << c.makespan;
+    } else {
+      out << ", \"error\": \"" << JsonEscape(c.error) << "\"";
+    }
+    out << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"kernels\": [\n";
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const KernelCell& k = kernels[i];
+    out << "    {\"name\": \"" << JsonEscape(k.name) << "\", \"edges\": "
+        << k.edges << ", \"max_degree\": " << k.max_degree
+        << ", \"num_colors\": " << k.num_colors
+        << ", \"wall_seconds\": " << JsonNum(k.wall_seconds) << "}"
+        << (i + 1 < kernels.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"suite_totals\": {\"rounds\": " << total_rounds
+      << ", \"wall_seconds\": " << JsonNum(total_wall)
+      << ", \"rounds_per_sec\": "
+      << JsonNum(total_wall > 0.0 ? total_rounds / total_wall : 0.0)
+      << "}\n";
+  out << "}\n";
+}
+
+int Run(int argc, char** argv) {
+  std::string suite_name = "core";
+  std::string out_path;
+  int repeat = 3;
+  std::uint64_t seed = 7;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const std::string& flag) -> const char* {
+      const std::string prefix = "--" + flag + "=";
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + prefix.size() : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "flowsched_bench --suite=core|smoke [--out=PATH] "
+                   "[--repeat=N] [--seed=N] [--list]\n";
+      return 0;
+    } else if (arg == "--list") {
+      std::cout << "suites: core smoke\n";
+      return 0;
+    } else if (const char* v = value("suite")) {
+      suite_name = v;
+    } else if (const char* v = value("out")) {
+      out_path = v;
+    } else if (const char* v = value("repeat")) {
+      repeat = std::atoi(v);
+    } else if (const char* v = value("seed")) {
+      seed = std::strtoull(v, nullptr, 10);
+    } else {
+      std::cerr << "error: unknown argument \"" << arg << "\"\n";
+      return 2;
+    }
+  }
+  const SuiteSpec suite = MakeSuite(suite_name);
+  if (suite.name.empty()) {
+    std::cerr << "error: unknown suite \"" << suite_name
+              << "\" (core, smoke)\n";
+    return 2;
+  }
+  if (repeat < 1) repeat = 1;
+  if (out_path.empty()) out_path = "BENCH_" + suite.name + ".json";
+
+  const std::vector<std::string> solvers = OnlineSolverNames();
+  std::vector<BenchCell> cells;
+  TextTable table({"instance", "solver", "wall_ms", "rounds", "rounds/s",
+                   "peak_backlog", "allocs"});
+  for (const std::string& spec : suite.instances) {
+    std::string error;
+    const auto instance = LoadInstance(spec, &error);
+    if (!instance.has_value()) {
+      std::cerr << "error: " << spec << ": " << error << "\n";
+      return 2;
+    }
+    for (const std::string& solver : solvers) {
+      BenchCell cell = RunCell(spec, *instance, solver, seed, repeat);
+      if (cell.ok) {
+        table.Row(cell.instance, cell.solver, cell.wall_seconds * 1e3,
+                  cell.rounds, cell.rounds_per_sec, cell.peak_backlog,
+                  cell.allocations);
+      } else {
+        table.Row(cell.instance, cell.solver, "FAIL: " + cell.error, "-", "-",
+                  "-", "-");
+      }
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  // Edge-coloring kernel comparison on one dense random multigraph.
+  std::vector<KernelCell> kernels;
+  if (suite.coloring_side > 0) {
+    Rng rng(seed);
+    BipartiteGraph g(suite.coloring_side, suite.coloring_side);
+    for (int i = 0; i < suite.coloring_edges; ++i) {
+      g.AddEdge(rng.UniformInt(0, suite.coloring_side - 1),
+                rng.UniformInt(0, suite.coloring_side - 1));
+    }
+    kernels.push_back(RunColoringKernel(
+        "edge_coloring_koenig", EdgeColoringAlgorithm::kKoenig, g, repeat));
+    kernels.push_back(RunColoringKernel("edge_coloring_euler",
+                                        EdgeColoringAlgorithm::kEulerSplit, g,
+                                        repeat));
+    for (const KernelCell& k : kernels) {
+      table.Row(k.name,
+                "D=" + std::to_string(k.max_degree) +
+                    " E=" + std::to_string(k.edges),
+                k.wall_seconds * 1e3, "-", "-", "-", "-");
+    }
+  }
+  table.Print(std::cout);
+
+  long long total_rounds = 0;
+  double total_wall = 0.0;
+  int failures = 0;
+  for (const BenchCell& c : cells) {
+    if (!c.ok) {
+      ++failures;
+      continue;
+    }
+    total_rounds += c.rounds;
+    total_wall += c.wall_seconds;
+  }
+  std::cout << "\nsuite " << suite.name << ": " << total_rounds
+            << " rounds in " << TextTable::Format(total_wall * 1e3)
+            << " ms => "
+            << TextTable::Format(total_wall > 0.0 ? total_rounds / total_wall
+                                                  : 0.0)
+            << " rounds/sec aggregate\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << out_path << "\n";
+    return 2;
+  }
+  WriteJson(out, suite, cells, kernels, repeat, seed);
+  std::cout << "results written to " << out_path << "\n";
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace flowsched
+
+int main(int argc, char** argv) { return flowsched::Run(argc, argv); }
