@@ -32,6 +32,42 @@ std::vector<std::string> SolverRegistry::Names() const {
   return names;  // std::map iterates sorted.
 }
 
+namespace {
+
+// Greedy '*' glob: '*' matches any (possibly empty) substring. Iterative
+// backtracking form — no other metacharacters are supported.
+bool GlobMatch(std::string_view pattern, std::string_view text) {
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace
+
+std::vector<std::string> SolverRegistry::NamesMatching(
+    std::string_view pattern) const {
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : entries_) {
+    if (GlobMatch(pattern, name)) names.push_back(name);
+  }
+  return names;  // std::map iterates sorted.
+}
+
 std::string SolverRegistry::Description(std::string_view name) const {
   const auto it = entries_.find(name);
   return it == entries_.end() ? std::string() : it->second.description;

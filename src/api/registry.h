@@ -41,6 +41,10 @@ class SolverRegistry {
 
   bool Contains(std::string_view name) const;
   std::vector<std::string> Names() const;  // Sorted.
+  // Registered names matching a '*'-wildcard pattern ("online.*", "*.exact",
+  // "mrt.theorem3"), sorted. Sweep specs use this to name solver families
+  // without enumerating them. A pattern without '*' is an exact lookup.
+  std::vector<std::string> NamesMatching(std::string_view pattern) const;
   // One-line description for `name`; empty when unregistered.
   std::string Description(std::string_view name) const;
 

@@ -1,0 +1,176 @@
+#include "exp/aggregator.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/json.h"
+#include "util/provenance.h"
+
+namespace flowsched {
+namespace {
+
+// Emits {"mean": ..., "stddev": ..., "min": ..., "max": ..., "ci95": ...}.
+void WriteStatsObject(std::ostream& out, const RunningStats& s) {
+  out << "{\"mean\": " << JsonNum(s.mean()) << ", \"stddev\": "
+      << JsonNum(s.stddev()) << ", \"min\": " << JsonNum(s.min())
+      << ", \"max\": " << JsonNum(s.max()) << ", \"ci95\": "
+      << JsonNum(Ci95HalfWidth(s)) << "}";
+}
+
+void WriteCsvStats(std::ostream& out, const RunningStats& s) {
+  out << JsonNum(s.mean()) << "," << JsonNum(s.stddev()) << ","
+      << JsonNum(s.min()) << "," << JsonNum(s.max()) << ","
+      << JsonNum(Ci95HalfWidth(s));
+}
+
+}  // namespace
+
+double Ci95HalfWidth(const RunningStats& s) {
+  if (s.count() < 2) return 0.0;
+  return 1.96 * s.stddev() / std::sqrt(static_cast<double>(s.count()));
+}
+
+Aggregator::Aggregator(const SweepPlan& plan) : plan_(plan) {
+  cells_.resize(plan.cells.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].cell = static_cast<int>(i);
+  }
+}
+
+void Aggregator::Add(const SweepTask& task, const TaskOutcome& outcome) {
+  FS_CHECK_LT(static_cast<std::size_t>(task.cell), cells_.size());
+  CellAggregate& cell = cells_[task.cell];
+  if (!outcome.ok) {
+    ++cell.failures;
+    return;
+  }
+  ++cell.n;
+  cell.num_flows += outcome.num_flows;
+  cell.total_response.Add(outcome.total_response);
+  cell.avg_response.Add(outcome.avg_response);
+  cell.p50_response.Add(outcome.p50_response);
+  cell.p95_response.Add(outcome.p95_response);
+  cell.p99_response.Add(outcome.p99_response);
+  cell.max_response.Add(outcome.max_response);
+  cell.makespan.Add(static_cast<double>(outcome.makespan));
+  cell.peak_backlog.Add(static_cast<double>(outcome.peak_backlog));
+  cell.wall_seconds.Add(outcome.wall_seconds);
+  cell.rounds_per_sec.Add(outcome.rounds_per_sec);
+}
+
+void Aggregator::AddRun(const SweepRun& run) {
+  FS_CHECK_EQ(run.plan.tasks.size(), run.outcomes.size());
+  for (const SweepTask& task : run.plan.tasks) {
+    Add(task, run.outcomes[task.index]);
+  }
+}
+
+void Aggregator::WriteJson(std::ostream& out, const SweepSpec& spec, int jobs,
+                           double wall_seconds, bool include_timing) const {
+  out << "{\n";
+  out << "  " << JsonStr("sweep", spec.name) << ",\n";
+  WriteProvenanceJson(out, CollectProvenance(), 2);
+  out << ",\n";
+  out << "  \"spec\": {\n";
+  out << "    \"solvers\": [";
+  for (std::size_t i = 0; i < spec.solvers.size(); ++i) {
+    out << (i > 0 ? ", " : "") << "\"" << JsonEscape(spec.solvers[i]) << "\"";
+  }
+  out << "],\n    \"instances\": [";
+  for (std::size_t i = 0; i < spec.instances.size(); ++i) {
+    out << (i > 0 ? ", " : "") << "\"" << JsonEscape(spec.instances[i])
+        << "\"";
+  }
+  out << "],\n    \"trials\": " << spec.trials
+      << ",\n    \"base_seed\": " << spec.base_seed << "\n  },\n";
+  if (include_timing) {
+    out << "  \"jobs\": " << jobs << ",\n";
+    out << "  \"wall_seconds\": " << JsonNum(wall_seconds) << ",\n";
+  }
+
+  int total_n = 0, total_failures = 0;
+  out << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const CellAggregate& c = cells_[i];
+    const SweepCell& key = plan_.cells[c.cell];
+    total_n += c.n;
+    total_failures += c.failures;
+    out << "    {" << JsonStr("solver", key.solver) << ", "
+        << JsonStr("instance", key.instance_family);
+    if (key.load) out << ", \"load\": " << JsonNum(*key.load);
+    if (key.ports) out << ", \"ports\": " << *key.ports;
+    if (key.rounds) out << ", \"rounds\": " << *key.rounds;
+    out << ", \"n\": " << c.n << ", \"failures\": " << c.failures
+        << ", \"num_flows\": " << c.num_flows;
+    if (c.n > 0) {
+      out << ",\n     \"total_response\": ";
+      WriteStatsObject(out, c.total_response);
+      out << ",\n     \"avg_response\": ";
+      WriteStatsObject(out, c.avg_response);
+      out << ",\n     \"p50_response\": ";
+      WriteStatsObject(out, c.p50_response);
+      out << ",\n     \"p95_response\": ";
+      WriteStatsObject(out, c.p95_response);
+      out << ",\n     \"p99_response\": ";
+      WriteStatsObject(out, c.p99_response);
+      out << ",\n     \"max_response\": ";
+      WriteStatsObject(out, c.max_response);
+      out << ",\n     \"makespan\": ";
+      WriteStatsObject(out, c.makespan);
+      out << ",\n     \"peak_backlog\": ";
+      WriteStatsObject(out, c.peak_backlog);
+      if (include_timing) {
+        out << ",\n     \"wall_seconds\": ";
+        WriteStatsObject(out, c.wall_seconds);
+        out << ",\n     \"rounds_per_sec\": ";
+        WriteStatsObject(out, c.rounds_per_sec);
+      }
+    }
+    out << "}" << (i + 1 < cells_.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"totals\": {\"cells\": " << cells_.size()
+      << ", \"tasks_ok\": " << total_n
+      << ", \"tasks_failed\": " << total_failures << "}\n";
+  out << "}\n";
+}
+
+void Aggregator::WriteCsv(std::ostream& out, bool include_timing) const {
+  out << "solver,instance,load,ports,rounds,n,failures,num_flows";
+  const char* metrics[] = {"total_response", "avg_response", "p50_response",
+                           "p95_response",   "p99_response", "max_response",
+                           "makespan",       "peak_backlog"};
+  for (const char* m : metrics) {
+    out << "," << m << "_mean," << m << "_stddev," << m << "_min," << m
+        << "_max," << m << "_ci95";
+  }
+  if (include_timing) {
+    out << ",wall_seconds_mean,rounds_per_sec_mean";
+  }
+  out << "\n";
+  for (const CellAggregate& c : cells_) {
+    const SweepCell& key = plan_.cells[c.cell];
+    // Instance specs contain commas; quote the field.
+    out << key.solver << ",\"" << key.instance_family << "\",";
+    if (key.load) out << JsonNum(*key.load);
+    out << ",";
+    if (key.ports) out << *key.ports;
+    out << ",";
+    if (key.rounds) out << *key.rounds;
+    out << "," << c.n << "," << c.failures << "," << c.num_flows;
+    const RunningStats* stats[] = {
+        &c.total_response, &c.avg_response, &c.p50_response, &c.p95_response,
+        &c.p99_response,   &c.max_response, &c.makespan,     &c.peak_backlog};
+    for (const RunningStats* s : stats) {
+      out << ",";
+      WriteCsvStats(out, *s);
+    }
+    if (include_timing) {
+      out << "," << JsonNum(c.wall_seconds.mean()) << ","
+          << JsonNum(c.rounds_per_sec.mean());
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace flowsched

@@ -1,0 +1,122 @@
+// SweepSpec: the grid description for experiment campaigns — which solvers
+// run on which instance families at which axis points, how many seeds and
+// trials per point — plus its deterministic expansion into a SweepPlan of
+// cells and tasks.
+//
+// Grid model
+//   instances   generator-spec templates (api/instance_source.h) with
+//               `{load}` `{ports}` `{rounds}` `{seed}` placeholders,
+//               e.g. "poisson:ports={ports},load={load},rounds=200,seed={seed}"
+//   loads/ports/rounds
+//               axis value lists substituted into the placeholders; every
+//               template must reference exactly the axes that are set (a
+//               set axis no template reads, or a placeholder with no axis,
+//               is a spec error — silent mismatches corrupt campaigns)
+//   solvers     registry names or '*' globs ("online.*")
+//   seeds       instance seeds substituted into `{seed}`
+//   trials      repeat count per (cell, seed) with distinct solver seeds
+//               (distinguishes run-to-run variance of randomized policies
+//               from instance-to-instance variance)
+//
+// A *cell* is one point of solver × template × load × ports × rounds — the
+// unit the Aggregator reports statistics for. A *task* is one run: a cell
+// plus a (seed, trial) pair. Task seeds derive from (base_seed, grid
+// coordinates) via Rng::DeriveSeed, so a task's RNG stream is a pure
+// function of its position in the grid — byte-identical results no matter
+// how many threads execute the plan or in which order.
+//
+// Specs parse from a compact key=value text file, from a flat JSON object,
+// or from CLI flags (tools/flowsched_sweep.cc maps flags onto the same
+// ParseAxis/ParseSweepSpec helpers). See README "Running experiment
+// sweeps" for the worked format reference.
+#ifndef FLOWSCHED_EXP_SWEEP_SPEC_H_
+#define FLOWSCHED_EXP_SWEEP_SPEC_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/registry.h"
+
+namespace flowsched {
+
+struct SweepSpec {
+  std::string name = "sweep";            // Names the report files.
+  std::vector<std::string> solvers;      // Registry names or '*' globs.
+  std::vector<std::string> instances;    // Generator-spec templates.
+  std::vector<double> loads;             // {load} axis (empty = axis unused).
+  std::vector<long long> ports;          // {ports} axis.
+  std::vector<long long> rounds;         // {rounds} axis.
+  std::vector<std::uint64_t> seeds;      // {seed} axis; defaults to {1} when
+                                         // a template uses {seed}.
+  int trials = 1;
+  std::uint64_t base_seed = 1;           // Root of all task seed derivation.
+  long long max_rounds = 0;              // SolveOptions::max_rounds.
+  std::map<std::string, std::string> params;  // Forwarded SolveOptions params.
+};
+
+// One aggregation unit: a solver at one grid point of the instance axes.
+struct SweepCell {
+  int index = 0;
+  std::string solver;
+  std::string instance_template;         // As written in the spec.
+  std::optional<double> load;            // Axis values at this point (unset
+  std::optional<long long> ports;        // when the axis is unused).
+  std::optional<long long> rounds;
+  // Template with axes substituted but `{seed}` left in place — the
+  // seed-independent identity of the cell's instance family.
+  std::string instance_family;
+};
+
+// One run: a cell at one (seed, trial) coordinate.
+struct SweepTask {
+  int index = 0;                 // Position in SweepPlan::tasks.
+  int cell = 0;                  // Index into SweepPlan::cells.
+  std::uint64_t instance_seed = 0;
+  int trial = 0;
+  std::string instance_spec;     // Fully substituted generator spec / path.
+  int instance_slot = 0;         // Index into SweepPlan::unique_instances.
+  std::uint64_t solver_seed = 0; // Rng::DeriveSeed chain over coordinates.
+};
+
+struct SweepPlan {
+  std::vector<SweepCell> cells;
+  std::vector<SweepTask> tasks;
+  // Deduplicated instance specs: tasks sharing a spec share one loaded
+  // Instance (read-only across threads), so a 50k-flow Poisson family is
+  // generated once per seed, not once per solver × trial.
+  std::vector<std::string> unique_instances;
+};
+
+// Parses an axis list: comma-separated elements, each a number or a range —
+// "a:b:step" (inclusive, doubles) or "a..b" (inclusive, integers). Returns
+// false and fills *error on malformed input. Values keep list order.
+bool ParseAxis(const std::string& text, std::vector<double>& out,
+               std::string* error);
+bool ParseAxis(const std::string& text, std::vector<long long>& out,
+               std::string* error);
+bool ParseAxis(const std::string& text, std::vector<std::uint64_t>& out,
+               std::string* error);
+
+// Parses a spec from text: a flat JSON object when the first non-space
+// character is '{', otherwise key=value lines ('#' comments, blank lines
+// ignored). Keys: name, solvers, instances (';'-separated — specs contain
+// commas), loads, ports, rounds, seeds, trials, base_seed, max_rounds,
+// param (repeatable "key=value"). JSON uses the same keys with arrays for
+// lists and an object for "params". Unknown keys are errors.
+bool ParseSweepSpec(const std::string& text, SweepSpec& spec,
+                    std::string* error);
+
+// Expands the grid: resolves solver globs against `registry`, substitutes
+// axis values into templates, enumerates cells and tasks in a fixed
+// deterministic order, and derives per-task solver seeds. Returns false and
+// fills *error on invalid specs (empty/unknown solvers, axis/placeholder
+// mismatches, trivial grids).
+bool ExpandSweep(const SweepSpec& spec, const SolverRegistry& registry,
+                 SweepPlan& plan, std::string* error);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_EXP_SWEEP_SPEC_H_

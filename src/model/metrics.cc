@@ -23,6 +23,8 @@ ScheduleMetrics ComputeMetrics(const Instance& instance,
     m.total_response = stats.sum();
     m.avg_response = stats.mean();
     m.max_response = stats.max();
+    m.stddev_response = stats.stddev();
+    m.p50_response = Percentile(m.response, 50.0);
     m.p95_response = Percentile(m.response, 95.0);
     m.p99_response = Percentile(m.response, 99.0);
   }

@@ -16,6 +16,8 @@ struct ScheduleMetrics {
   double avg_response = 0.0;
   double max_response = 0.0;     // FS-MRT objective.
   Round makespan = 0;            // Last busy round + 1.
+  double stddev_response = 0.0;  // Sample stddev (n-1) of the responses.
+  double p50_response = 0.0;     // Nearest-rank percentiles (util/stats.h).
   double p95_response = 0.0;
   double p99_response = 0.0;
 };

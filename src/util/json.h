@@ -1,0 +1,28 @@
+// Minimal JSON emission helpers shared by the report writers
+// (flowsched_bench, the sweep Aggregator, provenance blocks).
+//
+// Not a serialization framework: the report writers keep explicit control
+// over field order and layout (stable output is what makes BENCH_*.json and
+// SWEEP_*.json diffable), these helpers only make the escaping and number
+// formatting uniform across them.
+#ifndef FLOWSCHED_UTIL_JSON_H_
+#define FLOWSCHED_UTIL_JSON_H_
+
+#include <string>
+
+namespace flowsched {
+
+// Escapes `"` `\` and control characters for use inside a JSON string.
+std::string JsonEscape(const std::string& s);
+
+// Shortest round-trippable-enough representation (%.9g): stable across
+// runs, compact, and precise to ~9 significant digits — the convention
+// BENCH_*.json established.
+std::string JsonNum(double v);
+
+// `"key": "escaped"` fragment (no trailing comma).
+std::string JsonStr(const std::string& key, const std::string& value);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_UTIL_JSON_H_

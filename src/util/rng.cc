@@ -99,9 +99,14 @@ int Rng::TruncatedGeometric(double ratio, int cap) {
 }
 
 Rng Rng::Fork(std::uint64_t stream_id) const {
+  return Rng(DeriveSeed(seed_, stream_id));
+}
+
+std::uint64_t Rng::DeriveSeed(std::uint64_t seed, std::uint64_t stream_id) {
   // Mix the base seed with the stream id through splitmix to decorrelate.
-  std::uint64_t x = seed_ ^ (0xA02BDBF7BB3C0A7ULL * (stream_id + 1));
-  return Rng(SplitMix64(x));
+  // (Kept byte-compatible with the original Fork() derivation.)
+  std::uint64_t x = seed ^ (0xA02BDBF7BB3C0A7ULL * (stream_id + 1));
+  return SplitMix64(x);
 }
 
 }  // namespace flowsched

@@ -5,6 +5,15 @@
 // Every generator is constructed from a 64-bit seed, so experiments are
 // reproducible across platforms (unlike std:: distributions, whose output
 // is implementation-defined; we implement the distributions ourselves).
+//
+// Threading contract (audited for the sweep engine, PR 3): an Rng is
+// mutable state and is NOT thread-safe — never share one across threads.
+// Parallel code derives one independent stream per unit of work instead,
+// either via Fork(stream_id) or, when only a seed (not a generator) is
+// needed, via the stateless DeriveSeed(seed, stream_id). Both are pure
+// functions of (construction seed, stream_id) — they ignore how much the
+// parent has been consumed — so per-task streams are identical no matter
+// which thread runs the task or in what order tasks are scheduled.
 #ifndef FLOWSCHED_UTIL_RNG_H_
 #define FLOWSCHED_UTIL_RNG_H_
 
@@ -41,6 +50,13 @@ class Rng {
 
   // Derives an independent stream (e.g. one per trial).
   Rng Fork(std::uint64_t stream_id) const;
+
+  // Stateless counterpart of Fork(): splitmix64-mixes (seed, stream_id)
+  // into a decorrelated child seed. Chain calls to mix in multiple
+  // coordinates, e.g. DeriveSeed(DeriveSeed(base, cell), trial) — the
+  // sweep engine seeds every task this way so results are byte-identical
+  // regardless of thread count or schedule.
+  static std::uint64_t DeriveSeed(std::uint64_t seed, std::uint64_t stream_id);
 
  private:
   std::uint64_t state_[4];

@@ -177,5 +177,26 @@ TEST(SolverRegistryTest, CustomRegistriesStartEmpty) {
   EXPECT_EQ(registry.Names(), SolverRegistry::Global().Names());
 }
 
+TEST(SolverRegistryTest, NamesMatchingExpandsGlobs) {
+  const SolverRegistry& registry = SolverRegistry::Global();
+  // "online.*" enumerates exactly the online family.
+  const auto online = registry.NamesMatching("online.*");
+  EXPECT_EQ(online.size(), AllPolicyNames().size());
+  for (const std::string& name : online) {
+    EXPECT_EQ(name.rfind("online.", 0), 0u) << name;
+  }
+  EXPECT_TRUE(std::is_sorted(online.begin(), online.end()));
+  // Suffix and infix wildcards work too.
+  const auto exact = registry.NamesMatching("*.exact");
+  EXPECT_EQ(exact, (std::vector<std::string>{"art.exact", "mrt.exact"}));
+  // No '*' means exact lookup; misses return empty.
+  EXPECT_EQ(registry.NamesMatching("mrt.theorem3"),
+            std::vector<std::string>{"mrt.theorem3"});
+  EXPECT_TRUE(registry.NamesMatching("nonexistent").empty());
+  EXPECT_TRUE(registry.NamesMatching("online.x*").empty());
+  // "*" matches everything.
+  EXPECT_EQ(registry.NamesMatching("*"), registry.Names());
+}
+
 }  // namespace
 }  // namespace flowsched

@@ -1,0 +1,147 @@
+#include "exp/aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace flowsched {
+namespace {
+
+// A two-cell plan with three tasks in cell 0 and one in cell 1.
+SweepPlan TinyPlan() {
+  SweepPlan plan;
+  for (int i = 0; i < 2; ++i) {
+    SweepCell cell;
+    cell.index = i;
+    cell.solver = i == 0 ? "online.fifo" : "online.srpt";
+    cell.instance_family = "poisson:ports=8,seed={seed}";
+    cell.load = 1.0;
+    cell.ports = 8;
+    plan.cells.push_back(cell);
+  }
+  for (int i = 0; i < 4; ++i) {
+    SweepTask task;
+    task.index = i;
+    task.cell = i < 3 ? 0 : 1;
+    task.instance_seed = static_cast<std::uint64_t>(i + 1);
+    plan.tasks.push_back(task);
+  }
+  return plan;
+}
+
+TaskOutcome Outcome(double avg) {
+  TaskOutcome o;
+  o.ok = true;
+  o.avg_response = avg;
+  o.total_response = 10.0 * avg;
+  o.p50_response = avg - 1.0;
+  o.p95_response = 2.0 * avg;
+  o.p99_response = 2.5 * avg;
+  o.max_response = 3.0 * avg;
+  o.makespan = 100;
+  o.num_flows = 10;
+  return o;
+}
+
+TEST(AggregatorTest, WelfordStatisticsMatchHandComputation) {
+  const SweepPlan plan = TinyPlan();
+  Aggregator agg(plan);
+  // Cell 0 sees avg responses 2, 4, 9: mean 5, sample variance
+  // ((-3)^2 + (-1)^2 + 4^2) / 2 = 13, stddev sqrt(13).
+  agg.Add(plan.tasks[0], Outcome(2.0));
+  agg.Add(plan.tasks[1], Outcome(4.0));
+  agg.Add(plan.tasks[2], Outcome(9.0));
+  agg.Add(plan.tasks[3], Outcome(7.0));
+  ASSERT_EQ(agg.cells().size(), 2u);
+  const CellAggregate& c0 = agg.cells()[0];
+  EXPECT_EQ(c0.n, 3);
+  EXPECT_EQ(c0.failures, 0);
+  EXPECT_EQ(c0.num_flows, 30);
+  EXPECT_DOUBLE_EQ(c0.avg_response.mean(), 5.0);
+  EXPECT_NEAR(c0.avg_response.stddev(), std::sqrt(13.0), 1e-12);
+  EXPECT_DOUBLE_EQ(c0.avg_response.min(), 2.0);
+  EXPECT_DOUBLE_EQ(c0.avg_response.max(), 9.0);
+  EXPECT_NEAR(Ci95HalfWidth(c0.avg_response),
+              1.96 * std::sqrt(13.0) / std::sqrt(3.0), 1e-12);
+  const CellAggregate& c1 = agg.cells()[1];
+  EXPECT_EQ(c1.n, 1);
+  EXPECT_DOUBLE_EQ(c1.avg_response.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(Ci95HalfWidth(c1.avg_response), 0.0);  // n < 2.
+}
+
+TEST(AggregatorTest, FailuresCountSeparatelyAndSkipStats) {
+  const SweepPlan plan = TinyPlan();
+  Aggregator agg(plan);
+  agg.Add(plan.tasks[0], Outcome(2.0));
+  TaskOutcome failed;
+  failed.ok = false;
+  failed.error = "instance: boom";
+  agg.Add(plan.tasks[1], failed);
+  const CellAggregate& c0 = agg.cells()[0];
+  EXPECT_EQ(c0.n, 1);
+  EXPECT_EQ(c0.failures, 1);
+  EXPECT_DOUBLE_EQ(c0.avg_response.mean(), 2.0);  // Unpolluted by the failure.
+}
+
+TEST(AggregatorTest, JsonAndCsvReportsAreWellFormedAndTimingIsOptional) {
+  const SweepPlan plan = TinyPlan();
+  SweepSpec spec;
+  spec.name = "tiny";
+  spec.solvers = {"online.fifo", "online.srpt"};
+  spec.instances = {"poisson:ports=8,seed={seed}"};
+  Aggregator agg(plan);
+  for (int i = 0; i < 4; ++i) {
+    TaskOutcome o = Outcome(2.0 + i);
+    o.wall_seconds = 0.5;  // Timing that must disappear under no-timing.
+    agg.Add(plan.tasks[i], o);
+  }
+
+  std::ostringstream with_timing, without_timing;
+  agg.WriteJson(with_timing, spec, /*jobs=*/4, /*wall_seconds=*/1.5,
+                /*include_timing=*/true);
+  agg.WriteJson(without_timing, spec, /*jobs=*/1, /*wall_seconds=*/9.9,
+                /*include_timing=*/false);
+  EXPECT_NE(with_timing.str().find("\"wall_seconds\""), std::string::npos);
+  EXPECT_NE(with_timing.str().find("\"jobs\": 4"), std::string::npos);
+  EXPECT_EQ(without_timing.str().find("\"wall_seconds\""), std::string::npos);
+  EXPECT_EQ(without_timing.str().find("\"jobs\""), std::string::npos);
+  // Shared deterministic content is present either way.
+  for (const auto* s : {&with_timing, &without_timing}) {
+    EXPECT_NE(s->str().find("\"sweep\": \"tiny\""), std::string::npos);
+    EXPECT_NE(s->str().find("\"provenance\""), std::string::npos);
+    EXPECT_NE(s->str().find("\"avg_response\""), std::string::npos);
+    EXPECT_NE(s->str().find("\"tasks_ok\": 4"), std::string::npos);
+  }
+
+  std::ostringstream csv;
+  agg.WriteCsv(csv, /*include_timing=*/false);
+  const std::string csv_text = csv.str();
+  // Header + one row per cell.
+  EXPECT_EQ(std::count(csv_text.begin(), csv_text.end(), '\n'), 3);
+  EXPECT_NE(csv_text.find("avg_response_mean"), std::string::npos);
+  EXPECT_EQ(csv_text.find("wall_seconds"), std::string::npos);
+}
+
+TEST(AggregatorTest, JsonLineRoundTripsTaskIdentity) {
+  const SweepPlan plan = TinyPlan();
+  std::ostringstream out;
+  TaskOutcome o = Outcome(3.0);
+  WriteTaskJsonLine(out, plan.cells[0], plan.tasks[1], o);
+  const std::string line = out.str();
+  EXPECT_NE(line.find("\"task\": 1"), std::string::npos);
+  EXPECT_NE(line.find("\"solver\": \"online.fifo\""), std::string::npos);
+  EXPECT_NE(line.find("\"ok\": true"), std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+
+  std::ostringstream fail_out;
+  TaskOutcome failed;
+  failed.ok = false;
+  failed.error = "no such \"solver\"";
+  WriteTaskJsonLine(fail_out, plan.cells[1], plan.tasks[3], failed);
+  EXPECT_NE(fail_out.str().find("\\\"solver\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flowsched

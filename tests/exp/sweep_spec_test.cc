@@ -1,0 +1,228 @@
+#include "exp/sweep_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace flowsched {
+namespace {
+
+TEST(ParseAxisTest, DoubleListsAndRanges) {
+  std::vector<double> vals;
+  std::string error;
+  ASSERT_TRUE(ParseAxis("0.5,0.75,1.0", vals, &error)) << error;
+  EXPECT_EQ(vals, (std::vector<double>{0.5, 0.75, 1.0}));
+
+  vals.clear();
+  ASSERT_TRUE(ParseAxis("0.5:1.0:0.1", vals, &error)) << error;
+  ASSERT_EQ(vals.size(), 6u);  // 0.5 0.6 0.7 0.8 0.9 1.0 — endpoint included.
+  EXPECT_DOUBLE_EQ(vals.front(), 0.5);
+  EXPECT_DOUBLE_EQ(vals.back(), 1.0);
+
+  vals.clear();
+  ASSERT_TRUE(ParseAxis("0.25, 1:2:0.5", vals, &error)) << error;
+  EXPECT_EQ(vals, (std::vector<double>{0.25, 1.0, 1.5, 2.0}));
+}
+
+TEST(ParseAxisTest, IntListsAndRanges) {
+  std::vector<long long> vals;
+  std::string error;
+  ASSERT_TRUE(ParseAxis("64,256", vals, &error)) << error;
+  EXPECT_EQ(vals, (std::vector<long long>{64, 256}));
+
+  vals.clear();
+  ASSERT_TRUE(ParseAxis("3..6,10", vals, &error)) << error;
+  EXPECT_EQ(vals, (std::vector<long long>{3, 4, 5, 6, 10}));
+}
+
+TEST(ParseAxisTest, RejectsMalformedElements) {
+  std::vector<double> dvals;
+  std::vector<long long> ivals;
+  std::string error;
+  EXPECT_FALSE(ParseAxis("0.5,potato", dvals, &error));
+  EXPECT_FALSE(ParseAxis("1.0:0.5:0.1", dvals, &error));  // b < a.
+  EXPECT_FALSE(ParseAxis("0.5:1.0:0", dvals, &error));    // step = 0.
+  EXPECT_FALSE(ParseAxis("6..3", ivals, &error));         // hi < lo.
+  EXPECT_FALSE(ParseAxis("", ivals, &error));             // empty.
+}
+
+TEST(ParseSweepSpecTest, TextFormat) {
+  const std::string text =
+      "# load sweep over two port counts\n"
+      "name=loadsweep\n"
+      "solvers=online.fifo, online.srpt\n"
+      "instances=poisson:ports={ports},load={load},rounds=50,seed={seed}\n"
+      "loads=0.5,1.0\n"
+      "ports=16,32\n"
+      "seeds=1..3\n"
+      "trials=2\n"
+      "base_seed=99\n"
+      "param=validate=0\n";
+  SweepSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseSweepSpec(text, spec, &error)) << error;
+  EXPECT_EQ(spec.name, "loadsweep");
+  EXPECT_EQ(spec.solvers,
+            (std::vector<std::string>{"online.fifo", "online.srpt"}));
+  ASSERT_EQ(spec.instances.size(), 1u);
+  EXPECT_EQ(spec.loads, (std::vector<double>{0.5, 1.0}));
+  EXPECT_EQ(spec.ports, (std::vector<long long>{16, 32}));
+  EXPECT_EQ(spec.seeds, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(spec.trials, 2);
+  EXPECT_EQ(spec.base_seed, 99u);
+  EXPECT_EQ(spec.params.at("validate"), "0");
+}
+
+TEST(ParseSweepSpecTest, JsonFormat) {
+  const std::string json = R"({
+    "name": "j",
+    "solvers": ["online.fifo", "online.*"],
+    "instances": ["poisson:ports={ports},load={load},rounds=50,seed={seed}"],
+    "loads": [0.5, 1.0],
+    "ports": "16,32",
+    "seeds": "1..3",
+    "trials": 2,
+    "base_seed": 99,
+    "params": {"validate": "0"}
+  })";
+  SweepSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseSweepSpec(json, spec, &error)) << error;
+  EXPECT_EQ(spec.name, "j");
+  EXPECT_EQ(spec.solvers,
+            (std::vector<std::string>{"online.fifo", "online.*"}));
+  EXPECT_EQ(spec.loads, (std::vector<double>{0.5, 1.0}));
+  EXPECT_EQ(spec.ports, (std::vector<long long>{16, 32}));
+  EXPECT_EQ(spec.seeds, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(spec.trials, 2);
+  EXPECT_EQ(spec.params.at("validate"), "0");
+}
+
+TEST(ParseSweepSpecTest, ErrorsCarryContext) {
+  SweepSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseSweepSpec("solvers=a\nbogus_key=1\n", spec, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("bogus_key"), std::string::npos) << error;
+
+  error.clear();
+  EXPECT_FALSE(ParseSweepSpec("trials=zero\n", spec, &error));
+  EXPECT_NE(error.find("trials"), std::string::npos) << error;
+
+  error.clear();
+  EXPECT_FALSE(ParseSweepSpec(R"({"name": )", spec, &error));
+  error.clear();
+  EXPECT_FALSE(ParseSweepSpec(R"({"nope": 1})", spec, &error));
+  EXPECT_NE(error.find("nope"), std::string::npos) << error;
+}
+
+SweepSpec GridSpec() {
+  SweepSpec spec;
+  spec.solvers = {"online.fifo", "online.srpt"};
+  spec.instances = {"poisson:ports={ports},load={load},rounds=20,seed={seed}"};
+  spec.loads = {0.5, 1.0};
+  spec.ports = {8, 16};
+  spec.seeds = {1, 2};
+  spec.trials = 2;
+  spec.base_seed = 7;
+  return spec;
+}
+
+TEST(ExpandSweepTest, EnumeratesTheFullCrossProduct) {
+  SweepPlan plan;
+  std::string error;
+  ASSERT_TRUE(ExpandSweep(GridSpec(), SolverRegistry::Global(), plan, &error))
+      << error;
+  // Cells: 1 template x 2 loads x 2 ports x 2 solvers = 8.
+  EXPECT_EQ(plan.cells.size(), 8u);
+  // Tasks: cells x 2 seeds x 2 trials = 32.
+  EXPECT_EQ(plan.tasks.size(), 32u);
+  // Instances dedup across solvers and trials: 2 loads x 2 ports x 2 seeds.
+  EXPECT_EQ(plan.unique_instances.size(), 8u);
+  // Every task's spec is fully substituted and seeds are all distinct.
+  std::set<std::uint64_t> solver_seeds;
+  for (const SweepTask& task : plan.tasks) {
+    EXPECT_EQ(task.instance_spec.find('{'), std::string::npos)
+        << task.instance_spec;
+    solver_seeds.insert(task.solver_seed);
+  }
+  EXPECT_EQ(solver_seeds.size(), plan.tasks.size());
+}
+
+TEST(ExpandSweepTest, SeedsAreAFunctionOfCoordinatesOnly) {
+  SweepPlan a, b;
+  std::string error;
+  ASSERT_TRUE(ExpandSweep(GridSpec(), SolverRegistry::Global(), a, &error));
+  ASSERT_TRUE(ExpandSweep(GridSpec(), SolverRegistry::Global(), b, &error));
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].solver_seed, b.tasks[i].solver_seed);
+    EXPECT_EQ(a.tasks[i].instance_spec, b.tasks[i].instance_spec);
+  }
+  // A different base seed re-seeds every task.
+  SweepSpec shifted = GridSpec();
+  shifted.base_seed = 8;
+  SweepPlan c;
+  ASSERT_TRUE(ExpandSweep(shifted, SolverRegistry::Global(), c, &error));
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_NE(a.tasks[i].solver_seed, c.tasks[i].solver_seed);
+  }
+}
+
+TEST(ExpandSweepTest, ExpandsSolverGlobs) {
+  SweepSpec spec = GridSpec();
+  spec.solvers = {"online.*"};
+  SweepPlan plan;
+  std::string error;
+  ASSERT_TRUE(ExpandSweep(spec, SolverRegistry::Global(), plan, &error))
+      << error;
+  const std::size_t num_online =
+      SolverRegistry::Global().NamesMatching("online.*").size();
+  EXPECT_EQ(plan.cells.size(), 4u * num_online);
+}
+
+TEST(ExpandSweepTest, RejectsAxisPlaceholderMismatches) {
+  SweepPlan plan;
+  std::string error;
+
+  // Placeholder without an axis.
+  SweepSpec spec = GridSpec();
+  spec.loads.clear();
+  EXPECT_FALSE(ExpandSweep(spec, SolverRegistry::Global(), plan, &error));
+  EXPECT_NE(error.find("{load}"), std::string::npos) << error;
+
+  // Axis without a placeholder.
+  spec = GridSpec();
+  spec.instances = {"poisson:ports={ports},rounds=20,seed={seed}"};
+  EXPECT_FALSE(ExpandSweep(spec, SolverRegistry::Global(), plan, &error));
+  EXPECT_NE(error.find("{load}"), std::string::npos) << error;
+
+  // Multiple seeds but no {seed} reference would silently duplicate runs.
+  spec = GridSpec();
+  spec.instances = {"poisson:ports={ports},load={load},rounds=20"};
+  EXPECT_FALSE(ExpandSweep(spec, SolverRegistry::Global(), plan, &error));
+  EXPECT_NE(error.find("{seed}"), std::string::npos) << error;
+
+  // ... and the check is per-template: one conforming template must not
+  // excuse another that would rerun a fixed instance per seed.
+  spec = GridSpec();
+  spec.instances.push_back("poisson:ports={ports},load={load},rounds=20");
+  EXPECT_FALSE(ExpandSweep(spec, SolverRegistry::Global(), plan, &error));
+  EXPECT_NE(error.find("{seed}"), std::string::npos) << error;
+
+  // A single seed with a seedless template is legitimate (fixed traces).
+  spec = GridSpec();
+  spec.instances = {"poisson:ports={ports},load={load},rounds=20"};
+  spec.seeds = {1};
+  EXPECT_TRUE(ExpandSweep(spec, SolverRegistry::Global(), plan, &error))
+      << error;
+
+  // Unknown solver pattern.
+  spec = GridSpec();
+  spec.solvers = {"offline.*"};
+  EXPECT_FALSE(ExpandSweep(spec, SolverRegistry::Global(), plan, &error));
+  EXPECT_NE(error.find("offline.*"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace flowsched {
 namespace {
 
@@ -21,6 +23,40 @@ TEST(MetricsTest, ComputesResponseStatistics) {
   EXPECT_DOUBLE_EQ(m.max_response, 3.0);
   EXPECT_EQ(m.makespan, 4);
   EXPECT_DOUBLE_EQ(m.p99_response, 3.0);
+}
+
+// Twenty flows through a 1x1 switch, one per round: responses are exactly
+// 1, 2, ..., 20, so every distribution statistic is hand-computable.
+TEST(MetricsTest, PercentilesAndStddevOnKnownDistribution) {
+  Instance instance(SwitchSpec::Uniform(1, 1), {});
+  for (int i = 0; i < 20; ++i) instance.AddFlow(0, 0, 1, 0);
+  Schedule s(20);
+  for (int i = 0; i < 20; ++i) s.Assign(i, i);  // rho_i = i + 1.
+  const ScheduleMetrics m = ComputeMetrics(instance, s);
+  EXPECT_DOUBLE_EQ(m.total_response, 210.0);  // 20 * 21 / 2.
+  EXPECT_DOUBLE_EQ(m.avg_response, 10.5);
+  EXPECT_DOUBLE_EQ(m.max_response, 20.0);
+  // Nearest-rank: p-th percentile is element ceil(p/100 * 20) of 1..20.
+  EXPECT_DOUBLE_EQ(m.p50_response, 10.0);
+  EXPECT_DOUBLE_EQ(m.p95_response, 19.0);
+  EXPECT_DOUBLE_EQ(m.p99_response, 20.0);
+  // Sample variance of 1..n is n(n+1)/12 = 35 for n = 20.
+  EXPECT_NEAR(m.stddev_response, std::sqrt(35.0), 1e-12);
+  EXPECT_EQ(m.makespan, 20);
+}
+
+// One flow: percentiles collapse onto the single response and the sample
+// stddev (n-1 denominator) is defined as zero.
+TEST(MetricsTest, PercentileFieldsWithOneSample) {
+  Instance instance(SwitchSpec::Uniform(1, 1), {});
+  instance.AddFlow(0, 0, 1, 2);
+  Schedule s(1);
+  s.Assign(0, 6);  // rho = 5.
+  const ScheduleMetrics m = ComputeMetrics(instance, s);
+  EXPECT_DOUBLE_EQ(m.p50_response, 5.0);
+  EXPECT_DOUBLE_EQ(m.p95_response, 5.0);
+  EXPECT_DOUBLE_EQ(m.p99_response, 5.0);
+  EXPECT_DOUBLE_EQ(m.stddev_response, 0.0);
 }
 
 TEST(MetricsTest, SingleFlow) {

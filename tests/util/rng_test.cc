@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 #include <vector>
 
 namespace flowsched {
@@ -93,6 +94,33 @@ TEST(RngTest, ForkStreamsAreIndependentAndDeterministic) {
   Rng s1_again = Rng(13).Fork(1);
   EXPECT_NE(s1.NextU64(), s2.NextU64());
   EXPECT_EQ(Rng(13).Fork(1).NextU64(), s1_again.NextU64());
+}
+
+TEST(RngTest, ForkIgnoresConsumedState) {
+  // The fork of a stream depends only on (construction seed, stream id) —
+  // the property that makes per-task streams schedule-independent.
+  Rng fresh(21);
+  Rng consumed(21);
+  for (int i = 0; i < 1000; ++i) consumed.NextU64();
+  EXPECT_EQ(fresh.Fork(5).NextU64(), consumed.Fork(5).NextU64());
+}
+
+TEST(RngTest, DeriveSeedMatchesForkAndDecorrelates) {
+  // Fork(id) is exactly Rng(DeriveSeed(seed, id)).
+  EXPECT_EQ(Rng(13).Fork(7).NextU64(),
+            Rng(Rng::DeriveSeed(13, 7)).NextU64());
+  // Nearby (seed, stream) coordinates land far apart, and chaining mixes
+  // in further coordinates without collisions among small grids.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t base = 0; base < 8; ++base) {
+    for (std::uint64_t cell = 0; cell < 32; ++cell) {
+      for (std::uint64_t trial = 0; trial < 4; ++trial) {
+        seeds.insert(
+            Rng::DeriveSeed(Rng::DeriveSeed(base, cell), trial));
+      }
+    }
+  }
+  EXPECT_EQ(seeds.size(), 8u * 32u * 4u);
 }
 
 }  // namespace

@@ -17,6 +17,18 @@ for build_type in Debug Release; do
     "./${build_dir}/tools/flowsched_bench" --suite=smoke --repeat=2 \
         --out="${build_dir}/BENCH_smoke.json"
     echo "bench smoke written to ${build_dir}/BENCH_smoke.json"
+    # Sweep smoke: the parallel campaign driver on the built-in grid, plus
+    # the determinism guarantee — reports (timing stripped) must be
+    # byte-identical across thread counts.
+    "./${build_dir}/tools/flowsched_sweep" --smoke --jobs=2 --quiet \
+        --out="${build_dir}/SWEEP_smoke"
+    "./${build_dir}/tools/flowsched_sweep" --smoke --jobs=1 --quiet \
+        --no-timing --out="${build_dir}/SWEEP_smoke_j1"
+    "./${build_dir}/tools/flowsched_sweep" --smoke --jobs=2 --quiet \
+        --no-timing --out="${build_dir}/SWEEP_smoke_j2"
+    cmp "${build_dir}/SWEEP_smoke_j1.json" "${build_dir}/SWEEP_smoke_j2.json"
+    cmp "${build_dir}/SWEEP_smoke_j1.csv" "${build_dir}/SWEEP_smoke_j2.csv"
+    echo "sweep smoke written to ${build_dir}/SWEEP_smoke.json (jobs=1/2 reports identical)"
   fi
 done
 echo "CI OK"

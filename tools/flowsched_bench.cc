@@ -34,6 +34,8 @@
 #include "api/instance_source.h"
 #include "api/registry.h"
 #include "graph/edge_coloring.h"
+#include "util/json.h"
+#include "util/provenance.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
@@ -193,27 +195,6 @@ KernelCell RunColoringKernel(const std::string& name,
   return cell;
 }
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (c == '\n') {
-      out += "\\n";
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
-
-std::string JsonNum(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.9g", v);
-  return buf;
-}
-
 void WriteJson(std::ostream& out, const SuiteSpec& suite,
                const std::vector<BenchCell>& cells,
                const std::vector<KernelCell>& kernels, int repeat,
@@ -232,6 +213,10 @@ void WriteJson(std::ostream& out, const SuiteSpec& suite,
 #else
   out << "  \"build_type\": \"Debug\",\n";
 #endif
+  // Provenance makes artifacts comparable across machines; the sweep
+  // reports (SWEEP_*.json) embed the same block.
+  WriteProvenanceJson(out, CollectProvenance(), 2);
+  out << ",\n";
   out << "  \"repeat\": " << repeat << ",\n";
   out << "  \"seed\": " << seed << ",\n";
   out << "  \"results\": [\n";

@@ -1,0 +1,255 @@
+// flowsched_sweep: the parallel experiment-campaign driver. Expands a
+// SweepSpec grid (solvers × instance templates × load/ports/rounds axes ×
+// seeds × trials), runs every task on a work-stealing thread pool with
+// deterministic per-task seeding, and writes three artifacts:
+//
+//   <out>.jsonl   one line per task, appended live in completion order —
+//                 the crash-safe incremental record
+//   <out>.json    per-cell distributional statistics (Welford mean/stddev,
+//                 min/max, normal-approx 95% CIs) + provenance + spec echo
+//   <out>.csv     the same cells, one row each, for plotting
+//
+// Everything except wall-clock timing is byte-identical regardless of
+// --jobs; pass --no-timing to strip the timing fields and byte-compare
+// reports across thread counts (CI does exactly that).
+//
+// Usage:
+//   flowsched_sweep --spec=FILE [overrides...]
+//   flowsched_sweep --smoke [--jobs=N]
+//   flowsched_sweep --solvers=online.fifo,online.srpt \
+//       --instances='poisson:ports={ports},load={load},rounds=200,seed={seed}' \
+//       --loads=0.5:1.0:0.1 --ports=64,256 --seeds=1..5 --jobs=8
+//
+// Flags mirror the spec keys (--solvers, --instances, --loads, --ports,
+// --rounds, --seeds, --trials, --base-seed, --max-rounds, --name,
+// --param K=V) and override the file when both are given. See README
+// "Running experiment sweeps".
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/aggregator.h"
+#include "exp/experiment_runner.h"
+#include "exp/sweep_spec.h"
+#include "util/table.h"
+
+namespace flowsched {
+namespace {
+
+// The built-in CI/quick-start grid: 3 policies x 2 loads x 2 port counts
+// x 2 seeds = 24 tasks over 12 cells; finishes in seconds.
+const char kSmokeSpec[] =
+    "name=smoke\n"
+    "solvers=online.fifo,online.srpt,online.maxweight\n"
+    "instances=poisson:ports={ports},load={load},rounds=60,seed={seed}\n"
+    "loads=0.7,1.0\n"
+    "ports=16,32\n"
+    "seeds=1..2\n"
+    "param=validate=0\n";
+
+void PrintUsage(std::ostream& out) {
+  out << "flowsched_sweep: run a solver x instance x axes experiment grid.\n"
+         "  --spec=FILE         sweep spec (key=value lines or flat JSON)\n"
+         "  --smoke             built-in small grid (CI / quick start)\n"
+         "  --jobs=N            worker threads (default: hardware threads)\n"
+         "  --out=PREFIX        artifact prefix (default SWEEP_<name>)\n"
+         "  --json=PATH --csv=PATH --jsonl=PATH   per-artifact overrides\n"
+         "  --no-timing         omit wall-clock fields from json/csv\n"
+         "                      (reports become byte-identical across --jobs)\n"
+         "  --quiet             suppress the progress line\n"
+         "spec overrides (same syntax as spec keys):\n"
+         "  --name=S --solvers=LIST --instances=LIST(';'-sep) --loads=AXIS\n"
+         "  --ports=AXIS --rounds=AXIS --seeds=AXIS --trials=N\n"
+         "  --base-seed=N --max-rounds=N --param KEY=VALUE\n"
+         "axes: comma lists; a:b:step (doubles) or a..b (ints) ranges.\n";
+}
+
+int Run(int argc, char** argv) {
+  std::string spec_path;
+  bool smoke = false;
+  bool no_timing = false;
+  bool quiet = false;
+  int jobs = static_cast<int>(std::thread::hardware_concurrency());
+  if (jobs < 1) jobs = 1;
+  std::string out_prefix, json_path, csv_path, jsonl_path;
+  // Overrides are replayed through the spec parser after the file, so CLI
+  // flags and spec keys cannot drift apart.
+  std::string overrides;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const std::string& flag) -> const char* {
+      const std::string prefix = "--" + flag + "=";
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + prefix.size() : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(std::cout);
+      return 0;
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--no-timing") {
+      no_timing = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if ((v = value("spec"))) {
+      spec_path = v;
+    } else if ((v = value("jobs"))) {
+      jobs = std::atoi(v);
+      if (jobs < 1) {
+        std::cerr << "error: --jobs must be >= 1\n";
+        return 2;
+      }
+    } else if ((v = value("out"))) {
+      out_prefix = v;
+    } else if ((v = value("json"))) {
+      json_path = v;
+    } else if ((v = value("csv"))) {
+      csv_path = v;
+    } else if ((v = value("jsonl"))) {
+      jsonl_path = v;
+    } else if (arg == "--param" && i + 1 < argc) {
+      overrides += std::string("param=") + argv[++i] + "\n";
+    } else if ((v = value("param"))) {
+      overrides += std::string("param=") + v + "\n";
+    } else if ((v = value("base-seed"))) {
+      overrides += std::string("base_seed=") + v + "\n";
+    } else if ((v = value("max-rounds"))) {
+      overrides += std::string("max_rounds=") + v + "\n";
+    } else {
+      // Spec-keyed flags: --name, --solvers, --instances, --loads, ...
+      bool matched = false;
+      for (const char* key : {"name", "solvers", "instances", "instance",
+                              "loads", "ports", "rounds", "seeds", "trials"}) {
+        if ((v = value(key))) {
+          overrides += std::string(key) + "=" + v + "\n";
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        std::cerr << "error: unknown argument \"" << arg
+                  << "\" (see --help)\n";
+        return 2;
+      }
+    }
+  }
+
+  SweepSpec spec;
+  std::string error;
+  if (smoke && !spec_path.empty()) {
+    std::cerr << "error: --smoke and --spec are mutually exclusive\n";
+    return 2;
+  }
+  if (smoke) {
+    if (!ParseSweepSpec(kSmokeSpec, spec, &error)) {
+      std::cerr << "internal error: smoke spec: " << error << "\n";
+      return 2;
+    }
+  } else if (!spec_path.empty()) {
+    std::ifstream in(spec_path);
+    if (!in) {
+      std::cerr << "error: cannot open spec file \"" << spec_path << "\"\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (!ParseSweepSpec(buffer.str(), spec, &error)) {
+      std::cerr << "error: " << spec_path << ": " << error << "\n";
+      return 2;
+    }
+  }
+  if (!overrides.empty() && !ParseSweepSpec(overrides, spec, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 2;
+  }
+  if (spec.solvers.empty() || spec.instances.empty()) {
+    std::cerr << "error: a sweep needs --spec, --smoke, or at least "
+                 "--solvers and --instances (see --help)\n";
+    return 2;
+  }
+
+  if (out_prefix.empty()) out_prefix = "SWEEP_" + spec.name;
+  if (json_path.empty()) json_path = out_prefix + ".json";
+  if (csv_path.empty()) csv_path = out_prefix + ".csv";
+  if (jsonl_path.empty()) jsonl_path = out_prefix + ".jsonl";
+
+  // Validate the grid before touching any output file: opening the JSONL
+  // truncates it, and a typo'd rerun must not wipe the previous campaign's
+  // crash-safe record. (RunSweep re-expands; expansion is cheap and
+  // deterministic.)
+  {
+    SweepPlan probe;
+    if (!ExpandSweep(spec, SolverRegistry::Global(), probe, &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
+  }
+
+  std::ofstream jsonl(jsonl_path);
+  if (!jsonl) {
+    std::cerr << "error: cannot write " << jsonl_path << "\n";
+    return 2;
+  }
+
+  RunnerOptions options;
+  options.jobs = jobs;
+  options.jsonl = &jsonl;
+  if (!quiet) {
+    options.progress = [](int done, int total) {
+      std::cerr << "\r[" << done << "/" << total << "] tasks done"
+                << std::flush;
+      if (done == total) std::cerr << "\n";
+    };
+  }
+
+  SweepRun run;
+  if (!RunSweep(spec, options, run, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 2;
+  }
+
+  Aggregator agg(run.plan);
+  agg.AddRun(run);
+
+  // Per-cell summary table on stdout.
+  TextTable table({"solver", "instance", "n", "avg_resp", "ci95", "p95_resp",
+                   "max_resp", "makespan", "fail"});
+  for (const CellAggregate& c : agg.cells()) {
+    const SweepCell& key = run.plan.cells[c.cell];
+    table.Row(key.solver, key.instance_family, static_cast<long long>(c.n),
+              c.avg_response.mean(), Ci95HalfWidth(c.avg_response),
+              c.p95_response.mean(), c.max_response.mean(),
+              c.makespan.mean(), static_cast<long long>(c.failures));
+  }
+  table.Print(std::cout);
+  std::cout << "\nsweep " << spec.name << ": " << run.plan.tasks.size()
+            << " tasks over " << run.plan.cells.size() << " cells, jobs="
+            << run.jobs << ", " << TextTable::Format(run.wall_seconds * 1e3)
+            << " ms wall";
+  if (run.failures > 0) std::cout << ", " << run.failures << " FAILED";
+  std::cout << "\n";
+
+  std::ofstream json_out(json_path);
+  std::ofstream csv_out(csv_path);
+  if (!json_out || !csv_out) {
+    std::cerr << "error: cannot write " << json_path << " / " << csv_path
+              << "\n";
+    return 2;
+  }
+  agg.WriteJson(json_out, spec, run.jobs, run.wall_seconds,
+                /*include_timing=*/!no_timing);
+  agg.WriteCsv(csv_out, /*include_timing=*/!no_timing);
+  std::cout << "reports written to " << json_path << ", " << csv_path
+            << ", " << jsonl_path << "\n";
+  return run.failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace flowsched
+
+int main(int argc, char** argv) { return flowsched::Run(argc, argv); }
