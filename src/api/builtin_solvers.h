@@ -1,8 +1,12 @@
 // Internal: registration hooks for the built-in solver adapters, split by
-// family (api/offline_solvers.cc, api/online_solvers.cc). Use
-// RegisterBuiltinSolvers (api/registry.h) from application code.
+// family (api/offline_solvers.cc, api/online_solvers.cc,
+// coflow/coflow_solvers.cc). Use RegisterBuiltinSolvers (api/registry.h)
+// from application code.
 #ifndef FLOWSCHED_API_BUILTIN_SOLVERS_H_
 #define FLOWSCHED_API_BUILTIN_SOLVERS_H_
+
+#include "model/instance.h"
+#include "model/schedule.h"
 
 namespace flowsched {
 
@@ -15,6 +19,15 @@ void RegisterOfflineSolvers(SolverRegistry& registry);
 
 // online.<policy> for every AllPolicyNames() entry.
 void RegisterOnlineSolvers(SolverRegistry& registry);
+
+// coflow.<policy> for every AllCoflowPolicyNames() entry.
+void RegisterCoflowSolvers(SolverRegistry& registry);
+
+// Shared by the online and coflow adapters: the simulator numbers realized
+// flows in arrival order (stable sort of the instance by release); this
+// maps a realized-order schedule back onto the instance's flow ids.
+Schedule MapRealizedSchedule(const Instance& instance,
+                             const Schedule& realized);
 
 }  // namespace internal
 }  // namespace flowsched

@@ -10,6 +10,7 @@
 
 #include "model/trace_io.h"
 #include "workload/adversarial.h"
+#include "workload/coflow_gen.h"
 #include "workload/patterns.h"
 #include "workload/poisson.h"
 
@@ -112,6 +113,24 @@ std::optional<Instance> Generate(const Spec& spec, std::string* error) {
     cfg.max_demand = r.GetInt("dmax", 1);
     cfg.seed = static_cast<std::uint64_t>(r.GetInt("seed", 1));
     if (r.ok()) result = GeneratePoisson(cfg);
+  } else if (spec.generator == "coflow") {
+    CoflowGenConfig cfg;
+    cfg.num_inputs = cfg.num_outputs = static_cast<int>(r.GetInt("ports", 16));
+    cfg.port_capacity = r.GetInt("cap", 1);
+    cfg.num_rounds = static_cast<int>(r.GetInt("rounds", 10));
+    cfg.min_width = static_cast<int>(r.GetInt("minwidth", 1));
+    cfg.max_width = static_cast<int>(r.GetInt("width", 8));
+    cfg.width_skew = r.Get("skew", 1.0);
+    cfg.max_demand = r.GetInt("dmax", 1);
+    cfg.seed = static_cast<std::uint64_t>(r.GetInt("seed", 1));
+    // `load` is the per-port flow load (poisson semantics); the coflow rate
+    // follows from the width distribution's mean.
+    const double load = r.Get("load", 1.0);
+    if (r.ok()) {
+      cfg.mean_coflows_per_round =
+          load * cfg.num_inputs / MeanCoflowWidth(cfg);
+      result = GenerateCoflows(cfg);
+    }
   } else if (spec.generator == "shuffle") {
     const int ports = static_cast<int>(r.GetInt("ports", 16));
     const int wave = static_cast<int>(r.GetInt("wave", 4));
@@ -153,8 +172,8 @@ std::optional<Instance> Generate(const Spec& spec, std::string* error) {
 
 bool IsGeneratorSpec(const std::string& source) {
   const std::string name = source.substr(0, source.find(':'));
-  return name == "poisson" || name == "shuffle" || name == "incast" ||
-         name == "fig4a" || name == "fig4b";
+  return name == "poisson" || name == "coflow" || name == "shuffle" ||
+         name == "incast" || name == "fig4a" || name == "fig4b";
 }
 
 std::optional<Instance> LoadInstance(const std::string& source,
@@ -172,8 +191,11 @@ std::optional<Instance> LoadInstance(const std::string& source,
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  const std::string content = buffer.str();
   std::string parse_error;
-  auto instance = ReadInstanceCsv(buffer.str(), &parse_error);
+  auto instance = LooksLikeCoflowTrace(content)
+                      ? ReadCoflowTraceCsv(content, &parse_error)
+                      : ReadInstanceCsv(content, &parse_error);
   if (!instance.has_value()) {
     Fail(error, source + ": " + parse_error);
     return std::nullopt;

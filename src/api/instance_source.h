@@ -3,13 +3,19 @@
 //
 // Generator specs: "<name>" or "<name>:key=value,key=value,...".
 //   poisson   ports, cap, load (arrivals = load*ports), rounds, dmax, seed
+//   coflow    ports, cap, load, rounds, width (max), minwidth, skew, dmax,
+//             seed — clustered Poisson coflows (workload/coflow_gen.h);
+//             load is per-port flow load, translated into a coflow rate via
+//             the width distribution's mean
 //   shuffle   ports, wave, waves, period        (workload ShuffleWaves)
 //   incast    ports, fanin, release             (single hotspot on the last
 //                                                output port)
 //   fig4a     phase, total                      (Lemma 5.1 lower-bound
 //                                                instance, wlog choice baked)
 //   fig4b     -                                 (Lemma 5.2 instance)
-// Anything that is not a known generator name is treated as a file path.
+// Anything that is not a known generator name is treated as a file path:
+// coflow traces (trace_io.h Facebook-convention header) are detected by
+// their header row, everything else parses as an instance CSV.
 #ifndef FLOWSCHED_API_INSTANCE_SOURCE_H_
 #define FLOWSCHED_API_INSTANCE_SOURCE_H_
 

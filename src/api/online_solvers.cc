@@ -69,18 +69,7 @@ class OnlinePolicySolver : public Solver {
     }
     auto policy = MakePolicy(policy_, options.seed);
     const SimulationResult r = Simulate(instance, *policy, sim);
-
-    // The simulator numbers realized flows in arrival order (stable sort of
-    // the instance by release); map its schedule back onto instance ids.
-    std::vector<FlowId> order(instance.num_flows());
-    for (FlowId e = 0; e < instance.num_flows(); ++e) order[e] = e;
-    std::stable_sort(order.begin(), order.end(), [&](FlowId a, FlowId b) {
-      return instance.flow(a).release < instance.flow(b).release;
-    });
-    report.schedule = Schedule(instance.num_flows());
-    for (int k = 0; k < instance.num_flows(); ++k) {
-      report.schedule.Assign(order[k], r.schedule.round_of(k));
-    }
+    report.schedule = MapRealizedSchedule(instance, r.schedule);
 
     report.ok = true;
     report.allowance = CapacityAllowance::Exact();
@@ -100,6 +89,20 @@ class OnlinePolicySolver : public Solver {
 };
 
 }  // namespace
+
+Schedule MapRealizedSchedule(const Instance& instance,
+                             const Schedule& realized) {
+  std::vector<FlowId> order(instance.num_flows());
+  for (FlowId e = 0; e < instance.num_flows(); ++e) order[e] = e;
+  std::stable_sort(order.begin(), order.end(), [&](FlowId a, FlowId b) {
+    return instance.flow(a).release < instance.flow(b).release;
+  });
+  Schedule schedule(instance.num_flows());
+  for (int k = 0; k < instance.num_flows(); ++k) {
+    schedule.Assign(order[k], realized.round_of(k));
+  }
+  return schedule;
+}
 
 void RegisterOnlineSolvers(SolverRegistry& registry) {
   for (const std::string& policy : AllPolicyNames()) {

@@ -103,6 +103,7 @@ SolveReport SolverRegistry::Solve(std::string_view name,
 void RegisterBuiltinSolvers(SolverRegistry& registry) {
   internal::RegisterOfflineSolvers(registry);
   internal::RegisterOnlineSolvers(registry);
+  internal::RegisterCoflowSolvers(registry);
 }
 
 }  // namespace flowsched

@@ -8,6 +8,8 @@
 //   mrt.deadline   Remark 4.2 deadline-constrained scheduling
 //   online.<p>     round-by-round simulation of every AllPolicyNames()
 //                  policy p (maxcard, minrtime, maxweight, fifo, ...)
+//   coflow.<p>     round-by-round simulation of every coflow-aware policy
+//                  (sebf, maxweight, fifo) with CCT diagnostics
 //
 // New backends register here and instantly work in every driver
 // (flowsched_cli, sweeps, examples) with zero driver changes.

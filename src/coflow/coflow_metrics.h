@@ -1,0 +1,40 @@
+// Coflow completion time (CCT) metrics of a schedule.
+//
+// A coflow completes when its last member flow does, so its completion time
+// is measured from the group's release (earliest member release) to one
+// past the last member's scheduled round — the group-level analogue of the
+// paper's per-flow response time. Slowdown compares each group's CCT
+// against its isolation bound (CoflowSet::IsolationRounds): 1.0 means the
+// coflow finished as fast as it possibly could on an empty switch.
+#ifndef FLOWSCHED_COFLOW_COFLOW_METRICS_H_
+#define FLOWSCHED_COFLOW_COFLOW_METRICS_H_
+
+#include <vector>
+
+#include "model/coflow.h"
+#include "model/schedule.h"
+
+namespace flowsched {
+
+struct CoflowMetrics {
+  std::vector<double> cct;       // Per-group completion time, group order.
+  std::vector<double> slowdown;  // cct / isolation bound per group.
+  double total_cct = 0.0;
+  double avg_cct = 0.0;
+  double max_cct = 0.0;
+  double p50_cct = 0.0;
+  double p95_cct = 0.0;
+  double p99_cct = 0.0;
+  double avg_slowdown = 0.0;
+  double max_slowdown = 0.0;
+};
+
+// Requires every flow to be assigned. Groups follow `coflows`' ordering
+// (tagged groups by ascending tag, then singletons in flow order).
+CoflowMetrics ComputeCoflowMetrics(const Instance& instance,
+                                   const CoflowSet& coflows,
+                                   const Schedule& schedule);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_COFLOW_COFLOW_METRICS_H_

@@ -1,0 +1,149 @@
+// Coflow-aware online scheduling policies.
+//
+// All three policies rank the backlog by *group* (PendingFlow::coflow;
+// untagged flows count as singleton groups) and feed the resulting order
+// into the existing per-round machinery — greedy packing for the
+// priority-ordered policies, the Hungarian max-weight matcher for the
+// weighted variant:
+//
+//   sebf       smallest-effective-bottleneck-first (Varys): groups are
+//              served in ascending order of their remaining bottleneck —
+//              the max over ports of ceil(pending group load / capacity) —
+//              with FIFO arrival tie-breaks; lower-priority groups backfill
+//              leftover capacity (work conservation).
+//   maxweight  maximum-weight matching with per-edge weight
+//              1 + 1 / (1 + remaining group demand): every weight is
+//              positive (so the matching is maximal) and edges of
+//              nearly-finished groups outbid edges of heavy ones, draining
+//              small coflows first. Matching-based => unit demands only.
+//   fifo       FIFO-of-coflows: groups are served strictly in arrival
+//              order (earliest release any member was seen with), the
+//              baseline Varys and Sincronia compare against.
+//
+// Group statistics are recomputed from the visible backlog each round, so
+// the policies are genuinely online: they never peek at unreleased flows.
+#ifndef FLOWSCHED_COFLOW_COFLOW_POLICIES_H_
+#define FLOWSCHED_COFLOW_COFLOW_POLICIES_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/online/policy.h"
+#include "graph/max_weight_matching.h"
+
+namespace flowsched {
+
+// Per-round group statistics over the backlog, with slot bookkeeping that
+// persists across rounds: each distinct coflow tag (or untagged flow) gets
+// a dense slot on first sight and keeps it for the simulation, so steady-
+// state rounds reuse all scratch. Update() recomputes which slots have
+// pending flows, their remaining demand, their arrival round (earliest
+// release ever seen — stable even after early members complete), and,
+// on request, their effective bottleneck.
+class CoflowBacklogStats {
+ public:
+  // Recomputes stats for this round's backlog. Bottlenecks cost an extra
+  // O(backlog) bucket pass; policies that do not rank by them skip it.
+  void Update(const SwitchSpec& sw, std::span<const PendingFlow> pending,
+              bool with_bottlenecks);
+
+  // Valid until the next Update(). Slots listed in touched() are exactly
+  // those with at least one pending flow.
+  int slot_of_pending(int i) const { return slot_of_pending_[i]; }
+  const std::vector<int>& touched() const { return touched_; }
+  Capacity rem(int slot) const { return rem_[slot]; }
+  Round arrival(int slot) const { return arrival_[slot]; }
+  Round bottleneck(int slot) const { return bottleneck_[slot]; }
+
+  // Forgets every slot (between simulations).
+  void Clear();
+
+ private:
+  std::map<CoflowId, int> tag_slot_;   // Coflow tag -> persistent slot.
+  std::map<FlowId, int> single_slot_;  // Untagged flow id -> slot.
+  std::vector<Round> arrival_;         // Per slot, persistent.
+  std::vector<Capacity> rem_;          // Per slot, touched slots only.
+  std::vector<Round> bottleneck_;
+  std::vector<int> touched_;
+  std::vector<int> slot_of_pending_;
+  // Bottleneck scratch: backlog bucketed by slot, then per-slot port loads
+  // accumulated into (and zeroed back out of) the shared port arrays.
+  std::vector<int> bucket_count_;
+  std::vector<int> bucket_pos_;
+  std::vector<int> by_slot_;
+  std::vector<Capacity> in_load_;
+  std::vector<Capacity> out_load_;
+  std::vector<PortId> touched_in_;
+  std::vector<PortId> touched_out_;
+};
+
+// Shared shape of the two priority-ordered policies: rank the touched
+// groups, order the backlog by (group rank, release, id), greedily pack.
+class CoflowGreedyPolicyBase : public SchedulingPolicy {
+ public:
+  void SelectFlowsInto(const SwitchSpec& sw, Round t,
+                       std::span<const PendingFlow> pending,
+                       std::vector<int>* picked) override;
+  void Reset() override { stats_.Clear(); }
+
+ protected:
+  virtual bool NeedsBottlenecks() const = 0;
+  // Sorts `slots` (the touched list) into priority order, best first.
+  virtual void RankGroups(std::vector<int>& slots) = 0;
+
+  CoflowBacklogStats stats_;
+
+ private:
+  std::vector<int> slot_order_;
+  std::vector<int> rank_;  // Per slot; valid for touched slots.
+  std::vector<int> order_;
+  std::vector<Capacity> in_res_;
+  std::vector<Capacity> out_res_;
+};
+
+class CoflowSebfPolicy : public CoflowGreedyPolicyBase {
+ public:
+  std::string_view name() const override { return "coflow-sebf"; }
+
+ protected:
+  bool NeedsBottlenecks() const override { return true; }
+  void RankGroups(std::vector<int>& slots) override;
+};
+
+class CoflowFifoPolicy : public CoflowGreedyPolicyBase {
+ public:
+  std::string_view name() const override { return "coflow-fifo"; }
+
+ protected:
+  bool NeedsBottlenecks() const override { return false; }
+  void RankGroups(std::vector<int>& slots) override;
+};
+
+class CoflowMaxWeightPolicy : public SchedulingPolicy {
+ public:
+  std::string_view name() const override { return "coflow-maxweight"; }
+  void SelectFlowsInto(const SwitchSpec& sw, Round t,
+                       std::span<const PendingFlow> pending,
+                       std::vector<int>* picked) override;
+  void Reset() override { stats_.Clear(); }
+
+ private:
+  CoflowBacklogStats stats_;
+  BacklogGraphBuilder builder_;
+  MaxWeightMatcher matcher_;
+  std::vector<double> weight_;
+};
+
+// Factory mirroring MakePolicy: "sebf", "maxweight", "fifo". The seed is
+// accepted for interface symmetry; all three policies are deterministic.
+std::unique_ptr<SchedulingPolicy> MakeCoflowPolicy(std::string_view name,
+                                                   std::uint64_t seed = 1);
+
+// All policy names available through MakeCoflowPolicy.
+std::vector<std::string> AllCoflowPolicyNames();
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_COFLOW_COFLOW_POLICIES_H_

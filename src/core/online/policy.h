@@ -19,12 +19,16 @@
 namespace flowsched {
 
 // A backlog entry. `id` refers to the realized instance being simulated.
+// The coflow tag rides along so group-aware policies (src/coflow/) can rank
+// the backlog by coflow without any side-channel mapping; flow-level
+// policies ignore it.
 struct PendingFlow {
   FlowId id = 0;
   PortId src = 0;
   PortId dst = 0;
   Capacity demand = 1;
   Round release = 0;
+  CoflowId coflow = kNoCoflow;
 };
 
 class SchedulingPolicy {

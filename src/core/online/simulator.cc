@@ -99,7 +99,8 @@ SimulationResult Simulate(const SwitchSpec& sw, ArrivalProcess& arrivals,
     arrivals.ArrivalsInto(t, ctx.backlog, &ctx.arrivals);
     for (Flow f : ctx.arrivals) {
       f.release = t;
-      f.id = result.realized.AddFlow(f.src, f.dst, f.demand, f.release);
+      f.id = result.realized.AddFlow(f.src, f.dst, f.demand, f.release,
+                                     f.coflow);
       ctx.assigned_round.push_back(kUnassigned);
       ctx.backlog.push_back(f);
     }
@@ -116,7 +117,8 @@ SimulationResult Simulate(const SwitchSpec& sw, ArrivalProcess& arrivals,
     }
     ctx.pending.clear();
     for (const Flow& f : ctx.backlog) {
-      ctx.pending.push_back(PendingFlow{f.id, f.src, f.dst, f.demand, f.release});
+      ctx.pending.push_back(
+          PendingFlow{f.id, f.src, f.dst, f.demand, f.release, f.coflow});
     }
     result.peak_backlog =
         std::max(result.peak_backlog, static_cast<int>(ctx.pending.size()));

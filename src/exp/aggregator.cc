@@ -54,6 +54,13 @@ void Aggregator::Add(const SweepTask& task, const TaskOutcome& outcome) {
   cell.max_response.Add(outcome.max_response);
   cell.makespan.Add(static_cast<double>(outcome.makespan));
   cell.peak_backlog.Add(static_cast<double>(outcome.peak_backlog));
+  if (outcome.num_coflows > 0) {
+    cell.num_coflows += outcome.num_coflows;
+    cell.avg_cct.Add(outcome.avg_cct);
+    cell.p95_cct.Add(outcome.p95_cct);
+    cell.max_cct.Add(outcome.max_cct);
+    cell.avg_slowdown.Add(outcome.avg_slowdown);
+  }
   cell.wall_seconds.Add(outcome.wall_seconds);
   cell.rounds_per_sec.Add(outcome.rounds_per_sec);
 }
@@ -119,6 +126,17 @@ void Aggregator::WriteJson(std::ostream& out, const SweepSpec& spec, int jobs,
       WriteStatsObject(out, c.makespan);
       out << ",\n     \"peak_backlog\": ";
       WriteStatsObject(out, c.peak_backlog);
+      if (c.num_coflows > 0) {
+        out << ",\n     \"num_coflows\": " << c.num_coflows;
+        out << ",\n     \"avg_cct\": ";
+        WriteStatsObject(out, c.avg_cct);
+        out << ",\n     \"p95_cct\": ";
+        WriteStatsObject(out, c.p95_cct);
+        out << ",\n     \"max_cct\": ";
+        WriteStatsObject(out, c.max_cct);
+        out << ",\n     \"avg_slowdown\": ";
+        WriteStatsObject(out, c.avg_slowdown);
+      }
       if (include_timing) {
         out << ",\n     \"wall_seconds\": ";
         WriteStatsObject(out, c.wall_seconds);
@@ -137,9 +155,13 @@ void Aggregator::WriteJson(std::ostream& out, const SweepSpec& spec, int jobs,
 
 void Aggregator::WriteCsv(std::ostream& out, bool include_timing) const {
   out << "solver,instance,load,ports,rounds,n,failures,num_flows";
+  // Coflow columns are always present (zeros for flow-level solvers) so
+  // the header is independent of which solvers ran.
   const char* metrics[] = {"total_response", "avg_response", "p50_response",
                            "p95_response",   "p99_response", "max_response",
-                           "makespan",       "peak_backlog"};
+                           "makespan",       "peak_backlog", "avg_cct",
+                           "p95_cct",        "max_cct",      "avg_slowdown"};
+  out << ",num_coflows";
   for (const char* m : metrics) {
     out << "," << m << "_mean," << m << "_stddev," << m << "_min," << m
         << "_max," << m << "_ci95";
@@ -157,10 +179,12 @@ void Aggregator::WriteCsv(std::ostream& out, bool include_timing) const {
     if (key.ports) out << *key.ports;
     out << ",";
     if (key.rounds) out << *key.rounds;
-    out << "," << c.n << "," << c.failures << "," << c.num_flows;
+    out << "," << c.n << "," << c.failures << "," << c.num_flows << ","
+        << c.num_coflows;
     const RunningStats* stats[] = {
         &c.total_response, &c.avg_response, &c.p50_response, &c.p95_response,
-        &c.p99_response,   &c.max_response, &c.makespan,     &c.peak_backlog};
+        &c.p99_response,   &c.max_response, &c.makespan,     &c.peak_backlog,
+        &c.avg_cct,        &c.p95_cct,      &c.max_cct,      &c.avg_slowdown};
     for (const RunningStats* s : stats) {
       out << ",";
       WriteCsvStats(out, *s);

@@ -44,6 +44,13 @@ struct CellAggregate {
   RunningStats max_response;
   RunningStats makespan;
   RunningStats peak_backlog;
+  // Coflow completion time, fed only by tasks reporting num_coflows > 0
+  // (coflow.* solvers); the report writers emit the block when any did.
+  long long num_coflows = 0;  // Total groups across those tasks.
+  RunningStats avg_cct;
+  RunningStats p95_cct;
+  RunningStats max_cct;
+  RunningStats avg_slowdown;
   // Timing (schedule-dependent).
   RunningStats wall_seconds;
   RunningStats rounds_per_sec;

@@ -36,6 +36,18 @@ TaskOutcome OutcomeFromReport(const SolveReport& report) {
   if (peak != report.diagnostics.end()) {
     o.peak_backlog = static_cast<long long>(peak->second);
   }
+  const auto coflows = report.diagnostics.find("num_coflows");
+  if (coflows != report.diagnostics.end()) {
+    auto get = [&](const char* key) {
+      const auto it = report.diagnostics.find(key);
+      return it == report.diagnostics.end() ? 0.0 : it->second;
+    };
+    o.num_coflows = static_cast<long long>(coflows->second);
+    o.avg_cct = get("avg_cct");
+    o.p95_cct = get("p95_cct");
+    o.max_cct = get("max_cct");
+    o.avg_slowdown = get("avg_slowdown");
+  }
   if (o.rounds > 0 && o.wall_seconds > 0.0) {
     o.rounds_per_sec = static_cast<double>(o.rounds) / o.wall_seconds;
   }
@@ -64,8 +76,15 @@ void WriteTaskJsonLine(std::ostream& out, const SweepCell& cell,
         << ", \"makespan\": " << outcome.makespan
         << ", \"num_flows\": " << outcome.num_flows
         << ", \"rounds\": " << outcome.rounds
-        << ", \"peak_backlog\": " << outcome.peak_backlog
-        << ", \"wall_seconds\": " << JsonNum(outcome.wall_seconds)
+        << ", \"peak_backlog\": " << outcome.peak_backlog;
+    if (outcome.num_coflows > 0) {
+      out << ", \"num_coflows\": " << outcome.num_coflows
+          << ", \"avg_cct\": " << JsonNum(outcome.avg_cct)
+          << ", \"p95_cct\": " << JsonNum(outcome.p95_cct)
+          << ", \"max_cct\": " << JsonNum(outcome.max_cct)
+          << ", \"avg_slowdown\": " << JsonNum(outcome.avg_slowdown);
+    }
+    out << ", \"wall_seconds\": " << JsonNum(outcome.wall_seconds)
         << ", \"rounds_per_sec\": " << JsonNum(outcome.rounds_per_sec);
   } else {
     out << ", " << JsonStr("error", outcome.error);

@@ -518,9 +518,14 @@ bool ExpandSweep(const SweepSpec& spec, const SolverRegistry& registry,
         task.cell = cell.index;
         task.instance_seed = seeds[si];
         task.trial = trial;
+        // {seed} and {trial} substitute per task, not per cell: they vary
+        // the instance *within* a cell's aggregate. {trial} lets
+        // trace-driven templates name one file per repetition
+        // (e.g. traces/day{trial}.csv).
         task.instance_spec =
-            ReplaceAll(cell.instance_family, "{seed}",
-                       std::to_string(seeds[si]));
+            ReplaceAll(ReplaceAll(cell.instance_family, "{seed}",
+                                  std::to_string(seeds[si])),
+                       "{trial}", std::to_string(trial));
         // Seed = f(base_seed, grid coordinates): independent of thread
         // count, schedule, and of which other cells exist... as long as the
         // grid itself is unchanged.

@@ -5,8 +5,11 @@
 //
 // Grid model
 //   instances   generator-spec templates (api/instance_source.h) with
-//               `{load}` `{ports}` `{rounds}` `{seed}` placeholders,
-//               e.g. "poisson:ports={ports},load={load},rounds=200,seed={seed}"
+//               `{load}` `{ports}` `{rounds}` `{seed}` `{trial}`
+//               placeholders,
+//               e.g. "poisson:ports={ports},load={load},rounds=200,seed={seed}";
+//               `{trial}` substitutes the 0-based trial index so
+//               trace-driven templates can name one file per repetition
 //   loads/ports/rounds
 //               axis value lists substituted into the placeholders; every
 //               template must reference exactly the axes that are set (a
@@ -65,8 +68,8 @@ struct SweepCell {
   std::optional<double> load;            // Axis values at this point (unset
   std::optional<long long> ports;        // when the axis is unused).
   std::optional<long long> rounds;
-  // Template with axes substituted but `{seed}` left in place — the
-  // seed-independent identity of the cell's instance family.
+  // Template with axes substituted but `{seed}` / `{trial}` left in place —
+  // the repetition-independent identity of the cell's instance family.
   std::string instance_family;
 };
 

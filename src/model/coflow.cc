@@ -1,0 +1,77 @@
+#include "model/coflow.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace flowsched {
+
+CoflowSet::CoflowSet(const Instance& instance) : instance_(&instance) {
+  group_of_.assign(instance.num_flows(), -1);
+  // Tagged groups first, ordered by ascending tag (std::map iteration).
+  std::map<CoflowId, int> group_by_tag;
+  for (const Flow& e : instance.flows()) {
+    if (e.coflow != kNoCoflow) group_by_tag.emplace(e.coflow, 0);
+  }
+  num_tagged_ = static_cast<int>(group_by_tag.size());
+  int next = 0;
+  for (auto& [tag, index] : group_by_tag) {
+    index = next++;
+    tag_.push_back(tag);
+  }
+  for (const Flow& e : instance.flows()) {
+    if (e.coflow == kNoCoflow) {
+      group_of_[e.id] = next++;
+      tag_.push_back(kNoCoflow);
+    } else {
+      group_of_[e.id] = group_by_tag[e.coflow];
+    }
+  }
+  members_.resize(next);
+  release_.assign(next, 0);
+  total_demand_.assign(next, 0);
+  for (const Flow& e : instance.flows()) {
+    const int g = group_of_[e.id];
+    if (members_[g].empty() || e.release < release_[g]) {
+      release_[g] = e.release;
+    }
+    members_[g].push_back(e.id);
+    total_demand_[g] += e.demand;
+  }
+}
+
+Round CoflowSet::IsolationRounds(int g, const SwitchSpec& sw) const {
+  FS_CHECK(instance_ != nullptr);
+  FS_CHECK(g >= 0 && g < num_groups());
+  // Group loads are sparse over ports; accumulate via the member list only.
+  std::vector<std::pair<PortId, Capacity>> in_load;
+  std::vector<std::pair<PortId, Capacity>> out_load;
+  auto bump = [](std::vector<std::pair<PortId, Capacity>>& loads, PortId p,
+                 Capacity d) {
+    for (auto& [port, load] : loads) {
+      if (port == p) {
+        load += d;
+        return;
+      }
+    }
+    loads.emplace_back(p, d);
+  };
+  for (FlowId e : members_[g]) {
+    const Flow& f = instance_->flow(e);
+    bump(in_load, f.src, f.demand);
+    bump(out_load, f.dst, f.demand);
+  }
+  Round rounds = members_[g].empty() ? 0 : 1;
+  for (const auto& [port, load] : in_load) {
+    const Capacity cap = sw.input_capacity(port);
+    rounds = std::max(rounds, static_cast<Round>((load + cap - 1) / cap));
+  }
+  for (const auto& [port, load] : out_load) {
+    const Capacity cap = sw.output_capacity(port);
+    rounds = std::max(rounds, static_cast<Round>((load + cap - 1) / cap));
+  }
+  return rounds;
+}
+
+}  // namespace flowsched

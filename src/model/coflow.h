@@ -1,0 +1,63 @@
+// CoflowSet: the grouped view of an instance's coflow tags.
+//
+// A coflow is a set of parallel flows that completes only when its last
+// member flow does (Chowdhury & Stoica; Liang & Modiano analyze coflows on
+// exactly this input-queued switch model). Flows opt in through
+// Flow::coflow; CoflowSet densifies the tags into contiguous group indices
+// and precomputes the per-group aggregates the coflow policies and metrics
+// need: member lists, release (earliest member release), total demand,
+// width, and the isolation bound (the bottleneck lower bound on the rounds
+// any schedule needs for the group alone).
+#ifndef FLOWSCHED_MODEL_COFLOW_H_
+#define FLOWSCHED_MODEL_COFLOW_H_
+
+#include <vector>
+
+#include "model/instance.h"
+
+namespace flowsched {
+
+class CoflowSet {
+ public:
+  CoflowSet() = default;
+
+  // Groups `instance`'s flows by Flow::coflow. Tagged groups come first,
+  // ordered by ascending tag; untagged flows (coflow == kNoCoflow) follow
+  // as singleton groups in flow-id order, so every flow belongs to exactly
+  // one group and per-flow metrics degenerate gracefully to the flow
+  // scheduling view.
+  explicit CoflowSet(const Instance& instance);
+
+  int num_groups() const { return static_cast<int>(members_.size()); }
+  // Number of groups that came from real (non-singleton-by-default) tags.
+  int num_tagged() const { return num_tagged_; }
+
+  // Dense group index of flow e, in [0, num_groups()).
+  int group_of(FlowId e) const { return group_of_[e]; }
+  // The original Flow::coflow tag of group g (kNoCoflow for singletons).
+  CoflowId tag(int g) const { return tag_[g]; }
+
+  const std::vector<FlowId>& members(int g) const { return members_[g]; }
+  int width(int g) const { return static_cast<int>(members_[g].size()); }
+  Round release(int g) const { return release_[g]; }
+  Capacity total_demand(int g) const { return total_demand_[g]; }
+
+  // Bottleneck lower bound on the rounds needed to serve group g alone on
+  // an empty switch: max over ports of ceil(group load at port / port
+  // capacity). Every schedule's CCT for the group is >= this, so it is the
+  // denominator of the slowdown-vs-isolation metric (Varys' Gamma).
+  Round IsolationRounds(int g, const SwitchSpec& sw) const;
+
+ private:
+  std::vector<int> group_of_;             // Indexed by flow id.
+  std::vector<CoflowId> tag_;             // Indexed by group.
+  std::vector<std::vector<FlowId>> members_;
+  std::vector<Round> release_;
+  std::vector<Capacity> total_demand_;
+  const Instance* instance_ = nullptr;
+  int num_tagged_ = 0;
+};
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_MODEL_COFLOW_H_

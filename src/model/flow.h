@@ -16,8 +16,12 @@ using FlowId = int;
 using PortId = int;
 using Round = int;
 using Capacity = std::int64_t;
+using CoflowId = int;
 
 inline constexpr Round kUnassigned = -1;
+// Flows not belonging to any coflow carry this tag (model/coflow.h treats
+// them as singleton groups when computing coflow metrics).
+inline constexpr CoflowId kNoCoflow = -1;
 
 struct Flow {
   FlowId id = 0;
@@ -25,6 +29,10 @@ struct Flow {
   PortId dst = 0;       // Output-side port index, in [0, num_outputs).
   Capacity demand = 1;  // d_e >= 1; must satisfy d_e <= min(c_src, c_dst).
   Round release = 0;    // r_e >= 0; earliest round the flow may be scheduled.
+  // Optional coflow tag: flows sharing a tag form one coflow, which
+  // completes only when its last member flow does (Chowdhury & Stoica's
+  // coflow abstraction; Liang & Modiano study it on this switch model).
+  CoflowId coflow = kNoCoflow;
 
   friend bool operator==(const Flow&, const Flow&) = default;
 };

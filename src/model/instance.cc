@@ -15,9 +15,9 @@ Instance::Instance(SwitchSpec sw, std::vector<Flow> flows)
 }
 
 FlowId Instance::AddFlow(PortId src, PortId dst, Capacity demand,
-                         Round release) {
+                         Round release, CoflowId coflow) {
   const auto id = static_cast<FlowId>(flows_.size());
-  flows_.push_back(Flow{id, src, dst, demand, release});
+  flows_.push_back(Flow{id, src, dst, demand, release, coflow});
   return id;
 }
 
@@ -46,8 +46,19 @@ std::optional<std::string> Instance::ValidationError() const {
       os << "flow " << e.id << ": negative release " << e.release;
       return os.str();
     }
+    if (e.coflow < kNoCoflow) {
+      os << "flow " << e.id << ": invalid coflow tag " << e.coflow;
+      return os.str();
+    }
   }
   return std::nullopt;
+}
+
+bool Instance::HasCoflows() const {
+  for (const Flow& e : flows_) {
+    if (e.coflow != kNoCoflow) return true;
+  }
+  return false;
 }
 
 Capacity Instance::MaxDemand() const {

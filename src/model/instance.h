@@ -24,7 +24,8 @@ class Instance {
   int num_flows() const { return static_cast<int>(flows_.size()); }
 
   // Adds a flow (id assigned automatically); returns its id.
-  FlowId AddFlow(PortId src, PortId dst, Capacity demand = 1, Round release = 0);
+  FlowId AddFlow(PortId src, PortId dst, Capacity demand = 1, Round release = 0,
+                 CoflowId coflow = kNoCoflow);
 
   // Pre-sizes the flow list for callers that grow an instance flow by flow
   // (trace parsers, generators, the simulator's realized instance).
@@ -44,6 +45,9 @@ class Instance {
   Capacity MaxDemand() const;       // d_max (0 for empty instances).
   Round MaxRelease() const;         // r_max (0 for empty instances).
   Capacity TotalDemand() const;
+  // True when at least one flow carries a coflow tag (model/coflow.h builds
+  // the grouped view; untagged flows become singleton groups there).
+  bool HasCoflows() const;
   // A horizon H such that some optimal schedule (for either objective)
   // finishes before round H: any non-idle schedule completes at least one
   // pending flow per round, so r_max + n rounds always suffice.

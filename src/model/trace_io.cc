@@ -70,9 +70,17 @@ void WriteInstanceCsv(const Instance& instance, std::ostream& out) {
     }
     w.WriteRow(row);
   }
-  w.Row("src", "dst", "demand", "release");
-  for (const Flow& e : instance.flows()) {
-    w.Row(e.src, e.dst, static_cast<long long>(e.demand), e.release);
+  if (instance.HasCoflows()) {
+    w.Row("src", "dst", "demand", "release", "coflow");
+    for (const Flow& e : instance.flows()) {
+      w.Row(e.src, e.dst, static_cast<long long>(e.demand), e.release,
+            e.coflow == kNoCoflow ? std::string() : std::to_string(e.coflow));
+    }
+  } else {
+    w.Row("src", "dst", "demand", "release");
+    for (const Flow& e : instance.flows()) {
+      w.Row(e.src, e.dst, static_cast<long long>(e.demand), e.release);
+    }
   }
 }
 
@@ -89,23 +97,34 @@ std::optional<Instance> ReadInstanceCsv(const std::string& content,
   std::vector<Capacity> out_caps;
   if (!ParseCapacityRow(rows[1], 1, in_caps, error)) return std::nullopt;
   if (!ParseCapacityRow(rows[3], 3, out_caps, error)) return std::nullopt;
-  if (rows[4] != std::vector<std::string>{"src", "dst", "demand", "release"}) {
+  const std::vector<std::string> header4 = {"src", "dst", "demand", "release"};
+  const std::vector<std::string> header5 = {"src", "dst", "demand", "release",
+                                            "coflow"};
+  const bool with_coflow = rows[4] == header5;
+  if (!with_coflow && rows[4] != header4) {
     Fail(error, "missing flow header row");
     return std::nullopt;
   }
+  const std::size_t width = with_coflow ? 5 : 4;
   std::vector<Flow> flows;
   flows.reserve(rows.size() - 5);
   for (std::size_t i = 5; i < rows.size(); ++i) {
     const auto& row = rows[i];
-    if (row.size() != 4) {
+    if (row.size() != width) {
       Fail(error, LineTag(i) + "flow row has " + std::to_string(row.size()) +
-                      " fields, want 4 (src,dst,demand,release)");
+                      " fields, want " + std::to_string(width) +
+                      (with_coflow ? " (src,dst,demand,release,coflow)"
+                                   : " (src,dst,demand,release)"));
       return std::nullopt;
     }
     Flow e;
     if (!ParseInt(row[0], e.src) || !ParseInt(row[1], e.dst) ||
         !ParseInt64(row[2], e.demand) || !ParseInt(row[3], e.release)) {
       Fail(error, LineTag(i) + "unparsable flow row");
+      return std::nullopt;
+    }
+    if (with_coflow && !row[4].empty() && !ParseInt(row[4], e.coflow)) {
+      Fail(error, LineTag(i) + "unparsable coflow tag: " + row[4]);
       return std::nullopt;
     }
     flows.push_back(e);
@@ -117,6 +136,155 @@ std::optional<Instance> ReadInstanceCsv(const std::string& content,
     return std::nullopt;
   }
   return instance;  // Implicitly moved into the optional (C++20).
+}
+
+namespace {
+
+std::vector<std::string> SplitSemicolons(const std::string& field) {
+  std::vector<std::string> parts;
+  std::string part;
+  for (char c : field + ';') {
+    if (c == ';') {
+      if (!part.empty()) parts.push_back(part);
+      part.clear();
+    } else {
+      part += c;
+    }
+  }
+  return parts;
+}
+
+const std::vector<std::string> kCoflowHeader = {"coflow", "arrival", "mappers",
+                                                "reducers"};
+
+// Ceiling on port indices when the trace carries no capacity preamble: the
+// inferred square switch allocates two arrays of this size, so a typo'd
+// port number must become a parse error, not a multi-gigabyte allocation.
+constexpr PortId kMaxInferredPort = 1 << 20;
+
+}  // namespace
+
+bool LooksLikeCoflowTrace(const std::string& content) {
+  // Sniff only the first five lines — the header is at row 0, or row 4
+  // behind a capacity preamble — so routing a large file costs O(1), not a
+  // second full parse.
+  std::size_t end = 0;
+  for (int newlines = 0; end < content.size() && newlines < 5; ++end) {
+    if (content[end] == '\n') ++newlines;
+  }
+  const auto rows = ParseCsv(std::string_view(content).substr(0, end));
+  if (!rows.empty() && rows[0] == kCoflowHeader) return true;
+  return rows.size() > 4 && !rows[0].empty() &&
+         rows[0][0] == "input_capacities" && rows[4] == kCoflowHeader;
+}
+
+std::optional<Instance> ReadCoflowTraceCsv(const std::string& content,
+                                           std::string* error) {
+  const auto rows = ParseCsv(content);
+  std::size_t first = 0;
+  std::vector<Capacity> in_caps;
+  std::vector<Capacity> out_caps;
+  if (!rows.empty() && !rows[0].empty() && rows[0][0] == "input_capacities") {
+    if (rows.size() < 4 || rows[2].empty() ||
+        rows[2][0] != "output_capacities") {
+      Fail(error, "truncated capacity preamble");
+      return std::nullopt;
+    }
+    if (!ParseCapacityRow(rows[1], 1, in_caps, error)) return std::nullopt;
+    if (!ParseCapacityRow(rows[3], 3, out_caps, error)) return std::nullopt;
+    first = 4;
+  }
+  if (rows.size() <= first || rows[first] != kCoflowHeader) {
+    Fail(error, "missing coflow header row (coflow,arrival,mappers,reducers)");
+    return std::nullopt;
+  }
+  std::vector<Flow> flows;
+  PortId max_port = -1;
+  for (std::size_t i = first + 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != 4) {
+      Fail(error, LineTag(i) + "coflow row has " + std::to_string(row.size()) +
+                      " fields, want 4 (coflow,arrival,mappers,reducers)");
+      return std::nullopt;
+    }
+    CoflowId coflow = kNoCoflow;
+    Round arrival = 0;
+    if (!ParseInt(row[0], coflow) || coflow < 0 ||
+        !ParseInt(row[1], arrival)) {
+      Fail(error, LineTag(i) + "unparsable coflow id / arrival");
+      return std::nullopt;
+    }
+    std::vector<PortId> mappers;
+    for (const std::string& m : SplitSemicolons(row[2])) {
+      PortId p = 0;
+      if (!ParseInt(m, p) || p < 0 || p >= kMaxInferredPort) {
+        Fail(error, LineTag(i) + "bad mapper port: " + m);
+        return std::nullopt;
+      }
+      mappers.push_back(p);
+      max_port = std::max(max_port, p);
+    }
+    if (mappers.empty()) {
+      Fail(error, LineTag(i) + "coflow has no mappers");
+      return std::nullopt;
+    }
+    // Each reducer's shuffle volume splits evenly over the mappers
+    // (rounded up, min 1 unit) — the standard expansion of the Facebook
+    // trace's per-reducer totals into per-flow demands.
+    const auto num_mappers = static_cast<Capacity>(mappers.size());
+    bool any_reducer = false;
+    for (const std::string& r : SplitSemicolons(row[3])) {
+      const auto colon = r.find(':');
+      PortId q = 0;
+      std::int64_t units = 0;
+      if (colon == std::string::npos || !ParseInt(r.substr(0, colon), q) ||
+          q < 0 || q >= kMaxInferredPort ||
+          !ParseInt64(r.substr(colon + 1), units) || units < 1) {
+        Fail(error, LineTag(i) + "unparsable reducer spec: " + r);
+        return std::nullopt;
+      }
+      any_reducer = true;
+      max_port = std::max(max_port, q);
+      const Capacity demand =
+          std::max<Capacity>(1, (units + num_mappers - 1) / num_mappers);
+      for (PortId p : mappers) {
+        Flow e;
+        e.src = p;
+        e.dst = q;
+        e.demand = demand;
+        e.release = arrival;
+        e.coflow = coflow;
+        flows.push_back(e);
+      }
+    }
+    if (!any_reducer) {
+      Fail(error, LineTag(i) + "coflow has no reducers");
+      return std::nullopt;
+    }
+  }
+  if (in_caps.empty()) {
+    // No preamble: square switch over the referenced ports, capacity large
+    // enough for the largest expanded flow demand. An empty trace leaves
+    // nothing to size the switch from — reject it rather than abort in
+    // SwitchSpec's zero-port check downstream.
+    if (flows.empty()) {
+      Fail(error,
+           "coflow trace has no coflow rows and no capacity preamble to "
+           "size the switch from");
+      return std::nullopt;
+    }
+    Capacity cap = 1;
+    for (const Flow& e : flows) cap = std::max(cap, e.demand);
+    in_caps.assign(static_cast<std::size_t>(max_port) + 1, cap);
+    out_caps = in_caps;
+  }
+  Instance instance(SwitchSpec(std::move(in_caps), std::move(out_caps)),
+                    std::move(flows));
+  if (auto verr = instance.ValidationError()) {
+    Fail(error, *verr);
+    return std::nullopt;
+  }
+  return instance;
 }
 
 void WriteScheduleCsv(const Schedule& schedule, std::ostream& out) {

@@ -2,9 +2,28 @@
 // and for interoperability with plotting scripts).
 //
 // Instance format:   header "src,dst,demand,release" then one row per flow.
+//                    Instances carrying coflow tags write (and the reader
+//                    accepts) a fifth "coflow" column; kNoCoflow rows write
+//                    an empty field.
 // Capacities format: first row "input_capacities", second row the values,
 //                    then "output_capacities" and its values.
 // Schedule format:   header "flow_id,round" then one row per flow.
+//
+// Coflow trace format (ReadCoflowTraceCsv): one row per coflow, following
+// the Facebook/Varys trace column convention (coflow id, arrival time,
+// mapper list, reducer list with per-reducer shuffle volume):
+//
+//   coflow,arrival,mappers,reducers
+//   1,0,0;2;5,1:6;3:2
+//
+// "mappers" is a ';'-separated list of input ports; "reducers" a
+// ';'-separated list of output_port:units pairs. Each (mapper, reducer)
+// pair becomes one flow with demand ceil(units / num_mappers) (min 1),
+// released at the coflow's arrival round and tagged with the coflow id.
+// An optional capacity preamble (same four rows as the instance format) may
+// precede the header; without one, a square unit-capacity switch spanning
+// the largest referenced port is assumed — with capacity raised to the
+// largest per-flow demand so the trace always validates.
 #ifndef FLOWSCHED_MODEL_TRACE_IO_H_
 #define FLOWSCHED_MODEL_TRACE_IO_H_
 
@@ -25,6 +44,15 @@ void WriteInstanceCsv(const Instance& instance, std::ostream& out);
 // parser skips).
 std::optional<Instance> ReadInstanceCsv(const std::string& content,
                                         std::string* error = nullptr);
+
+// Parses a coflow trace (format above) into an instance with tagged flows.
+// Returns nullopt and fills `error` (if non-null) on malformed input.
+std::optional<Instance> ReadCoflowTraceCsv(const std::string& content,
+                                           std::string* error = nullptr);
+
+// True when `content` starts with a coflow-trace header (with or without
+// the capacity preamble); instance loaders use this to route files.
+bool LooksLikeCoflowTrace(const std::string& content);
 
 void WriteScheduleCsv(const Schedule& schedule, std::ostream& out);
 

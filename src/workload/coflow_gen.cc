@@ -1,0 +1,74 @@
+#include "workload/coflow_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace flowsched {
+namespace {
+
+void ValidateConfig(const CoflowGenConfig& config) {
+  FS_CHECK_GT(config.num_inputs, 0);
+  FS_CHECK_GT(config.num_outputs, 0);
+  FS_CHECK_GE(config.port_capacity, 1);
+  FS_CHECK_GE(config.mean_coflows_per_round, 0.0);
+  FS_CHECK_GT(config.num_rounds, 0);
+  FS_CHECK_GE(config.min_width, 1);
+  FS_CHECK_GE(config.max_width, config.min_width);
+  // skew in (0, 1]: 1 is uniform, smaller skews narrow (TruncatedGeometric
+  // requires a ratio strictly below 1, so uniform gets its own draw path).
+  FS_CHECK(config.width_skew > 0.0 && config.width_skew <= 1.0);
+  FS_CHECK_GE(config.max_demand, 1);
+}
+
+}  // namespace
+
+double MeanCoflowWidth(const CoflowGenConfig& config) {
+  ValidateConfig(config);
+  const int span = config.max_width - config.min_width + 1;
+  double weight_sum = 0.0;
+  double mean = 0.0;
+  double weight = 1.0;
+  for (int k = 0; k < span; ++k) {
+    weight_sum += weight;
+    mean += weight * (config.min_width + k);
+    weight *= config.width_skew;
+  }
+  return mean / weight_sum;
+}
+
+Instance GenerateCoflows(const CoflowGenConfig& config) {
+  ValidateConfig(config);
+  Rng rng(config.seed);
+  Instance instance(SwitchSpec::Uniform(config.num_inputs, config.num_outputs,
+                                        config.port_capacity),
+                    {});
+  const int span = config.max_width - config.min_width + 1;
+  const auto demand_cap = static_cast<int>(
+      std::min(config.max_demand, config.port_capacity));
+  CoflowId next_coflow = 0;
+  for (Round t = 0; t < config.num_rounds; ++t) {
+    const int arrivals = rng.Poisson(config.mean_coflows_per_round);
+    for (int c = 0; c < arrivals; ++c) {
+      const int width =
+          config.width_skew >= 1.0
+              ? rng.UniformInt(config.min_width, config.max_width)
+              : config.min_width - 1 +
+                    rng.TruncatedGeometric(config.width_skew, span);
+      const CoflowId coflow = next_coflow++;
+      for (int k = 0; k < width; ++k) {
+        const PortId src = rng.UniformInt(0, config.num_inputs - 1);
+        const PortId dst = rng.UniformInt(0, config.num_outputs - 1);
+        const Capacity demand =
+            demand_cap > 1 ? rng.UniformInt(1, demand_cap) : 1;
+        instance.AddFlow(src, dst, demand, t, coflow);
+      }
+    }
+  }
+  FS_CHECK(!instance.ValidationError().has_value());
+  return instance;
+}
+
+}  // namespace flowsched

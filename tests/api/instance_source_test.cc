@@ -8,6 +8,7 @@
 
 #include "model/trace_io.h"
 #include "workload/adversarial.h"
+#include "workload/coflow_gen.h"
 #include "workload/poisson.h"
 
 namespace flowsched {
@@ -16,6 +17,7 @@ namespace {
 TEST(InstanceSourceTest, RecognizesGeneratorSpecs) {
   EXPECT_TRUE(IsGeneratorSpec("poisson"));
   EXPECT_TRUE(IsGeneratorSpec("poisson:ports=4,load=1.0"));
+  EXPECT_TRUE(IsGeneratorSpec("coflow:ports=8,load=0.9,width=4"));
   EXPECT_TRUE(IsGeneratorSpec("fig4b"));
   EXPECT_FALSE(IsGeneratorSpec("trace.csv"));
   EXPECT_FALSE(IsGeneratorSpec("/tmp/poisson.csv"));
@@ -66,6 +68,46 @@ TEST(InstanceSourceTest, LoadsCsvTraceFiles) {
   ASSERT_TRUE(loaded.has_value()) << error;
   EXPECT_EQ(loaded->num_flows(), 2);
   EXPECT_EQ(loaded->flow(0), instance.flow(0));
+  std::remove(path.c_str());
+}
+
+TEST(InstanceSourceTest, CoflowSpecMatchesGenerateCoflows) {
+  const auto loaded = LoadInstance(
+      "coflow:ports=8,load=0.9,rounds=12,width=5,minwidth=2,skew=0.6,seed=4");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->HasCoflows());
+
+  CoflowGenConfig cfg;
+  cfg.num_inputs = cfg.num_outputs = 8;
+  cfg.num_rounds = 12;
+  cfg.min_width = 2;
+  cfg.max_width = 5;
+  cfg.width_skew = 0.6;
+  cfg.seed = 4;
+  cfg.mean_coflows_per_round = 0.9 * 8 / MeanCoflowWidth(cfg);
+  const Instance direct = GenerateCoflows(cfg);
+
+  ASSERT_EQ(loaded->num_flows(), direct.num_flows());
+  for (FlowId e = 0; e < direct.num_flows(); ++e) {
+    EXPECT_EQ(loaded->flow(e), direct.flow(e));
+  }
+}
+
+TEST(InstanceSourceTest, LoadsCoflowTraceFilesBySniffingTheHeader) {
+  const std::string path = testing::TempDir() + "/instance_source_coflow.csv";
+  {
+    std::ofstream out(path);
+    out << "coflow,arrival,mappers,reducers\n"
+           "0,0,0;1,0:2;1:2\n"
+           "1,2,1,0:1\n";
+  }
+  std::string error;
+  const auto loaded = LoadInstance(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->num_flows(), 5);
+  EXPECT_TRUE(loaded->HasCoflows());
+  EXPECT_EQ(loaded->flow(0).coflow, 0);
+  EXPECT_EQ(loaded->flow(4).coflow, 1);
   std::remove(path.c_str());
 }
 

@@ -181,6 +181,45 @@ TEST(ExpandSweepTest, ExpandsSolverGlobs) {
   EXPECT_EQ(plan.cells.size(), 4u * num_online);
 }
 
+TEST(ExpandSweepTest, TrialPlaceholderSubstitutesPerTrial) {
+  SweepSpec spec;
+  spec.solvers = {"online.fifo"};
+  // Trace-driven shape: one (virtual) file per trial; no axes, no {seed}.
+  spec.instances = {"traces/day{trial}.csv"};
+  spec.trials = 3;
+  SweepPlan plan;
+  std::string error;
+  ASSERT_TRUE(ExpandSweep(spec, SolverRegistry::Global(), plan, &error))
+      << error;
+  ASSERT_EQ(plan.tasks.size(), 3u);
+  EXPECT_EQ(plan.tasks[0].instance_spec, "traces/day0.csv");
+  EXPECT_EQ(plan.tasks[1].instance_spec, "traces/day1.csv");
+  EXPECT_EQ(plan.tasks[2].instance_spec, "traces/day2.csv");
+  // Distinct per-trial specs materialize distinct instance slots.
+  EXPECT_EQ(plan.unique_instances.size(), 3u);
+  // The cell identity keeps the placeholder: all trials aggregate together.
+  EXPECT_EQ(plan.cells.size(), 1u);
+  EXPECT_EQ(plan.cells[0].instance_family, "traces/day{trial}.csv");
+}
+
+TEST(ExpandSweepTest, TrialPlaceholderComposesWithAxesAndSeeds) {
+  SweepSpec spec = GridSpec();
+  spec.instances = {
+      "poisson:ports={ports},load={load},rounds=20,seed={seed}{trial}"};
+  SweepPlan plan;
+  std::string error;
+  ASSERT_TRUE(ExpandSweep(spec, SolverRegistry::Global(), plan, &error))
+      << error;
+  for (const SweepTask& task : plan.tasks) {
+    EXPECT_EQ(task.instance_spec.find('{'), std::string::npos)
+        << task.instance_spec;
+  }
+  // seed={seed}{trial} concatenates: seed 1 trial 1 => "11", distinct from
+  // seed 11 trial 0 only through the seed axis (not used here) — the point
+  // is purely that both placeholders substitute.
+  EXPECT_EQ(plan.tasks[1].instance_spec.find("{trial}"), std::string::npos);
+}
+
 TEST(ExpandSweepTest, RejectsAxisPlaceholderMismatches) {
   SweepPlan plan;
   std::string error;

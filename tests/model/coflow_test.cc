@@ -1,0 +1,86 @@
+#include "model/coflow.h"
+
+#include <gtest/gtest.h>
+
+namespace flowsched {
+namespace {
+
+TEST(CoflowSetTest, GroupsTaggedFlowsAndAggregates) {
+  Instance instance(SwitchSpec::Uniform(4, 4, 2), {});
+  instance.AddFlow(0, 1, 2, 3, /*coflow=*/7);
+  instance.AddFlow(1, 2, 1, 1, /*coflow=*/7);
+  instance.AddFlow(2, 3, 1, 0, /*coflow=*/2);
+  const CoflowSet coflows(instance);
+
+  ASSERT_EQ(coflows.num_groups(), 2);
+  EXPECT_EQ(coflows.num_tagged(), 2);
+  // Tagged groups order by ascending tag: group 0 is tag 2, group 1 tag 7.
+  EXPECT_EQ(coflows.tag(0), 2);
+  EXPECT_EQ(coflows.tag(1), 7);
+  EXPECT_EQ(coflows.group_of(0), 1);
+  EXPECT_EQ(coflows.group_of(1), 1);
+  EXPECT_EQ(coflows.group_of(2), 0);
+
+  EXPECT_EQ(coflows.width(1), 2);
+  EXPECT_EQ(coflows.release(1), 1);  // Earliest member release.
+  EXPECT_EQ(coflows.total_demand(1), 3);
+  EXPECT_EQ(coflows.width(0), 1);
+  EXPECT_EQ(coflows.release(0), 0);
+}
+
+TEST(CoflowSetTest, UntaggedFlowsBecomeSingletonsAfterTaggedGroups) {
+  Instance instance(SwitchSpec::Uniform(3, 3), {});
+  instance.AddFlow(0, 0, 1, 0);                // Untagged.
+  instance.AddFlow(1, 1, 1, 2, /*coflow=*/5);
+  instance.AddFlow(2, 2, 1, 4);                // Untagged.
+  const CoflowSet coflows(instance);
+
+  ASSERT_EQ(coflows.num_groups(), 3);
+  EXPECT_EQ(coflows.num_tagged(), 1);
+  EXPECT_EQ(coflows.group_of(1), 0);  // The tagged group comes first.
+  EXPECT_EQ(coflows.group_of(0), 1);  // Singletons in flow order.
+  EXPECT_EQ(coflows.group_of(2), 2);
+  EXPECT_EQ(coflows.tag(1), kNoCoflow);
+  EXPECT_EQ(coflows.width(1), 1);
+  EXPECT_EQ(coflows.release(2), 4);
+}
+
+TEST(CoflowSetTest, IsolationRoundsIsTheBottleneckBound) {
+  Instance instance(SwitchSpec::Uniform(4, 4), {});
+  // A 3-to-1 incast: output 0 carries 3 unit flows => 3 rounds minimum.
+  instance.AddFlow(0, 0, 1, 0, /*coflow=*/1);
+  instance.AddFlow(1, 0, 1, 0, /*coflow=*/1);
+  instance.AddFlow(2, 0, 1, 0, /*coflow=*/1);
+  // A 2-flow shuffle over distinct ports: 1 round suffices.
+  instance.AddFlow(0, 1, 1, 0, /*coflow=*/2);
+  instance.AddFlow(1, 2, 1, 0, /*coflow=*/2);
+  const CoflowSet coflows(instance);
+  EXPECT_EQ(coflows.IsolationRounds(0, instance.sw()), 3);
+  EXPECT_EQ(coflows.IsolationRounds(1, instance.sw()), 1);
+}
+
+TEST(CoflowSetTest, IsolationRoundsHonorsPortCapacities) {
+  // Capacity 2 halves the bottleneck (ceil(3/2) = 2).
+  Instance instance(SwitchSpec::Uniform(4, 4, 2), {});
+  for (int i = 0; i < 3; ++i) instance.AddFlow(i, 0, 1, 0, /*coflow=*/0);
+  const CoflowSet coflows(instance);
+  EXPECT_EQ(coflows.IsolationRounds(0, instance.sw()), 2);
+}
+
+TEST(CoflowSetTest, InstanceValidationRejectsNegativeTagsBelowNoCoflow) {
+  Instance instance(SwitchSpec::Uniform(2, 2), {});
+  instance.AddFlow(0, 0, 1, 0, /*coflow=*/-3);
+  EXPECT_TRUE(instance.ValidationError().has_value());
+}
+
+TEST(CoflowSetTest, HasCoflowsReflectsTags) {
+  Instance plain(SwitchSpec::Uniform(2, 2), {});
+  plain.AddFlow(0, 0);
+  EXPECT_FALSE(plain.HasCoflows());
+  Instance tagged(SwitchSpec::Uniform(2, 2), {});
+  tagged.AddFlow(0, 0, 1, 0, /*coflow=*/0);
+  EXPECT_TRUE(tagged.HasCoflows());
+}
+
+}  // namespace
+}  // namespace flowsched

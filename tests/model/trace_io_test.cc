@@ -71,6 +71,122 @@ TEST(TraceIoTest, MalformedCapacityRowErrorsCarryTheLineNumber) {
   EXPECT_NE(error.find("line 2"), std::string::npos) << error;
 }
 
+TEST(TraceIoTest, CoflowTagsRoundTripThroughTheInstanceCsv) {
+  Instance instance(SwitchSpec::Uniform(3, 3), {});
+  instance.AddFlow(0, 1, 1, 0, /*coflow=*/4);
+  instance.AddFlow(1, 2, 1, 1);  // Untagged: writes an empty field.
+  instance.AddFlow(2, 0, 1, 1, /*coflow=*/4);
+  std::ostringstream out;
+  WriteInstanceCsv(instance, out);
+  EXPECT_NE(out.str().find("src,dst,demand,release,coflow"),
+            std::string::npos);
+  std::string error;
+  const auto parsed = ReadInstanceCsv(out.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->num_flows(), 3);
+  EXPECT_EQ(parsed->flow(0).coflow, 4);
+  EXPECT_EQ(parsed->flow(1).coflow, kNoCoflow);
+  EXPECT_EQ(parsed->flow(2).coflow, 4);
+}
+
+TEST(TraceIoTest, UntaggedInstancesKeepTheFourColumnFormat) {
+  Instance instance(SwitchSpec::Uniform(2, 2), {});
+  instance.AddFlow(0, 1);
+  std::ostringstream out;
+  WriteInstanceCsv(instance, out);
+  EXPECT_EQ(out.str().find("coflow"), std::string::npos);
+}
+
+TEST(TraceIoTest, CoflowTraceExpandsMappersTimesReducers) {
+  // Coflow 1: mappers {0, 2}, reducers {1 (6 units), 3 (2 units)}.
+  // Per-flow demand = ceil(units / num_mappers): 3 and 1.
+  const std::string content =
+      "coflow,arrival,mappers,reducers\n"
+      "1,0,0;2,1:6;3:2\n"
+      "2,5,1,0:1\n";
+  std::string error;
+  const auto parsed = ReadCoflowTraceCsv(content, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->num_flows(), 5);
+  // Ports span 0..3 => square 4x4 switch; capacity = max demand (3).
+  EXPECT_EQ(parsed->sw().num_inputs(), 4);
+  EXPECT_EQ(parsed->sw().num_outputs(), 4);
+  EXPECT_EQ(parsed->sw().input_capacity(0), 3);
+  EXPECT_EQ(parsed->flow(0), (Flow{0, 0, 1, 3, 0, 1}));
+  EXPECT_EQ(parsed->flow(1), (Flow{1, 2, 1, 3, 0, 1}));
+  EXPECT_EQ(parsed->flow(2), (Flow{2, 0, 3, 1, 0, 1}));
+  EXPECT_EQ(parsed->flow(3), (Flow{3, 2, 3, 1, 0, 1}));
+  EXPECT_EQ(parsed->flow(4), (Flow{4, 1, 0, 1, 5, 2}));
+  EXPECT_TRUE(parsed->HasCoflows());
+}
+
+TEST(TraceIoTest, CoflowTraceHonorsCapacityPreamble) {
+  const std::string content =
+      "input_capacities\n2,2\noutput_capacities\n2,2\n"
+      "coflow,arrival,mappers,reducers\n"
+      "0,0,0;1,0:4\n";
+  std::string error;
+  const auto parsed = ReadCoflowTraceCsv(content, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->sw().num_inputs(), 2);
+  EXPECT_EQ(parsed->sw().input_capacity(0), 2);
+  ASSERT_EQ(parsed->num_flows(), 2);
+  EXPECT_EQ(parsed->flow(0).demand, 2);  // ceil(4 / 2 mappers).
+}
+
+TEST(TraceIoTest, LooksLikeCoflowTraceDetectsBothVariants) {
+  EXPECT_TRUE(LooksLikeCoflowTrace("coflow,arrival,mappers,reducers\n"));
+  EXPECT_TRUE(LooksLikeCoflowTrace(
+      "input_capacities\n1\noutput_capacities\n1\n"
+      "coflow,arrival,mappers,reducers\n"));
+  EXPECT_FALSE(LooksLikeCoflowTrace(
+      "input_capacities\n1\noutput_capacities\n1\n"
+      "src,dst,demand,release\n"));
+  EXPECT_FALSE(LooksLikeCoflowTrace("src,dst,demand,release\n"));
+}
+
+TEST(TraceIoTest, CoflowTraceWithoutRowsOrPreambleIsAnErrorNotAnAbort) {
+  std::string error;
+  EXPECT_FALSE(ReadCoflowTraceCsv("coflow,arrival,mappers,reducers\n", &error)
+                   .has_value());
+  EXPECT_NE(error.find("no coflow rows"), std::string::npos) << error;
+  // With a preamble the switch is fully specified, so empty is fine.
+  const auto parsed = ReadCoflowTraceCsv(
+      "input_capacities\n1\noutput_capacities\n1\n"
+      "coflow,arrival,mappers,reducers\n",
+      &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->num_flows(), 0);
+}
+
+TEST(TraceIoTest, CoflowTraceRejectsOutOfRangePortsInsteadOfAllocating) {
+  const std::string header = "coflow,arrival,mappers,reducers\n";
+  std::string error;
+  // A typo'd giant port must be a parse error, not a gigabyte switch.
+  EXPECT_FALSE(
+      ReadCoflowTraceCsv(header + "0,0,2000000000,0:1\n", &error).has_value());
+  EXPECT_NE(error.find("mapper port"), std::string::npos) << error;
+  EXPECT_FALSE(
+      ReadCoflowTraceCsv(header + "0,0,0,2000000000:1\n", &error).has_value());
+  EXPECT_NE(error.find("reducer spec"), std::string::npos) << error;
+  EXPECT_FALSE(ReadCoflowTraceCsv(header + "0,0,-2,0:1\n", &error).has_value());
+  EXPECT_NE(error.find("mapper port"), std::string::npos) << error;
+}
+
+TEST(TraceIoTest, CoflowTraceErrorsCarryTheLineNumber) {
+  const std::string header = "coflow,arrival,mappers,reducers\n";
+  std::string error;
+  EXPECT_FALSE(
+      ReadCoflowTraceCsv(header + "1,0,0,1:bad\n", &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_FALSE(ReadCoflowTraceCsv(header + "1,0,,1:1\n", &error).has_value());
+  EXPECT_NE(error.find("no mappers"), std::string::npos) << error;
+  EXPECT_FALSE(ReadCoflowTraceCsv(header + "1,0,0,\n", &error).has_value());
+  EXPECT_NE(error.find("no reducers"), std::string::npos) << error;
+  EXPECT_FALSE(ReadCoflowTraceCsv("nope\n", &error).has_value());
+  EXPECT_NE(error.find("header"), std::string::npos) << error;
+}
+
 TEST(TraceIoTest, ScheduleRoundTrip) {
   Schedule s(3);
   s.Assign(0, 4);

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Local mirror of .github/workflows/ci.yml: the tier-1 verify sequence in
-# Debug and Release, plus a CLI smoke test.
+# Debug and Release, a CLI smoke test, and the Debug ASan/UBSan leg over
+# the coflow + workload + model suites.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,6 +13,7 @@ for build_type in Debug Release; do
   (cd "${build_dir}" && ctest --output-on-failure -j "$(nproc)")
   "./${build_dir}/tools/flowsched_cli" \
       --instance=poisson:ports=6,load=1.0,rounds=6 --solver=all
+  "./${build_dir}/tools/flowsched_cli" --list-solvers | grep -q '^coflow.sebf$'
   if [[ "${build_type}" == "Release" ]]; then
     # Bench smoke: every cell must succeed; JSON is the artifact.
     "./${build_dir}/tools/flowsched_bench" --suite=smoke --repeat=2 \
@@ -31,4 +33,12 @@ for build_type in Debug Release; do
     echo "sweep smoke written to ${build_dir}/SWEEP_smoke.json (jobs=1/2 reports identical)"
   fi
 done
+
+echo "=== Debug ASan/UBSan (coflow + workload + model) ==="
+cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DFLOWSCHED_SANITIZE=address,undefined \
+    -DFLOWSCHED_BUILD_BENCHES=OFF -DFLOWSCHED_BUILD_EXAMPLES=OFF
+cmake --build build-ci-asan -j "$(nproc)"
+(cd build-ci-asan && ctest --output-on-failure -j "$(nproc)" \
+    -R 'coflow|workload|model')
 echo "CI OK"

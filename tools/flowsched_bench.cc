@@ -11,9 +11,10 @@
 //
 // Suites:
 //   core   the paper-scale online suite — a 256x256 switch with ~50k
-//          Poisson flows plus shuffle / incast / Figure-4 instances across
-//          every online.* policy — and the König vs Euler-split edge
-//          coloring kernels on a dense multigraph.
+//          Poisson flows plus coflow / shuffle / incast / Figure-4
+//          instances across every online.* and coflow.* policy — and the
+//          König vs Euler-split edge coloring kernels on a dense
+//          multigraph.
 //   smoke  a down-scaled copy of core that finishes in seconds (CI).
 //
 // Timing: each (instance, solver) cell runs --repeat times (default 3) and
@@ -101,6 +102,7 @@ SuiteSpec MakeSuite(const std::string& name) {
         "core",
         {
             "poisson:ports=256,load=1.0,rounds=195,seed=1",
+            "coflow:ports=256,load=1.0,rounds=195,width=16,skew=0.7,seed=1",
             "shuffle:ports=256,wave=64,waves=8,period=2",
             "incast:ports=256,fanin=255",
             "fig4a:phase=128,total=1024",
@@ -115,6 +117,7 @@ SuiteSpec MakeSuite(const std::string& name) {
         "smoke",
         {
             "poisson:ports=32,load=1.0,rounds=40,seed=1",
+            "coflow:ports=32,load=1.0,rounds=40,width=6,skew=0.7,seed=1",
             "incast:ports=32,fanin=31",
             "fig4b",
         },
@@ -125,10 +128,12 @@ SuiteSpec MakeSuite(const std::string& name) {
   return SuiteSpec{};
 }
 
-std::vector<std::string> OnlineSolverNames() {
+std::vector<std::string> SimulationSolverNames() {
   std::vector<std::string> names;
   for (const std::string& name : SolverRegistry::Global().Names()) {
-    if (name.rfind("online.", 0) == 0) names.push_back(name);
+    if (name.rfind("online.", 0) == 0 || name.rfind("coflow.", 0) == 0) {
+      names.push_back(name);
+    }
   }
   return names;
 }
@@ -299,7 +304,7 @@ int Run(int argc, char** argv) {
   if (repeat < 1) repeat = 1;
   if (out_path.empty()) out_path = "BENCH_" + suite.name + ".json";
 
-  const std::vector<std::string> solvers = OnlineSolverNames();
+  const std::vector<std::string> solvers = SimulationSolverNames();
   std::vector<BenchCell> cells;
   TextTable table({"instance", "solver", "wall_ms", "rounds", "rounds/s",
                    "peak_backlog", "allocs"});

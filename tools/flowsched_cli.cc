@@ -2,7 +2,7 @@
 // and emit a comparison table — the batch driver over the Solver facade.
 //
 // Usage:
-//   flowsched_cli --list
+//   flowsched_cli --list | --list-solvers
 //   flowsched_cli [--instance=<csv path | generator spec>]
 //                 [--solver=all | name[,name...]]
 //                 [--param key=value]... [--seed=N] [--max-rounds=N]
@@ -38,14 +38,18 @@ struct CliOptions {
   std::string csv_out;
   std::string schedule_out;
   bool list = false;
+  bool list_solvers = false;
   bool diagnostics = false;
 };
 
 void PrintUsage(std::ostream& out) {
   out << "flowsched_cli: run registered solvers on an instance.\n"
-         "  --list                 print registered solver names and exit\n"
-         "  --instance=SOURCE      CSV trace path or generator spec\n"
-         "                         (poisson|shuffle|incast|fig4a|fig4b[:k=v,...])\n"
+         "  --list                 print solver names + descriptions and exit\n"
+         "  --list-solvers         print registered solver names, one per\n"
+         "                         line (script-friendly), and exit\n"
+         "  --instance=SOURCE      CSV trace path (instance or coflow trace)\n"
+         "                         or generator spec (poisson|coflow|shuffle|\n"
+         "                         incast|fig4a|fig4b[:k=v,...])\n"
          "  --solver=NAMES         'all' (default) or comma-separated names\n"
          "  --param KEY=VALUE      solver-specific parameter (repeatable)\n"
          "  --seed=N               RNG seed for randomized policies\n"
@@ -73,6 +77,8 @@ bool ParseArgs(int argc, char** argv, CliOptions& cli, std::string& error) {
       std::exit(0);
     } else if (arg == "--list") {
       cli.list = true;
+    } else if (arg == "--list-solvers") {
+      cli.list_solvers = true;
     } else if (arg == "--diagnostics") {
       cli.diagnostics = true;
     } else if (ParseFlag(arg, "instance", &value)) {
@@ -137,6 +143,12 @@ int Run(int argc, char** argv) {
   }
   const SolverRegistry& registry = SolverRegistry::Global();
 
+  if (cli.list_solvers) {
+    for (const std::string& name : registry.Names()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
   if (cli.list) {
     TextTable table({"solver", "description"});
     for (const std::string& name : registry.Names()) {

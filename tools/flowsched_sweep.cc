@@ -20,6 +20,11 @@
 //       --instances='poisson:ports={ports},load={load},rounds=200,seed={seed}' \
 //       --loads=0.5:1.0:0.1 --ports=64,256 --seeds=1..5 --jobs=8
 //
+// Templates also accept a {trial} placeholder (the 0-based trial index), so
+// trace-driven campaigns can run one file per repetition:
+//   flowsched_sweep --solvers='coflow.*' --instances='traces/day{trial}.csv' \
+//       --trials=7
+//
 // Flags mirror the spec keys (--solvers, --instances, --loads, --ports,
 // --rounds, --seeds, --trials, --base-seed, --max-rounds, --name,
 // --param K=V) and override the file when both are given. See README
@@ -40,12 +45,15 @@
 namespace flowsched {
 namespace {
 
-// The built-in CI/quick-start grid: 3 policies x 2 loads x 2 port counts
-// x 2 seeds = 24 tasks over 12 cells; finishes in seconds.
+// The built-in CI/quick-start grid: 4 policies x 2 instance families x
+// 2 loads x 2 port counts x 2 seeds = 64 tasks over 32 cells; finishes in
+// seconds. The coflow family exercises the coflow.* solvers' CCT reporting
+// (and the flow-level solvers on grouped traffic) in the same grid.
 const char kSmokeSpec[] =
     "name=smoke\n"
-    "solvers=online.fifo,online.srpt,online.maxweight\n"
-    "instances=poisson:ports={ports},load={load},rounds=60,seed={seed}\n"
+    "solvers=online.fifo,online.srpt,online.maxweight,coflow.sebf\n"
+    "instances=poisson:ports={ports},load={load},rounds=60,seed={seed};"
+    "coflow:ports={ports},load={load},rounds=60,width=6,skew=0.7,seed={seed}\n"
     "loads=0.7,1.0\n"
     "ports=16,32\n"
     "seeds=1..2\n"
