@@ -1,7 +1,7 @@
 // Internal: registration hooks for the built-in solver adapters, split by
 // family (api/offline_solvers.cc, api/online_solvers.cc,
-// coflow/coflow_solvers.cc). Use RegisterBuiltinSolvers (api/registry.h)
-// from application code.
+// coflow/coflow_solvers.cc, fabric/fabric_solvers.cc). Use
+// RegisterBuiltinSolvers (api/registry.h) from application code.
 #ifndef FLOWSCHED_API_BUILTIN_SOLVERS_H_
 #define FLOWSCHED_API_BUILTIN_SOLVERS_H_
 
@@ -22,6 +22,10 @@ void RegisterOnlineSolvers(SolverRegistry& registry);
 
 // coflow.<policy> for every AllCoflowPolicyNames() entry.
 void RegisterCoflowSolvers(SolverRegistry& registry);
+
+// fabric.<policy> sharded-fabric adapters (fabric/fabric_solvers.cc):
+// coflow-aware policy names first, then the remaining flow-level ones.
+void RegisterFabricSolvers(SolverRegistry& registry);
 
 // Shared by the online and coflow adapters: the simulator numbers realized
 // flows in arrival order (stable sort of the instance by release); this

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <vector>
 
+#include "fabric/fabric_spec.h"
 #include "model/trace_io.h"
 #include "workload/adversarial.h"
 #include "workload/coflow_gen.h"
@@ -101,7 +102,12 @@ class SpecReader {
   std::string error_;
 };
 
-std::optional<Instance> Generate(const Spec& spec, std::string* error) {
+// Reads (and thereby key-checks) one generator spec; materializes the
+// instance only when `generate` is set, so spec validation is free of
+// generation cost. Both paths share every key read — the accepted-key set
+// cannot drift between validation and loading.
+std::optional<Instance> Generate(const Spec& spec, std::string* error,
+                                 bool generate) {
   SpecReader r(spec);
   std::optional<Instance> result;
   if (spec.generator == "poisson") {
@@ -112,7 +118,7 @@ std::optional<Instance> Generate(const Spec& spec, std::string* error) {
     cfg.num_rounds = static_cast<int>(r.GetInt("rounds", 10));
     cfg.max_demand = r.GetInt("dmax", 1);
     cfg.seed = static_cast<std::uint64_t>(r.GetInt("seed", 1));
-    if (r.ok()) result = GeneratePoisson(cfg);
+    if (generate && r.ok()) result = GeneratePoisson(cfg);
   } else if (spec.generator == "coflow") {
     CoflowGenConfig cfg;
     cfg.num_inputs = cfg.num_outputs = static_cast<int>(r.GetInt("ports", 16));
@@ -126,7 +132,7 @@ std::optional<Instance> Generate(const Spec& spec, std::string* error) {
     // `load` is the per-port flow load (poisson semantics); the coflow rate
     // follows from the width distribution's mean.
     const double load = r.Get("load", 1.0);
-    if (r.ok()) {
+    if (generate && r.ok()) {
       cfg.mean_coflows_per_round =
           load * cfg.num_inputs / MeanCoflowWidth(cfg);
       result = GenerateCoflows(cfg);
@@ -136,12 +142,12 @@ std::optional<Instance> Generate(const Spec& spec, std::string* error) {
     const int wave = static_cast<int>(r.GetInt("wave", 4));
     const int waves = static_cast<int>(r.GetInt("waves", 3));
     const int period = static_cast<int>(r.GetInt("period", 4));
-    if (r.ok()) result = ShuffleWaves(ports, wave, waves, period);
+    if (generate && r.ok()) result = ShuffleWaves(ports, wave, waves, period);
   } else if (spec.generator == "incast") {
     const int ports = static_cast<int>(r.GetInt("ports", 16));
     const int fanin = static_cast<int>(r.GetInt("fanin", ports - 1));
     const auto release = static_cast<Round>(r.GetInt("release", 0));
-    if (r.ok()) {
+    if (generate && r.ok()) {
       Instance instance(SwitchSpec::Uniform(ports, ports, 1), {});
       AddIncast(instance, /*sink=*/ports - 1, fanin, release);
       result = std::move(instance);
@@ -149,9 +155,9 @@ std::optional<Instance> Generate(const Spec& spec, std::string* error) {
   } else if (spec.generator == "fig4a") {
     const int phase = static_cast<int>(r.GetInt("phase", 6));
     const int total = static_cast<int>(r.GetInt("total", 30));
-    if (r.ok()) result = Fig4aInstance(phase, total);
+    if (generate && r.ok()) result = Fig4aInstance(phase, total);
   } else if (spec.generator == "fig4b") {
-    result = Fig4bInstance();
+    if (generate) result = Fig4bInstance();
   } else {
     Fail(error, "unknown generator \"" + spec.generator + "\"");
     return std::nullopt;
@@ -161,6 +167,7 @@ std::optional<Instance> Generate(const Spec& spec, std::string* error) {
     Fail(error, r.error());
     return std::nullopt;
   }
+  if (!generate) return std::nullopt;
   if (auto verr = result->ValidationError()) {
     Fail(error, "generated instance invalid: " + *verr);
     return std::nullopt;
@@ -173,15 +180,62 @@ std::optional<Instance> Generate(const Spec& spec, std::string* error) {
 bool IsGeneratorSpec(const std::string& source) {
   const std::string name = source.substr(0, source.find(':'));
   return name == "poisson" || name == "coflow" || name == "shuffle" ||
-         name == "incast" || name == "fig4a" || name == "fig4b";
+         name == "incast" || name == "fig4a" || name == "fig4b" ||
+         name == "fabric";
+}
+
+bool ValidateInstanceSpec(const std::string& source, std::string* error) {
+  if (IsFabricSpec(source)) {
+    FabricSpec fabric;
+    if (!ParseFabricSpec(source, fabric, error)) return false;
+    return ValidateInstanceSpec(fabric.inner, error);
+  }
+  if (!IsGeneratorSpec(source)) {
+    // A source shaped like a generator spec — "name:key=value,..." with a
+    // pathless name — that names no known generator is almost certainly a
+    // typo'd generator name ("possion:ports=8"), not a file. Reject it now
+    // with the name called out; genuine file paths (no '=' after the
+    // colon, or path characters in the name) still defer to load time.
+    const auto colon = source.find(':');
+    if (colon != std::string::npos && colon > 0 &&
+        source.find('=', colon) != std::string::npos) {
+      const std::string name = source.substr(0, colon);
+      if (name.find('/') == std::string::npos &&
+          name.find('\\') == std::string::npos &&
+          name.find('.') == std::string::npos) {
+        return Fail(error, "unknown generator \"" + name +
+                               "\" (and \"" + source +
+                               "\" does not look like a file path)");
+      }
+    }
+    return true;  // File paths check at load.
+  }
+  Spec spec;
+  if (!SplitSpec(source, spec, error)) return false;
+  std::string gen_error;
+  Generate(spec, &gen_error, /*generate=*/false);
+  if (!gen_error.empty()) return Fail(error, gen_error);
+  return true;
 }
 
 std::optional<Instance> LoadInstance(const std::string& source,
                                      std::string* error) {
+  if (IsFabricSpec(source)) {
+    FabricSpec fabric;
+    if (!ParseFabricSpec(source, fabric, error)) return std::nullopt;
+    auto inner = LoadInstance(fabric.inner, error);
+    if (!inner.has_value()) return std::nullopt;
+    // The inner instance rides through unchanged (global port ids); the
+    // stamp is what carries the topology to fabric.* solvers.
+    inner->set_source(source);
+    return inner;
+  }
   if (IsGeneratorSpec(source)) {
     Spec spec;
     if (!SplitSpec(source, spec, error)) return std::nullopt;
-    return Generate(spec, error);
+    auto instance = Generate(spec, error, /*generate=*/true);
+    if (instance.has_value()) instance->set_source(source);
+    return instance;
   }
   std::ifstream in(source);
   if (!in) {
@@ -200,6 +254,7 @@ std::optional<Instance> LoadInstance(const std::string& source,
     Fail(error, source + ": " + parse_error);
     return std::nullopt;
   }
+  instance->set_source(source);
   return instance;
 }
 

@@ -13,9 +13,18 @@
 //   fig4a     phase, total                      (Lemma 5.1 lower-bound
 //                                                instance, wlog choice baked)
 //   fig4b     -                                 (Lemma 5.2 instance)
+//   fabric    shards, partition — wraps any other source
+//             ("fabric:shards=4,partition=block,<inner-spec>",
+//             fabric/fabric_spec.h): loads the *inner* instance unchanged
+//             and stamps it with the fabric spec so fabric.* solvers
+//             recover the shard topology while flow-level solvers run the
+//             same traffic on one big switch
 // Anything that is not a known generator name is treated as a file path:
 // coflow traces (trace_io.h Facebook-convention header) are detected by
 // their header row, everything else parses as an instance CSV.
+//
+// Every loaded instance is stamped with its source text
+// (Instance::source()).
 #ifndef FLOWSCHED_API_INSTANCE_SOURCE_H_
 #define FLOWSCHED_API_INSTANCE_SOURCE_H_
 
@@ -33,6 +42,18 @@ std::optional<Instance> LoadInstance(const std::string& source,
 
 // True when `source` names a generator (vs. a file path).
 bool IsGeneratorSpec(const std::string& source);
+
+// Validates `source` as far as possible WITHOUT generating anything:
+// generator specs (fabric wrappers included, recursively) are parsed and
+// every key checked against the generator's accepted set, with the
+// offending key named in *error; an unknown generator NAME on a
+// generator-shaped source ("name:key=value,..." with a pathless name) is
+// rejected too. Genuine file paths return true — existence and content
+// are load-time concerns. Sweep expansion calls this so a typo'd template
+// fails the whole campaign up front instead of per task, after report
+// files were already opened (exp/sweep_spec.h).
+bool ValidateInstanceSpec(const std::string& source,
+                          std::string* error = nullptr);
 
 }  // namespace flowsched
 

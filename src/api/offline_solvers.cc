@@ -87,8 +87,28 @@ class ArtTheorem1Solver : public Solver {
     return "offline (1+c, O(log n)/c) total-response approximation "
            "(Theorem 1)";
   }
-  std::vector<std::string> ParamKeys() const override {
-    return {"c", "interval_length", "coloring", "validate"};
+  std::vector<SolverKeyDoc> ParamDocs() const override {
+    return {{"c",
+             "approximation knob >= 1 (default 2): (1+c) augmentation for "
+             "O(log n)/c stretch"},
+            {"interval_length",
+             "geometric interval override (default 0 = derive from c)"},
+            {"coloring",
+             "edge-coloring kernel: koenig (default) or euler (faster on "
+             "dense multigraphs, D >~ 250)"},
+            {"validate",
+             "0/1 (default 1): re-check the coloring decomposition"}};
+  }
+  std::vector<SolverKeyDoc> DiagnosticDocs() const override {
+    return {{"c", "the c actually used"},
+            {"interval_length", "rounds per geometric interval"},
+            {"max_colors", "largest palette any interval needed"},
+            {"max_extra_delay", "worst per-flow delay added by rounding"},
+            {"rounding_iterations", "iterative-rounding passes"},
+            {"forced_fixes", "variables fixed by feasibility pressure"},
+            {"max_window_overload", "worst window overload before repair"},
+            {"pseudo_cost", "rounded pseudo-schedule cost"},
+            {"horizon", "LP horizon in rounds"}};
   }
 
  protected:
@@ -146,7 +166,11 @@ class ArtExactSolver : public Solver {
   std::string_view description() const override {
     return "optimal total response by branch and bound (tiny instances)";
   }
-  std::vector<std::string> ParamKeys() const override { return {"max_flows"}; }
+  std::vector<SolverKeyDoc> ParamDocs() const override {
+    return {{"max_flows",
+             "instance-size guard (default 20, hard cap 30): the search is "
+             "exponential in flows"}};
+  }
 
  protected:
   SolveReport SolveImpl(const Instance& instance,
@@ -169,8 +193,20 @@ class MrtTheorem3Solver : public Solver {
   std::string_view description() const override {
     return "optimal max response with +(2*dmax-1) capacity (Theorem 3)";
   }
-  std::vector<std::string> ParamKeys() const override {
-    return {"rho_upper_hint"};
+  std::vector<SolverKeyDoc> ParamDocs() const override {
+    return {{"rho_upper_hint",
+             "upper bound seeding the binary search over rho (default: "
+             "heuristic schedule's max response)"}};
+  }
+  std::vector<SolverKeyDoc> DiagnosticDocs() const override {
+    return {{"rho_lp", "LP-optimal max response (the proven lower bound)"},
+            {"binary_search_probes", "feasibility LPs solved"},
+            {"heuristic_upper_bound", "FIFO-greedy upper bound used"},
+            {"max_violation", "worst capacity violation before rounding"},
+            {"violation_bound", "Theorem 3's 2*dmax-1 violation bound"},
+            {"lp_solves", "total LP solves"},
+            {"relaxed_rows", "constraint rows relaxed during rounding"},
+            {"hard_drops", "rows dropped outright"}};
   }
 
  protected:
@@ -211,8 +247,12 @@ class MrtExactSolver : public Solver {
   std::string_view description() const override {
     return "optimal max response by exhaustive search (tiny instances)";
   }
-  std::vector<std::string> ParamKeys() const override {
-    return {"max_flows", "rho_limit"};
+  std::vector<SolverKeyDoc> ParamDocs() const override {
+    return {{"max_flows",
+             "instance-size guard (default 20, hard cap 30)"},
+            {"rho_limit",
+             "largest max response to consider (default: the instance's "
+             "safe horizon)"}};
   }
 
  protected:
@@ -254,8 +294,19 @@ class MrtDeadlineSolver : public Solver {
     return "deadline-constrained scheduling with +(2*dmax-1) capacity "
            "(Remark 4.2)";
   }
-  std::vector<std::string> ParamKeys() const override {
-    return {"deadlines", "deadline_slack"};
+  std::vector<SolverKeyDoc> ParamDocs() const override {
+    return {{"deadlines",
+             "comma- or semicolon-joined absolute deadline rounds, one per "
+             "flow (default: the FIFO-greedy schedule's rounds)"},
+            {"deadline_slack",
+             "uniform deadline = release + slack (ignored when deadlines "
+             "is set)"}};
+  }
+  std::vector<SolverKeyDoc> DiagnosticDocs() const override {
+    return {{"max_violation", "worst capacity violation before rounding"},
+            {"violation_bound", "Remark 4.2's violation bound"},
+            {"lp_solves", "total LP solves"},
+            {"hard_drops", "constraint rows dropped outright"}};
   }
 
  protected:

@@ -34,8 +34,22 @@ class OnlinePolicySolver : public Solver {
   std::string_view description() const override {
     return "round-by-round simulation of the online policy (paper §5.2.1)";
   }
-  std::vector<std::string> ParamKeys() const override {
-    return {"record_backlog", "validate"};
+  std::vector<SolverKeyDoc> ParamDocs() const override {
+    return {{"record_backlog",
+             "0/1 (default 0): keep per-round backlog sizes; the maximum "
+             "surfaces as diagnostics max_backlog"},
+            {"validate",
+             "0/1 (default 1): audit every policy selection for duplicates "
+             "and port overloads (benchmarks turn this off)"}};
+  }
+  std::vector<SolverKeyDoc> DiagnosticDocs() const override {
+    return {{"rounds_simulated", "rounds until the backlog drained"},
+            {"avg_port_utilization",
+             "scheduled demand / available bandwidth over the run (1.0 = "
+             "every port saturated every round)"},
+            {"peak_backlog", "largest pending set any policy call saw"},
+            {"max_backlog",
+             "largest recorded backlog (only with record_backlog=1)"}};
   }
 
  protected:

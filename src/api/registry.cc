@@ -104,6 +104,7 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
   internal::RegisterOfflineSolvers(registry);
   internal::RegisterOnlineSolvers(registry);
   internal::RegisterCoflowSolvers(registry);
+  internal::RegisterFabricSolvers(registry);
 }
 
 }  // namespace flowsched

@@ -54,6 +54,12 @@ double SolveOptions::DoubleParamOr(const std::string& key, double fallback,
   return v;
 }
 
+std::vector<std::string> Solver::ParamKeys() const {
+  std::vector<std::string> keys;
+  for (const SolverKeyDoc& p : ParamDocs()) keys.push_back(p.key);
+  return keys;
+}
+
 double SolveReport::ApproxRatio() const {
   if (!ok || !lower_bound.has_value() || *lower_bound <= 0.0) return 0.0;
   return objective / *lower_bound;

@@ -30,8 +30,30 @@ class CoflowPolicySolver : public Solver {
     return "round-by-round simulation of the coflow-aware policy "
            "(CCT diagnostics; untagged flows count as singletons)";
   }
-  std::vector<std::string> ParamKeys() const override {
-    return {"record_backlog", "validate"};
+  std::vector<SolverKeyDoc> ParamDocs() const override {
+    return {{"record_backlog",
+             "0/1 (default 0): keep per-round backlog sizes"},
+            {"validate",
+             "0/1 (default 1): audit every policy selection for duplicates "
+             "and port overloads (benchmarks turn this off)"}};
+  }
+  std::vector<SolverKeyDoc> DiagnosticDocs() const override {
+    return {{"rounds_simulated", "rounds until the backlog drained"},
+            {"avg_port_utilization",
+             "scheduled demand / available bandwidth over the run"},
+            {"peak_backlog", "largest pending set any policy call saw"},
+            {"num_coflows",
+             "groups in the instance (untagged flows count as singletons)"},
+            {"num_tagged_coflows", "groups that carry a real coflow tag"},
+            {"total_cct", "sum of per-group completion times"},
+            {"avg_cct", "mean group completion time"},
+            {"p50_cct", "median group completion time"},
+            {"p95_cct", "95th-percentile group completion time"},
+            {"p99_cct", "99th-percentile group completion time"},
+            {"max_cct", "slowest group's completion time"},
+            {"avg_slowdown",
+             "mean CCT / isolation bound (1.0 = as fast as an empty switch)"},
+            {"max_slowdown", "worst group slowdown vs isolation"}};
   }
 
  protected:

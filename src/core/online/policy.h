@@ -1,9 +1,12 @@
 // Online scheduling policies (paper §5.2.1).
 //
 // Each round the simulator hands the policy the backlog (released,
-// unscheduled flows); the policy returns a capacity-feasible subset to run.
-// Under unit capacities that subset is a matching of the backlog graph G_t;
-// general capacities are handled by port replication.
+// unscheduled flows); the policy writes a capacity-feasible subset to run
+// into the simulator's reusable selection buffer (SelectFlowsInto — part of
+// the PR 2 zero-allocation refit; the allocating SelectFlows wrapper
+// remains for one-shot callers). Under unit capacities that subset is a
+// matching of the backlog graph G_t; general capacities are handled by
+// port replication.
 #ifndef FLOWSCHED_CORE_ONLINE_POLICY_H_
 #define FLOWSCHED_CORE_ONLINE_POLICY_H_
 

@@ -1,13 +1,15 @@
-// SimulationContext: the reusable buffer set behind the round-based
-// simulator's zero-allocation hot loop.
-//
-// One context owns the backlog, the PendingFlow view handed to policies,
-// the arrival staging buffer, the per-flow assignment table, and the
-// per-port load scratch used by opt-in selection validation. Simulate()
-// creates one internally by default; drivers running many simulations
-// back-to-back (benchmarks, sweeps) pass the same context to every run so
-// steady-state rounds perform no heap allocation at all — buffers only grow
-// while the backlog exceeds every size seen before.
+/// SimulationContext: the reusable buffer set behind the round-based
+/// simulator's zero-allocation hot loop.
+///
+/// One context owns the backlog, the PendingFlow view handed to policies,
+/// the arrival staging buffer, the per-flow assignment table, and the
+/// per-port load scratch used by opt-in selection validation. Simulate()
+/// creates one internally by default; drivers running many simulations
+/// back-to-back (benchmarks, sweeps, fabric pods) pass the same context to
+/// every run so steady-state rounds perform no heap allocation at all —
+/// buffers only grow while the backlog exceeds every size seen before.
+/// Contexts are single-simulation-at-a-time state: parallel runs take one
+/// context each (exp/experiment_runner.h, fabric/fabric_runner.h).
 #ifndef FLOWSCHED_CORE_ONLINE_SIMULATION_CONTEXT_H_
 #define FLOWSCHED_CORE_ONLINE_SIMULATION_CONTEXT_H_
 
@@ -18,10 +20,11 @@
 
 namespace flowsched {
 
+/// Owns every per-round buffer of one simulation; reusable across runs.
 class SimulationContext {
  public:
-  // Empties every buffer while keeping its capacity (called by Simulate()
-  // on entry, so a context can be handed from run to run as-is).
+  /// Empties every buffer while keeping its capacity (called by Simulate()
+  /// on entry, so a context can be handed from run to run as-is).
   void Clear() {
     backlog.clear();
     arrivals.clear();
@@ -35,12 +38,12 @@ class SimulationContext {
   }
 
   // Round-loop state (managed by Simulate()).
-  std::vector<Flow> backlog;          // Released, unscheduled flows.
-  std::vector<Flow> arrivals;         // Staging for ArrivalsInto.
-  std::vector<PendingFlow> pending;   // Backlog view handed to the policy.
-  std::vector<int> picked;            // Policy selection for the round.
-  std::vector<Round> assigned_round;  // Indexed by realized flow id.
-  std::vector<char> remove;           // Backlog compaction flags.
+  std::vector<Flow> backlog;          ///< Released, unscheduled flows.
+  std::vector<Flow> arrivals;         ///< Staging for ArrivalsInto.
+  std::vector<PendingFlow> pending;   ///< Backlog view handed to the policy.
+  std::vector<int> picked;            ///< Policy selection for the round.
+  std::vector<Round> assigned_round;  ///< Indexed by realized flow id.
+  std::vector<char> remove;           ///< Backlog compaction flags.
 
   // Scratch for ValidateSelection (SimulationOptions::validate).
   std::vector<Capacity> in_load;

@@ -1,5 +1,6 @@
 #include "exp/aggregator.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.h"
@@ -61,6 +62,12 @@ void Aggregator::Add(const SweepTask& task, const TaskOutcome& outcome) {
     cell.max_cct.Add(outcome.max_cct);
     cell.avg_slowdown.Add(outcome.avg_slowdown);
   }
+  if (outcome.shards > 0) {
+    cell.shards = std::max(cell.shards, outcome.shards);
+    cell.load_imbalance.Add(outcome.load_imbalance);
+    cell.cross_shard_flows.Add(static_cast<double>(outcome.cross_shard_flows));
+    cell.split_coflows.Add(static_cast<double>(outcome.split_coflows));
+  }
   cell.wall_seconds.Add(outcome.wall_seconds);
   cell.rounds_per_sec.Add(outcome.rounds_per_sec);
 }
@@ -107,6 +114,7 @@ void Aggregator::WriteJson(std::ostream& out, const SweepSpec& spec, int jobs,
     if (key.load) out << ", \"load\": " << JsonNum(*key.load);
     if (key.ports) out << ", \"ports\": " << *key.ports;
     if (key.rounds) out << ", \"rounds\": " << *key.rounds;
+    if (key.shards) out << ", \"shards\": " << *key.shards;
     out << ", \"n\": " << c.n << ", \"failures\": " << c.failures
         << ", \"num_flows\": " << c.num_flows;
     if (c.n > 0) {
@@ -137,6 +145,15 @@ void Aggregator::WriteJson(std::ostream& out, const SweepSpec& spec, int jobs,
         out << ",\n     \"avg_slowdown\": ";
         WriteStatsObject(out, c.avg_slowdown);
       }
+      if (c.shards > 0) {
+        out << ",\n     \"fabric_shards\": " << c.shards;
+        out << ",\n     \"load_imbalance\": ";
+        WriteStatsObject(out, c.load_imbalance);
+        out << ",\n     \"cross_shard_flows\": ";
+        WriteStatsObject(out, c.cross_shard_flows);
+        out << ",\n     \"split_coflows\": ";
+        WriteStatsObject(out, c.split_coflows);
+      }
       if (include_timing) {
         out << ",\n     \"wall_seconds\": ";
         WriteStatsObject(out, c.wall_seconds);
@@ -154,14 +171,18 @@ void Aggregator::WriteJson(std::ostream& out, const SweepSpec& spec, int jobs,
 }
 
 void Aggregator::WriteCsv(std::ostream& out, bool include_timing) const {
-  out << "solver,instance,load,ports,rounds,n,failures,num_flows";
-  // Coflow columns are always present (zeros for flow-level solvers) so
-  // the header is independent of which solvers ran.
-  const char* metrics[] = {"total_response", "avg_response", "p50_response",
-                           "p95_response",   "p99_response", "max_response",
-                           "makespan",       "peak_backlog", "avg_cct",
-                           "p95_cct",        "max_cct",      "avg_slowdown"};
-  out << ",num_coflows";
+  out << "solver,instance,load,ports,rounds,shards,n,failures,num_flows";
+  // Coflow and fabric columns are always present (zeros for solvers that
+  // emit neither) so the header is independent of which solvers ran.
+  const char* metrics[] = {"total_response", "avg_response",
+                           "p50_response",   "p95_response",
+                           "p99_response",   "max_response",
+                           "makespan",       "peak_backlog",
+                           "avg_cct",        "p95_cct",
+                           "max_cct",        "avg_slowdown",
+                           "load_imbalance", "cross_shard_flows",
+                           "split_coflows"};
+  out << ",num_coflows,fabric_shards";
   for (const char* m : metrics) {
     out << "," << m << "_mean," << m << "_stddev," << m << "_min," << m
         << "_max," << m << "_ci95";
@@ -179,12 +200,15 @@ void Aggregator::WriteCsv(std::ostream& out, bool include_timing) const {
     if (key.ports) out << *key.ports;
     out << ",";
     if (key.rounds) out << *key.rounds;
+    out << ",";
+    if (key.shards) out << *key.shards;
     out << "," << c.n << "," << c.failures << "," << c.num_flows << ","
-        << c.num_coflows;
+        << c.num_coflows << "," << c.shards;
     const RunningStats* stats[] = {
         &c.total_response, &c.avg_response, &c.p50_response, &c.p95_response,
         &c.p99_response,   &c.max_response, &c.makespan,     &c.peak_backlog,
-        &c.avg_cct,        &c.p95_cct,      &c.max_cct,      &c.avg_slowdown};
+        &c.avg_cct,        &c.p95_cct,      &c.max_cct,      &c.avg_slowdown,
+        &c.load_imbalance, &c.cross_shard_flows, &c.split_coflows};
     for (const RunningStats* s : stats) {
       out << ",";
       WriteCsvStats(out, *s);

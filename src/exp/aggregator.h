@@ -45,12 +45,20 @@ struct CellAggregate {
   RunningStats makespan;
   RunningStats peak_backlog;
   // Coflow completion time, fed only by tasks reporting num_coflows > 0
-  // (coflow.* solvers); the report writers emit the block when any did.
+  // (coflow.* and fabric.* solvers); the report writers emit the block
+  // when any did.
   long long num_coflows = 0;  // Total groups across those tasks.
   RunningStats avg_cct;
   RunningStats p95_cct;
   RunningStats max_cct;
   RunningStats avg_slowdown;
+  // Fabric sharding, fed only by tasks reporting shards > 0 (fabric.*
+  // solvers). `shards` is a cell-level constant ({shards} substitutes into
+  // the instance axis), recorded as the max seen for robustness.
+  long long shards = 0;
+  RunningStats load_imbalance;
+  RunningStats cross_shard_flows;
+  RunningStats split_coflows;
   // Timing (schedule-dependent).
   RunningStats wall_seconds;
   RunningStats rounds_per_sec;

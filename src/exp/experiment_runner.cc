@@ -48,6 +48,17 @@ TaskOutcome OutcomeFromReport(const SolveReport& report) {
     o.max_cct = get("max_cct");
     o.avg_slowdown = get("avg_slowdown");
   }
+  const auto shards = report.diagnostics.find("shards");
+  if (shards != report.diagnostics.end()) {
+    auto get = [&](const char* key) {
+      const auto it = report.diagnostics.find(key);
+      return it == report.diagnostics.end() ? 0.0 : it->second;
+    };
+    o.shards = static_cast<long long>(shards->second);
+    o.load_imbalance = get("load_imbalance");
+    o.cross_shard_flows = static_cast<long long>(get("cross_shard_flows"));
+    o.split_coflows = static_cast<long long>(get("split_coflows"));
+  }
   if (o.rounds > 0 && o.wall_seconds > 0.0) {
     o.rounds_per_sec = static_cast<double>(o.rounds) / o.wall_seconds;
   }
@@ -83,6 +94,12 @@ void WriteTaskJsonLine(std::ostream& out, const SweepCell& cell,
           << ", \"p95_cct\": " << JsonNum(outcome.p95_cct)
           << ", \"max_cct\": " << JsonNum(outcome.max_cct)
           << ", \"avg_slowdown\": " << JsonNum(outcome.avg_slowdown);
+    }
+    if (outcome.shards > 0) {
+      out << ", \"shards\": " << outcome.shards
+          << ", \"load_imbalance\": " << JsonNum(outcome.load_imbalance)
+          << ", \"cross_shard_flows\": " << outcome.cross_shard_flows
+          << ", \"split_coflows\": " << outcome.split_coflows;
     }
     out << ", \"wall_seconds\": " << JsonNum(outcome.wall_seconds)
         << ", \"rounds_per_sec\": " << JsonNum(outcome.rounds_per_sec);

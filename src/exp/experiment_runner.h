@@ -44,13 +44,19 @@ struct TaskOutcome {
   long long num_flows = 0;
   long long rounds = 0;        // diagnostics["rounds_simulated"] (0 offline).
   long long peak_backlog = 0;  // diagnostics["peak_backlog"] (0 offline).
-  // Coflow completion-time diagnostics emitted by coflow.* solvers
-  // (coflow/coflow_solvers.cc); num_coflows == 0 for other solvers.
+  // Coflow completion-time diagnostics emitted by coflow.* and fabric.*
+  // solvers; num_coflows == 0 for other solvers.
   long long num_coflows = 0;
   double avg_cct = 0.0;
   double p95_cct = 0.0;
   double max_cct = 0.0;
   double avg_slowdown = 0.0;
+  // Fabric sharding diagnostics emitted by fabric.* solvers
+  // (fabric/fabric_solvers.cc); shards == 0 for everything else.
+  long long shards = 0;
+  double load_imbalance = 0.0;
+  long long cross_shard_flows = 0;
+  long long split_coflows = 0;
   double wall_seconds = 0.0;   // Timing — excluded from determinism checks.
   double rounds_per_sec = 0.0;
 };

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <set>
 
+#include "api/instance_source.h"
 #include "util/rng.h"
 
 namespace flowsched {
@@ -177,6 +178,11 @@ bool ApplyKey(SweepSpec& spec, const std::string& key,
     spec.rounds.clear();
     if (!ParseAxis(value, spec.rounds, &axis_error)) {
       return Fail(error, "rounds: " + axis_error);
+    }
+  } else if (key == "shards") {
+    spec.shards.clear();
+    if (!ParseAxis(value, spec.shards, &axis_error)) {
+      return Fail(error, "shards: " + axis_error);
     }
   } else if (key == "seeds") {
     spec.seeds.clear();
@@ -447,6 +453,7 @@ bool ExpandSweep(const SweepSpec& spec, const SolverRegistry& registry,
         {"{load}", !spec.loads.empty()},
         {"{ports}", !spec.ports.empty()},
         {"{rounds}", !spec.rounds.empty()},
+        {"{shards}", !spec.shards.empty()},
     };
     for (const auto& [placeholder, axis_set] : axes) {
       if (References(tmpl, placeholder) && !axis_set) {
@@ -481,29 +488,37 @@ bool ExpandSweep(const SweepSpec& spec, const SolverRegistry& registry,
   std::vector<std::optional<long long>> rounds(spec.rounds.begin(),
                                                spec.rounds.end());
   if (rounds.empty()) rounds.push_back(std::nullopt);
+  std::vector<std::optional<long long>> shards(spec.shards.begin(),
+                                               spec.shards.end());
+  if (shards.empty()) shards.push_back(std::nullopt);
 
   std::map<std::string, int> instance_slots;
   for (const std::string& tmpl : spec.instances) {
     for (const auto& load : loads) {
       for (const auto& port : ports) {
         for (const auto& round : rounds) {
-          std::string family = tmpl;
-          if (load) family = ReplaceAll(family, "{load}",
-                                        FormatAxisValue(*load));
-          if (port) family = ReplaceAll(family, "{ports}",
-                                        std::to_string(*port));
-          if (round) family = ReplaceAll(family, "{rounds}",
-                                         std::to_string(*round));
-          for (const std::string& solver : solvers) {
-            SweepCell cell;
-            cell.index = static_cast<int>(plan.cells.size());
-            cell.solver = solver;
-            cell.instance_template = tmpl;
-            cell.load = load;
-            cell.ports = port;
-            cell.rounds = round;
-            cell.instance_family = family;
-            plan.cells.push_back(std::move(cell));
+          for (const auto& shard : shards) {
+            std::string family = tmpl;
+            if (load) family = ReplaceAll(family, "{load}",
+                                          FormatAxisValue(*load));
+            if (port) family = ReplaceAll(family, "{ports}",
+                                          std::to_string(*port));
+            if (round) family = ReplaceAll(family, "{rounds}",
+                                           std::to_string(*round));
+            if (shard) family = ReplaceAll(family, "{shards}",
+                                           std::to_string(*shard));
+            for (const std::string& solver : solvers) {
+              SweepCell cell;
+              cell.index = static_cast<int>(plan.cells.size());
+              cell.solver = solver;
+              cell.instance_template = tmpl;
+              cell.load = load;
+              cell.ports = port;
+              cell.rounds = round;
+              cell.shards = shard;
+              cell.instance_family = family;
+              plan.cells.push_back(std::move(cell));
+            }
           }
         }
       }
@@ -544,6 +559,18 @@ bool ExpandSweep(const SweepSpec& spec, const SolverRegistry& registry,
     }
   }
   if (plan.tasks.empty()) return Fail(error, "sweep expands to zero tasks");
+
+  // Generator-spec templates are key-checked NOW, not at run time: a typo'd
+  // key used to surface only as per-task failures, after the driver had
+  // already truncated the previous campaign's JSONL. Validation never
+  // generates, so probing even a 50k-flow family is free.
+  for (const std::string& instance_spec : plan.unique_instances) {
+    std::string spec_error;
+    if (!ValidateInstanceSpec(instance_spec, &spec_error)) {
+      return Fail(error, "instance spec \"" + instance_spec +
+                             "\": " + spec_error);
+    }
+  }
   return true;
 }
 

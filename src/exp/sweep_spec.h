@@ -10,11 +10,14 @@
 //               e.g. "poisson:ports={ports},load={load},rounds=200,seed={seed}";
 //               `{trial}` substitutes the 0-based trial index so
 //               trace-driven templates can name one file per repetition
-//   loads/ports/rounds
+//   loads/ports/rounds/shards
 //               axis value lists substituted into the placeholders; every
 //               template must reference exactly the axes that are set (a
 //               set axis no template reads, or a placeholder with no axis,
-//               is a spec error — silent mismatches corrupt campaigns)
+//               is a spec error — silent mismatches corrupt campaigns).
+//               `{shards}` drives fabric campaigns: a template like
+//               "fabric:shards={shards},partition=block,<inner>" sweeps the
+//               pod count across fabric.* solvers (src/fabric/)
 //   solvers     registry names or '*' globs ("online.*")
 //   seeds       instance seeds substituted into `{seed}`
 //   trials      repeat count per (cell, seed) with distinct solver seeds
@@ -31,7 +34,12 @@
 // Specs parse from a compact key=value text file, from a flat JSON object,
 // or from CLI flags (tools/flowsched_sweep.cc maps flags onto the same
 // ParseAxis/ParseSweepSpec helpers). See README "Running experiment
-// sweeps" for the worked format reference.
+// sweeps" and docs/file-formats.md for the worked format reference.
+//
+// Failing fast: unknown spec keys, axis/placeholder mismatches, unknown
+// solvers, and unknown keys inside generator-spec templates are all
+// expansion-time errors (the last via ValidateInstanceSpec), so a typo'd
+// campaign dies before any report file is opened or truncated.
 #ifndef FLOWSCHED_EXP_SWEEP_SPEC_H_
 #define FLOWSCHED_EXP_SWEEP_SPEC_H_
 
@@ -52,6 +60,7 @@ struct SweepSpec {
   std::vector<double> loads;             // {load} axis (empty = axis unused).
   std::vector<long long> ports;          // {ports} axis.
   std::vector<long long> rounds;         // {rounds} axis.
+  std::vector<long long> shards;         // {shards} axis (fabric pod count).
   std::vector<std::uint64_t> seeds;      // {seed} axis; defaults to {1} when
                                          // a template uses {seed}.
   int trials = 1;
@@ -68,6 +77,7 @@ struct SweepCell {
   std::optional<double> load;            // Axis values at this point (unset
   std::optional<long long> ports;        // when the axis is unused).
   std::optional<long long> rounds;
+  std::optional<long long> shards;
   // Template with axes substituted but `{seed}` / `{trial}` left in place —
   // the repetition-independent identity of the cell's instance family.
   std::string instance_family;
@@ -106,9 +116,9 @@ bool ParseAxis(const std::string& text, std::vector<std::uint64_t>& out,
 // Parses a spec from text: a flat JSON object when the first non-space
 // character is '{', otherwise key=value lines ('#' comments, blank lines
 // ignored). Keys: name, solvers, instances (';'-separated — specs contain
-// commas), loads, ports, rounds, seeds, trials, base_seed, max_rounds,
-// param (repeatable "key=value"). JSON uses the same keys with arrays for
-// lists and an object for "params". Unknown keys are errors.
+// commas), loads, ports, rounds, shards, seeds, trials, base_seed,
+// max_rounds, param (repeatable "key=value"). JSON uses the same keys with
+// arrays for lists and an object for "params". Unknown keys are errors.
 bool ParseSweepSpec(const std::string& text, SweepSpec& spec,
                     std::string* error);
 
@@ -116,7 +126,8 @@ bool ParseSweepSpec(const std::string& text, SweepSpec& spec,
 // axis values into templates, enumerates cells and tasks in a fixed
 // deterministic order, and derives per-task solver seeds. Returns false and
 // fills *error on invalid specs (empty/unknown solvers, axis/placeholder
-// mismatches, trivial grids).
+// mismatches, trivial grids, unknown keys inside generator-spec templates —
+// the offending key is named).
 bool ExpandSweep(const SweepSpec& spec, const SolverRegistry& registry,
                  SweepPlan& plan, std::string* error);
 

@@ -1,0 +1,158 @@
+#include "fabric/fabric_partition.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace flowsched {
+namespace {
+
+// Fixed salt decorrelating the hash partitioner from every other DeriveSeed
+// stream in the repo (workload seeds, sweep task seeds). Part of the
+// on-disk determinism contract: changing it re-shards every hash fabric.
+constexpr std::uint64_t kHashPartitionSalt = 0xfab51c5a17ULL;
+
+}  // namespace
+
+double FabricAssignment::LoadImbalance() const {
+  Capacity total = 0;
+  Capacity peak = 0;
+  for (const Capacity d : shard_demand) {
+    total += d;
+    peak = std::max(peak, d);
+  }
+  if (total <= 0 || shards <= 0) return 0.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(shards);
+  return static_cast<double>(peak) / mean;
+}
+
+int ShardOfHost(PortId host, int shards, FabricPartition partition,
+                int num_hosts) {
+  FS_CHECK_GE(shards, 1);
+  if (shards == 1) return 0;
+  if (partition == FabricPartition::kHash) {
+    return static_cast<int>(
+        Rng::DeriveSeed(kHashPartitionSalt, static_cast<std::uint64_t>(host)) %
+        static_cast<std::uint64_t>(shards));
+  }
+  const int per_shard = (num_hosts + shards - 1) / shards;  // ceil
+  return std::min(host / per_shard, shards - 1);
+}
+
+FabricAssignment PartitionInstance(const Instance& instance, int shards,
+                                   FabricPartition partition) {
+  FS_CHECK_GE(shards, 1);
+  const SwitchSpec& sw = instance.sw();
+  const int num_hosts = std::max(sw.num_inputs(), sw.num_outputs());
+
+  FabricAssignment fa;
+  fa.shards = shards;
+  fa.partition = partition;
+  fa.shard_of_host.resize(num_hosts);
+  for (int g = 0; g < num_hosts; ++g) {
+    fa.shard_of_host[g] = ShardOfHost(g, shards, partition, num_hosts);
+  }
+
+  // Local port ranks: hosts owned by a shard appear in ascending global
+  // order on both sides, so local ids are the prefix ranks of ownership.
+  std::vector<int> local_input(sw.num_inputs(), -1);
+  std::vector<int> local_output(sw.num_outputs(), -1);
+  std::vector<int> inputs_owned(shards, 0);
+  std::vector<int> outputs_owned(shards, 0);
+  for (int g = 0; g < sw.num_inputs(); ++g) {
+    local_input[g] = inputs_owned[fa.shard_of_host[g]]++;
+  }
+  for (int g = 0; g < sw.num_outputs(); ++g) {
+    local_output[g] = outputs_owned[fa.shard_of_host[g]]++;
+  }
+
+  // Pass 1: place each flow at its source's shard; collect the foreign
+  // output ports every shard touches (its replica egress set).
+  fa.shard_of_flow.resize(instance.num_flows());
+  std::vector<std::vector<PortId>> replicas(shards);
+  fa.shard_demand.assign(shards, 0);
+  std::map<CoflowId, int> coflow_shard;  // Tag -> first shard, -2 = split.
+  for (const Flow& e : instance.flows()) {
+    const int s = fa.shard_of_host[e.src];
+    fa.shard_of_flow[e.id] = s;
+    fa.shard_demand[s] += e.demand;
+    if (fa.shard_of_host[e.dst] != s) {
+      ++fa.cross_shard_flows;
+      replicas[s].push_back(e.dst);
+    }
+    if (e.coflow != kNoCoflow) {
+      const auto [it, inserted] = coflow_shard.try_emplace(e.coflow, s);
+      if (!inserted && it->second != s && it->second != -2) {
+        it->second = -2;
+        ++fa.split_coflows;
+      }
+    }
+  }
+  fa.tagged_coflows = static_cast<int>(coflow_shard.size());
+
+  // Replica ids are appended after the owned outputs, in ascending global
+  // order — a pure function of the touched set, independent of flow order.
+  std::vector<std::vector<PortId>> replica_of_local(shards);
+  std::vector<std::map<PortId, int>> replica_rank(shards);
+  for (int s = 0; s < shards; ++s) {
+    auto& r = replicas[s];
+    std::sort(r.begin(), r.end());
+    r.erase(std::unique(r.begin(), r.end()), r.end());
+    for (std::size_t k = 0; k < r.size(); ++k) {
+      replica_rank[s][r[k]] = outputs_owned[s] + static_cast<int>(k);
+    }
+  }
+
+  // Pass 2: assemble each shard's switch and flow list. Owned ports are all
+  // present (a pod's switch is ~N/K-sized whether or not every port is
+  // busy); capacities copy from the global spec, replicas included.
+  std::vector<std::vector<Capacity>> in_caps(shards);
+  std::vector<std::vector<Capacity>> out_caps(shards);
+  for (int s = 0; s < shards; ++s) {
+    in_caps[s].resize(inputs_owned[s]);
+    out_caps[s].resize(outputs_owned[s] + replicas[s].size());
+  }
+  for (int g = 0; g < sw.num_inputs(); ++g) {
+    in_caps[fa.shard_of_host[g]][local_input[g]] = sw.input_capacity(g);
+  }
+  for (int g = 0; g < sw.num_outputs(); ++g) {
+    out_caps[fa.shard_of_host[g]][local_output[g]] = sw.output_capacity(g);
+  }
+  for (int s = 0; s < shards; ++s) {
+    for (std::size_t k = 0; k < replicas[s].size(); ++k) {
+      out_caps[s][outputs_owned[s] + k] = sw.output_capacity(replicas[s][k]);
+    }
+  }
+
+  fa.shard_instances.reserve(shards);
+  std::vector<int> shard_flows(shards, 0);
+  for (const Flow& e : instance.flows()) ++shard_flows[fa.shard_of_flow[e.id]];
+  for (int s = 0; s < shards; ++s) {
+    // A pod that owns no port on one side (more shards than hosts, or a
+    // lopsided switch) still needs a well-formed SwitchSpec; pad the empty
+    // side with one unit port. Such pods carry no flows on that side, so
+    // the pad never schedules anything.
+    if (in_caps[s].empty()) in_caps[s].push_back(1);
+    if (out_caps[s].empty()) out_caps[s].push_back(1);
+    Instance shard(SwitchSpec(std::move(in_caps[s]), std::move(out_caps[s])),
+                   {});
+    shard.Reserve(shard_flows[s]);
+    fa.shard_instances.push_back(std::move(shard));
+  }
+
+  fa.local_flow_id.resize(instance.num_flows());
+  for (const Flow& e : instance.flows()) {
+    const int s = fa.shard_of_flow[e.id];
+    const PortId dst = fa.shard_of_host[e.dst] == s
+                           ? local_output[e.dst]
+                           : replica_rank[s].at(e.dst);
+    fa.local_flow_id[e.id] = fa.shard_instances[s].AddFlow(
+        local_input[e.src], dst, e.demand, e.release, e.coflow);
+  }
+  return fa;
+}
+
+}  // namespace flowsched

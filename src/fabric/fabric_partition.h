@@ -1,0 +1,84 @@
+/// Deterministic sharding of a flow/coflow instance across fabric pods.
+///
+/// The fabric model: K independent switches (pods) share one round clock.
+/// *Hosts* — the unified index behind input port g and output port g, the
+/// same identification the model uses for src == dst flows — are assigned
+/// to pods by the partitioner (fabric/fabric_spec.h). Every flow is
+/// simulated in the pod that owns its **source** host: a pod owns its input
+/// ports exclusively, while an output port whose host lives in another pod
+/// is materialized locally as a *replica* egress port with the global
+/// port's capacity (each pod has its own uplink toward remote hosts).
+///
+/// Two consequences, both deliberate and both surfaced as metrics rather
+/// than hidden:
+///   - A global output port touched by f pods can carry up to f x its base
+///     capacity per round, so a merged fabric schedule validates under
+///     CapacityAllowance::Factor(K) — sharding *is* resource augmentation,
+///     expressed with the same first-class allowance the paper's theorems
+///     use. `cross_shard_flows` counts the flows that used a replica.
+///   - A coflow whose member sources land in different pods is *split*: no
+///     single pod observes the whole group, and its fabric CCT is the max
+///     over the member pods' completions (which the merged global schedule
+///     yields automatically). `split_coflows` counts such groups; the block
+///     partitioner keeps port-local coflows intact, the hash partitioner
+///     scatters them.
+#ifndef FLOWSCHED_FABRIC_FABRIC_PARTITION_H_
+#define FLOWSCHED_FABRIC_FABRIC_PARTITION_H_
+
+#include <vector>
+
+#include "fabric/fabric_spec.h"
+#include "model/instance.h"
+
+namespace flowsched {
+
+/// The materialized shard decomposition of one instance: per-pod
+/// sub-instances with local port ids, plus the maps to carry per-shard
+/// results back to global flow ids and the imbalance/split bookkeeping the
+/// fabric reports surface.
+struct FabricAssignment {
+  int shards = 0;
+  FabricPartition partition = FabricPartition::kBlock;
+
+  /// Host (unified input/output index) -> owning shard.
+  std::vector<int> shard_of_host;
+  /// Global flow id -> shard that simulates it (the shard of its src host).
+  std::vector<int> shard_of_flow;
+  /// Global flow id -> flow id inside its shard's instance.
+  std::vector<FlowId> local_flow_id;
+  /// Per-shard sub-instances. Local inputs are the shard's owned hosts in
+  /// ascending global order; local outputs are the owned hosts followed by
+  /// the touched replica ports in ascending global order. Flows keep their
+  /// global demand, release, and coflow tag. Shards with no flows carry an
+  /// empty flow list (the runner skips them).
+  std::vector<Instance> shard_instances;
+
+  /// Total demand assigned to each shard (the load-imbalance numerator).
+  std::vector<Capacity> shard_demand;
+  /// Flows whose destination host lives in a different shard than their
+  /// source (simulated against a replica egress port).
+  long long cross_shard_flows = 0;
+  /// Tagged coflows whose members are simulated in more than one shard.
+  int split_coflows = 0;
+  /// Tagged coflows in the instance (split_coflows' denominator).
+  int tagged_coflows = 0;
+
+  /// max(shard demand) / mean(shard demand): 1.0 = perfectly balanced,
+  /// K = everything on one shard. 0 when the instance has no demand.
+  double LoadImbalance() const;
+};
+
+/// Shard of host g under `partition` with `shards` pods. Pure function —
+/// the same (g, shards) pair maps identically on every platform.
+int ShardOfHost(PortId host, int shards, FabricPartition partition,
+                int num_hosts);
+
+/// Decomposes `instance` into `shards` pods. Requires shards >= 1; the
+/// instance must be valid (Instance::ValidationError). shards == 1 yields
+/// one shard whose instance equals the input (modulo port identity).
+FabricAssignment PartitionInstance(const Instance& instance, int shards,
+                                   FabricPartition partition);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_FABRIC_FABRIC_PARTITION_H_

@@ -1,0 +1,102 @@
+#include "fabric/fabric_runner.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "api/builtin_solvers.h"
+#include "coflow/coflow_policies.h"
+#include "core/online/simulator.h"
+#include "exp/thread_pool.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace flowsched {
+namespace {
+
+// One pod's simulation, self-contained: fresh policy (derived seed), fresh
+// context. Writes only into this shard's slot, so shards are trivially
+// parallel and the merge order alone fixes the output.
+struct ShardRun {
+  Schedule schedule;  // Shard-local flow ids.
+  Round rounds = 0;
+  int peak_backlog = 0;
+  double avg_port_utilization = 0.0;
+  bool ran = false;
+};
+
+ShardRun SimulateShard(const Instance& shard_instance, int shard,
+                       const FabricRunOptions& options) {
+  ShardRun run;
+  if (shard_instance.num_flows() == 0) return run;
+  const std::uint64_t seed = Rng::DeriveSeed(options.seed,
+                                             static_cast<std::uint64_t>(shard));
+  std::unique_ptr<SchedulingPolicy> policy =
+      options.coflow_aware ? MakeCoflowPolicy(options.policy, seed)
+                           : MakePolicy(options.policy, seed);
+  SimulationOptions sim;
+  if (options.max_rounds > 0) sim.max_rounds = options.max_rounds;
+  sim.validate = options.validate;
+  SimulationContext context;
+  const SimulationResult r = Simulate(shard_instance, *policy, sim, &context);
+  run.schedule = internal::MapRealizedSchedule(shard_instance, r.schedule);
+  run.rounds = r.rounds;
+  run.peak_backlog = r.peak_backlog;
+  run.avg_port_utilization = r.avg_port_utilization;
+  run.ran = true;
+  return run;
+}
+
+}  // namespace
+
+FabricResult RunFabric(const Instance& instance, const FabricAssignment& fa,
+                       const FabricRunOptions& options) {
+  FS_CHECK_EQ(static_cast<std::size_t>(instance.num_flows()),
+              fa.shard_of_flow.size());
+  const int shards = fa.shards;
+  std::vector<ShardRun> runs(shards);
+
+  const int jobs = std::clamp(options.jobs, 1, shards);
+  if (jobs > 1) {
+    ThreadPool pool(jobs);
+    for (int s = 0; s < shards; ++s) {
+      pool.Submit([&, s] {
+        runs[s] = SimulateShard(fa.shard_instances[s], s, options);
+      });
+    }
+    pool.Wait();
+  } else {
+    for (int s = 0; s < shards; ++s) {
+      runs[s] = SimulateShard(fa.shard_instances[s], s, options);
+    }
+  }
+
+  FabricResult result;
+  result.schedule = Schedule(instance.num_flows());
+  result.shard_reports.resize(shards);
+  int busy_shards = 0;
+  for (int s = 0; s < shards; ++s) {
+    const ShardRun& run = runs[s];
+    FabricShardReport& report = result.shard_reports[s];
+    report.shard = s;
+    report.num_flows = fa.shard_instances[s].num_flows();
+    report.demand = fa.shard_demand[s];
+    report.rounds = run.rounds;
+    report.peak_backlog = run.peak_backlog;
+    result.rounds = std::max(result.rounds, run.rounds);
+    result.peak_backlog = std::max(result.peak_backlog, run.peak_backlog);
+    if (run.ran) {
+      result.avg_port_utilization += run.avg_port_utilization;
+      ++busy_shards;
+    }
+  }
+  if (busy_shards > 0) result.avg_port_utilization /= busy_shards;
+
+  for (FlowId e = 0; e < instance.num_flows(); ++e) {
+    const int s = fa.shard_of_flow[e];
+    result.schedule.Assign(e, runs[s].schedule.round_of(fa.local_flow_id[e]));
+  }
+  return result;
+}
+
+}  // namespace flowsched

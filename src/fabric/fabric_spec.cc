@@ -1,0 +1,105 @@
+#include "fabric/fabric_spec.h"
+
+#include <charconv>
+
+namespace flowsched {
+namespace {
+
+bool Fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+// A comma-separated segment belongs to the fabric header only when it is a
+// plain key=value pair; the inner spec starts at the first segment with no
+// '=' at all ("fig4b", a file path) or with a ':' before its first '='
+// ("poisson:ports=256" — a nested generator spec).
+bool StartsInnerSpec(const std::string& segment) {
+  const auto eq = segment.find('=');
+  if (eq == std::string::npos) return true;
+  const auto colon = segment.find(':');
+  return colon != std::string::npos && colon < eq;
+}
+
+}  // namespace
+
+std::string FabricSpec::ToString() const {
+  std::string out = "fabric:shards=" + std::to_string(shards) + ",partition=";
+  out += partition == FabricPartition::kHash ? "hash" : "block";
+  if (!inner.empty()) out += "," + inner;
+  return out;
+}
+
+bool IsFabricSpec(const std::string& source) {
+  return source.substr(0, source.find(':')) == "fabric";
+}
+
+bool ParsePartitionName(const std::string& name, FabricPartition& out) {
+  if (name == "hash") {
+    out = FabricPartition::kHash;
+    return true;
+  }
+  if (name == "block") {
+    out = FabricPartition::kBlock;
+    return true;
+  }
+  return false;
+}
+
+bool ParseFabricSpec(const std::string& source, FabricSpec& spec,
+                     std::string* error) {
+  spec = FabricSpec{};
+  if (!IsFabricSpec(source)) {
+    return Fail(error, "not a fabric spec: \"" + source + "\"");
+  }
+  const auto colon = source.find(':');
+  std::string rest =
+      colon == std::string::npos ? "" : source.substr(colon + 1);
+  bool saw_shards = false;
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string segment = rest.substr(0, comma);
+    if (StartsInnerSpec(segment)) {
+      spec.inner = rest;  // Everything from here on, commas included.
+      break;
+    }
+    rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+    if (segment.empty()) continue;
+    const auto eq = segment.find('=');
+    const std::string key = segment.substr(0, eq);
+    const std::string value = segment.substr(eq + 1);
+    if (key == "shards") {
+      int v = 0;
+      const char* first = value.data();
+      const char* last = first + value.size();
+      auto [ptr, ec] = std::from_chars(first, last, v);
+      if (ec != std::errc() || ptr != last || v < 1) {
+        return Fail(error,
+                    "fabric: shards must be a positive integer, got \"" +
+                        value + "\"");
+      }
+      spec.shards = v;
+      saw_shards = true;
+    } else if (key == "partition" || key == "policy") {
+      // "policy" is an accepted alias: the partitioning policy. ToString()
+      // always canonicalizes to "partition".
+      if (!ParsePartitionName(value, spec.partition)) {
+        return Fail(error, "fabric: unknown " + key + " \"" + value +
+                               "\" (hash, block)");
+      }
+    } else {
+      return Fail(error, "fabric: unknown key \"" + key +
+                             "\" (shards, partition)");
+    }
+  }
+  if (!saw_shards) {
+    return Fail(error, "fabric: missing required key shards=K");
+  }
+  if (spec.inner.empty()) {
+    return Fail(error,
+                "fabric: missing inner instance spec after the fabric keys");
+  }
+  return true;
+}
+
+}  // namespace flowsched

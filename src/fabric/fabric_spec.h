@@ -1,0 +1,78 @@
+/// FabricSpec: the textual description of a sharded (multi-switch) run.
+///
+/// The ROADMAP north-star is fabric-scale traffic, but the paper's model —
+/// and every solver in the repo — is a single N x N switch. The fabric
+/// layer bridges the two by *sharding*: a `fabric:` spec wraps any existing
+/// instance source and asks for its ports to be partitioned across K
+/// independently simulated switches (pods), whose per-shard results are
+/// merged into one fabric-level report (fabric/fabric_runner.h).
+///
+/// Spec grammar (api/instance_source.h loads these like any other source):
+///
+///   fabric:shards=K[,partition=hash|block],<inner-spec>
+///
+/// ("policy=" is accepted as an alias for "partition=" — the partitioning
+/// policy; ToString() canonicalizes to "partition".)
+///
+/// where <inner-spec> is a complete instance source — a generator spec
+/// (`poisson:...`, `coflow:...`, `fig4b`) or a CSV trace path. The inner
+/// source starts at the first comma-separated segment that is not a fabric
+/// `key=value` pair, so inner keys never collide with fabric keys:
+///
+///   fabric:shards=4,partition=block,coflow:ports=256,load=1.0,rounds=200
+///
+/// `LoadInstance` on a fabric spec returns the *inner* instance unchanged
+/// (global port ids), stamped with the full spec as its source — so
+/// flow-level solvers run the same traffic on one big switch (the natural
+/// baseline) while `fabric.*` solvers recover shards/partition from the
+/// stamp and shard it. Sweeps vary K through the `{shards}` axis.
+#ifndef FLOWSCHED_FABRIC_FABRIC_SPEC_H_
+#define FLOWSCHED_FABRIC_FABRIC_SPEC_H_
+
+#include <string>
+
+namespace flowsched {
+
+/// Port-to-shard assignment rule. Both are pure functions of (host index,
+/// shard count) — no RNG state — so a mapping is reproducible from the spec
+/// text alone.
+enum class FabricPartition {
+  /// Contiguous blocks: host g goes to shard g / ceil(H / K). Preserves the
+  /// port locality of clustered workloads, so coflows whose members share a
+  /// port neighbourhood tend to stay intact within one shard.
+  kBlock,
+  /// splitmix64 hash of the host index modulo K. Spreads load evenly but
+  /// scatters port neighbourhoods, so wide coflows almost always split.
+  kHash,
+};
+
+/// Parsed form of a `fabric:` spec.
+struct FabricSpec {
+  int shards = 1;
+  FabricPartition partition = FabricPartition::kBlock;
+  /// The wrapped instance source, verbatim (generator spec or file path).
+  std::string inner;
+
+  /// Canonical spec text ("fabric:shards=K,partition=...,<inner>").
+  std::string ToString() const;
+};
+
+/// True when `source` names a fabric spec ("fabric" or "fabric:...").
+bool IsFabricSpec(const std::string& source);
+
+/// Maps a partitioner name ("hash", "block") to its enum. The single
+/// vocabulary shared by spec parsing and the fabric.* solvers' `partition`
+/// param. Returns false (out untouched) for unknown names.
+bool ParsePartitionName(const std::string& name, FabricPartition& out);
+
+/// Parses `source` into `spec`. Returns false and fills *error (if
+/// non-null) on malformed input: unknown fabric keys (named in the error),
+/// shards < 1, an unknown partition name, or a missing inner spec. The
+/// inner spec is split off but not itself validated here — the instance
+/// loader owns inner validation (api/instance_source.h).
+bool ParseFabricSpec(const std::string& source, FabricSpec& spec,
+                     std::string* error = nullptr);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_FABRIC_FABRIC_SPEC_H_

@@ -1,13 +1,13 @@
-// CoflowSet: the grouped view of an instance's coflow tags.
-//
-// A coflow is a set of parallel flows that completes only when its last
-// member flow does (Chowdhury & Stoica; Liang & Modiano analyze coflows on
-// exactly this input-queued switch model). Flows opt in through
-// Flow::coflow; CoflowSet densifies the tags into contiguous group indices
-// and precomputes the per-group aggregates the coflow policies and metrics
-// need: member lists, release (earliest member release), total demand,
-// width, and the isolation bound (the bottleneck lower bound on the rounds
-// any schedule needs for the group alone).
+/// CoflowSet: the grouped view of an instance's coflow tags.
+///
+/// A coflow is a set of parallel flows that completes only when its last
+/// member flow does (Chowdhury & Stoica; Liang & Modiano analyze coflows on
+/// exactly this input-queued switch model). Flows opt in through
+/// Flow::coflow; CoflowSet densifies the tags into contiguous group indices
+/// and precomputes the per-group aggregates the coflow policies and metrics
+/// need: member lists, release (earliest member release), total demand,
+/// width, and the isolation bound (the bottleneck lower bound on the rounds
+/// any schedule needs for the group alone).
 #ifndef FLOWSCHED_MODEL_COFLOW_H_
 #define FLOWSCHED_MODEL_COFLOW_H_
 
@@ -17,35 +17,42 @@
 
 namespace flowsched {
 
+/// Immutable grouping of one instance's flows by coflow tag. Holds a
+/// pointer to the instance it was built from, which must outlive it.
 class CoflowSet {
  public:
   CoflowSet() = default;
 
-  // Groups `instance`'s flows by Flow::coflow. Tagged groups come first,
-  // ordered by ascending tag; untagged flows (coflow == kNoCoflow) follow
-  // as singleton groups in flow-id order, so every flow belongs to exactly
-  // one group and per-flow metrics degenerate gracefully to the flow
-  // scheduling view.
+  /// Groups `instance`'s flows by Flow::coflow. Tagged groups come first,
+  /// ordered by ascending tag; untagged flows (coflow == kNoCoflow) follow
+  /// as singleton groups in flow-id order, so every flow belongs to exactly
+  /// one group and per-flow metrics degenerate gracefully to the flow
+  /// scheduling view.
   explicit CoflowSet(const Instance& instance);
 
+  /// Total groups: tagged coflows plus one singleton per untagged flow.
   int num_groups() const { return static_cast<int>(members_.size()); }
-  // Number of groups that came from real (non-singleton-by-default) tags.
+  /// Number of groups that came from real (non-singleton-by-default) tags.
   int num_tagged() const { return num_tagged_; }
 
-  // Dense group index of flow e, in [0, num_groups()).
+  /// Dense group index of flow e, in [0, num_groups()).
   int group_of(FlowId e) const { return group_of_[e]; }
-  // The original Flow::coflow tag of group g (kNoCoflow for singletons).
+  /// The original Flow::coflow tag of group g (kNoCoflow for singletons).
   CoflowId tag(int g) const { return tag_[g]; }
 
+  /// Flow ids belonging to group g, ascending.
   const std::vector<FlowId>& members(int g) const { return members_[g]; }
+  /// Member count of group g (the coflow literature's "width").
   int width(int g) const { return static_cast<int>(members_[g].size()); }
+  /// Earliest member release — the group's arrival for CCT purposes.
   Round release(int g) const { return release_[g]; }
+  /// Sum of member demands.
   Capacity total_demand(int g) const { return total_demand_[g]; }
 
-  // Bottleneck lower bound on the rounds needed to serve group g alone on
-  // an empty switch: max over ports of ceil(group load at port / port
-  // capacity). Every schedule's CCT for the group is >= this, so it is the
-  // denominator of the slowdown-vs-isolation metric (Varys' Gamma).
+  /// Bottleneck lower bound on the rounds needed to serve group g alone on
+  /// an empty switch: max over ports of ceil(group load at port / port
+  /// capacity). Every schedule's CCT for the group is >= this, so it is the
+  /// denominator of the slowdown-vs-isolation metric (Varys' Gamma).
   Round IsolationRounds(int g, const SwitchSpec& sw) const;
 
  private:

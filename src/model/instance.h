@@ -5,6 +5,7 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "model/flow.h"
@@ -57,9 +58,18 @@ class Instance {
   std::vector<std::vector<FlowId>> FlowsByInputPort() const;
   std::vector<std::vector<FlowId>> FlowsByOutputPort() const;
 
+  /// Provenance stamp: the spec text or file path this instance was loaded
+  /// from (api/instance_source.h sets it; empty for programmatically built
+  /// instances). Purely descriptive for most consumers — reports echo it —
+  /// but `fabric.*` solvers recover their shard topology from a `fabric:`
+  /// stamp, so sweeps can vary the shard count through the instance axis.
+  const std::string& source() const { return source_; }
+  void set_source(std::string source) { source_ = std::move(source); }
+
  private:
   SwitchSpec switch_;
   std::vector<Flow> flows_;
+  std::string source_;
 };
 
 }  // namespace flowsched

@@ -135,5 +135,76 @@ TEST(InstanceSourceTest, MalformedPairIsAnError) {
   EXPECT_NE(error.find("key=value"), std::string::npos);
 }
 
+TEST(InstanceSourceTest, StampsEveryInstanceWithItsSource) {
+  const std::string spec = "poisson:ports=4,load=1.0,rounds=4,seed=2";
+  const auto loaded = LoadInstance(spec);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->source(), spec);
+}
+
+TEST(InstanceSourceTest, FabricSpecsLoadTheInnerInstanceStamped) {
+  const std::string inner = "coflow:ports=8,load=1.0,rounds=10,width=4,seed=3";
+  const std::string fabric = "fabric:shards=2,partition=hash," + inner;
+  EXPECT_TRUE(IsGeneratorSpec(fabric));
+
+  std::string error;
+  const auto wrapped = LoadInstance(fabric, &error);
+  ASSERT_TRUE(wrapped.has_value()) << error;
+  const auto direct = LoadInstance(inner, &error);
+  ASSERT_TRUE(direct.has_value()) << error;
+
+  // Same traffic, global ports — the wrapper only changes the stamp.
+  ASSERT_EQ(wrapped->num_flows(), direct->num_flows());
+  for (FlowId e = 0; e < direct->num_flows(); ++e) {
+    EXPECT_EQ(wrapped->flow(e), direct->flow(e));
+  }
+  EXPECT_EQ(wrapped->source(), fabric);
+  EXPECT_EQ(direct->source(), inner);
+}
+
+TEST(InstanceSourceTest, FabricSpecErrorsNameTheOffender) {
+  std::string error;
+  EXPECT_FALSE(LoadInstance("fabric:shards=2,pods=3,fig4b", &error)
+                   .has_value());
+  EXPECT_NE(error.find("pods"), std::string::npos) << error;
+  EXPECT_FALSE(LoadInstance("fabric:shards=2,poisson:ports=4,bogus=1",
+                            &error)
+                   .has_value());
+  EXPECT_NE(error.find("bogus"), std::string::npos) << error;
+}
+
+TEST(InstanceSourceTest, ValidateInstanceSpecChecksKeysWithoutGenerating) {
+  std::string error;
+  // Valid specs — including a fabric wrapper and a huge instance that
+  // would be expensive to actually generate — pass.
+  EXPECT_TRUE(ValidateInstanceSpec("fig4b", &error)) << error;
+  EXPECT_TRUE(ValidateInstanceSpec(
+      "poisson:ports=100000,load=1.0,rounds=100000,seed=1", &error))
+      << error;
+  EXPECT_TRUE(ValidateInstanceSpec(
+      "fabric:shards=4,partition=hash,"
+      "coflow:ports=64,load=1.0,rounds=50,width=8,seed=2",
+      &error))
+      << error;
+  // File paths are load-time concerns.
+  EXPECT_TRUE(ValidateInstanceSpec("no/such/file.csv", &error)) << error;
+
+  // Offenders are named, at either nesting level.
+  EXPECT_FALSE(ValidateInstanceSpec("poisson:portz=4", &error));
+  EXPECT_NE(error.find("portz"), std::string::npos) << error;
+  // A typo'd generator NAME on a generator-shaped source is caught too —
+  // it is not a plausible file path.
+  EXPECT_FALSE(ValidateInstanceSpec("possion:ports=8,load=1.0", &error));
+  EXPECT_NE(error.find("possion"), std::string::npos) << error;
+  // ...but path-looking sources with ':' stay load-time concerns.
+  EXPECT_TRUE(ValidateInstanceSpec("data.v2:dir/trace=a.csv", &error))
+      << error;
+  EXPECT_FALSE(ValidateInstanceSpec("fabric:shards=0,fig4b", &error));
+  EXPECT_NE(error.find("positive"), std::string::npos) << error;
+  EXPECT_FALSE(
+      ValidateInstanceSpec("fabric:shards=2,incast:ports=8,bogus=1", &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos) << error;
+}
+
 }  // namespace
 }  // namespace flowsched

@@ -42,7 +42,12 @@ TEST(SolverRegistryTest, EveryRegisteredSolverSolvesASmallInstance) {
   const Instance instance = SmallInstance();
   for (const std::string& name : SolverRegistry::Global().Names()) {
     SCOPED_TRACE(name);
-    const SolveReport report = SolverRegistry::Global().Solve(name, instance);
+    // fabric.* has one required parameter (the shard topology); everything
+    // else must solve with defaults alone.
+    SolveOptions options;
+    if (name.rfind("fabric.", 0) == 0) options.params["shards"] = "2";
+    const SolveReport report =
+        SolverRegistry::Global().Solve(name, instance, options);
     ASSERT_TRUE(report.ok) << report.error;
     EXPECT_EQ(report.solver, name);
     EXPECT_TRUE(report.schedule.AllAssigned());

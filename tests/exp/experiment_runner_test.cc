@@ -108,9 +108,11 @@ TEST(ExperimentRunnerTest, BrokenCellsFailTheirTasksNotTheSweep) {
   SweepSpec spec;
   spec.name = "broken";
   spec.solvers = {"online.fifo"};
-  // Two templates: one fine, one whose generated spec is malformed.
+  // Two templates: one fine, one a load-time failure (missing trace file).
+  // Spec-level mistakes (unknown generator keys) fail the whole expansion
+  // instead — see UnknownGeneratorKeysFailTheSweepUpFront.
   spec.instances = {"poisson:ports=4,load=1.0,rounds=10,seed={seed}",
-                    "poisson:ports=4,bogus=1,seed={seed}"};
+                    "no/such/trace_{seed}.csv"};
   spec.seeds = {1};
   SweepRun run;
   std::string error;
@@ -118,9 +120,27 @@ TEST(ExperimentRunnerTest, BrokenCellsFailTheirTasksNotTheSweep) {
   ASSERT_EQ(run.outcomes.size(), 2u);
   EXPECT_TRUE(run.outcomes[0].ok) << run.outcomes[0].error;
   EXPECT_FALSE(run.outcomes[1].ok);
-  EXPECT_NE(run.outcomes[1].error.find("bogus"), std::string::npos)
+  EXPECT_NE(run.outcomes[1].error.find("no/such/trace_1.csv"),
+            std::string::npos)
       << run.outcomes[1].error;
   EXPECT_EQ(run.failures, 1);
+}
+
+// Regression for the silent-typo hazard: an unknown key inside a generator
+// template used to surface only as per-task failures, after the driver had
+// already truncated the previous campaign's JSONL. It is now an expansion
+// error naming the offending key.
+TEST(ExperimentRunnerTest, UnknownGeneratorKeysFailTheSweepUpFront) {
+  SweepSpec spec;
+  spec.name = "typo";
+  spec.solvers = {"online.fifo"};
+  spec.instances = {"poisson:ports=4,load=1.0,rounds=10,bogus=1,seed={seed}"};
+  spec.seeds = {1};
+  SweepRun run;
+  std::string error;
+  EXPECT_FALSE(RunSweep(spec, RunnerOptions{}, run, &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos) << error;
+  EXPECT_TRUE(run.outcomes.empty());
 }
 
 TEST(ExperimentRunnerTest, JsonlStreamsOneLinePerTask) {

@@ -263,5 +263,84 @@ TEST(ExpandSweepTest, RejectsAxisPlaceholderMismatches) {
   EXPECT_NE(error.find("offline.*"), std::string::npos) << error;
 }
 
+// Regression: unknown top-level spec keys must be parse errors naming the
+// key — in both front ends — never silently dropped.
+TEST(ParseSweepSpecTest, UnknownKeysAreNamedErrors) {
+  SweepSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseSweepSpec(
+      "solvers=online.fifo\ninstances=fig4b\nbogus_key=3\n", spec, &error));
+  EXPECT_NE(error.find("bogus_key"), std::string::npos) << error;
+
+  spec = SweepSpec{};
+  EXPECT_FALSE(ParseSweepSpec(
+      R"({"solvers": ["online.fifo"], "bogus_key": 3})", spec, &error));
+  EXPECT_NE(error.find("bogus_key"), std::string::npos) << error;
+}
+
+TEST(ExpandSweepTest, ShardsAxisSubstitutesIntoFabricTemplates) {
+  SweepSpec spec;
+  spec.solvers = {"fabric.sebf"};
+  spec.instances = {
+      "fabric:shards={shards},partition=block,"
+      "poisson:ports=8,load=1.0,rounds=10,seed={seed}"};
+  spec.shards = {1, 2, 4};
+  spec.seeds = {1};
+  SweepPlan plan;
+  std::string error;
+  ASSERT_TRUE(ExpandSweep(spec, SolverRegistry::Global(), plan, &error))
+      << error;
+  ASSERT_EQ(plan.cells.size(), 3u);
+  for (std::size_t i = 0; i < plan.cells.size(); ++i) {
+    ASSERT_TRUE(plan.cells[i].shards.has_value());
+    EXPECT_EQ(*plan.cells[i].shards, spec.shards[i]);
+    EXPECT_NE(plan.cells[i].instance_family.find(
+                  "shards=" + std::to_string(spec.shards[i])),
+              std::string::npos);
+  }
+
+  // The axis obeys the same agreement rule as the others.
+  spec.instances = {"poisson:ports=8,load=1.0,rounds=10,seed={seed}"};
+  EXPECT_FALSE(ExpandSweep(spec, SolverRegistry::Global(), plan, &error));
+  EXPECT_NE(error.find("{shards}"), std::string::npos) << error;
+}
+
+// The silent-typo regression (ISSUE 5): unknown keys inside a generator
+// template — the fabric wrapper and the inner spec included — fail the
+// expansion with the key named, before any runner side effects.
+TEST(ExpandSweepTest, UnknownGeneratorTemplateKeysFailExpansion) {
+  SweepSpec spec;
+  spec.solvers = {"online.fifo"};
+  spec.seeds = {1};
+  SweepPlan plan;
+  std::string error;
+
+  spec.instances = {"poisson:ports=8,load=1.0,rounds=10,bogus=7,seed={seed}"};
+  EXPECT_FALSE(ExpandSweep(spec, SolverRegistry::Global(), plan, &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos) << error;
+
+  spec.instances = {
+      "fabric:shards=2,pods=3,poisson:ports=8,load=1.0,rounds=10,"
+      "seed={seed}"};
+  EXPECT_FALSE(ExpandSweep(spec, SolverRegistry::Global(), plan, &error));
+  EXPECT_NE(error.find("pods"), std::string::npos) << error;
+
+  spec.instances = {
+      "fabric:shards=2,poisson:ports=8,load=1.0,rounds=10,bogus=7,"
+      "seed={seed}"};
+  EXPECT_FALSE(ExpandSweep(spec, SolverRegistry::Global(), plan, &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos) << error;
+
+  // A typo'd generator NAME is caught at expansion time too.
+  spec.instances = {"possion:ports=8,load=1.0,rounds=10,seed={seed}"};
+  EXPECT_FALSE(ExpandSweep(spec, SolverRegistry::Global(), plan, &error));
+  EXPECT_NE(error.find("possion"), std::string::npos) << error;
+
+  // File paths stay load-time concerns: expansion does not touch disk.
+  spec.instances = {"no/such/file_{seed}.csv"};
+  EXPECT_TRUE(ExpandSweep(spec, SolverRegistry::Global(), plan, &error))
+      << error;
+}
+
 }  // namespace
 }  // namespace flowsched

@@ -1,0 +1,201 @@
+#include "fabric/fabric_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fabric/fabric_spec.h"
+
+namespace flowsched {
+namespace {
+
+// ---- Spec parsing --------------------------------------------------------
+
+TEST(FabricSpecTest, ParsesAndRoundTrips) {
+  FabricSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseFabricSpec(
+      "fabric:shards=4,partition=hash,"
+      "coflow:ports=64,load=1.0,rounds=50,width=8,seed=3",
+      spec, &error))
+      << error;
+  EXPECT_EQ(spec.shards, 4);
+  EXPECT_EQ(spec.partition, FabricPartition::kHash);
+  // The inner spec keeps its commas — it starts at the first segment with
+  // a ':' before its '=' (a nested generator spec).
+  EXPECT_EQ(spec.inner, "coflow:ports=64,load=1.0,rounds=50,width=8,seed=3");
+  EXPECT_EQ(spec.ToString(),
+            "fabric:shards=4,partition=hash,"
+            "coflow:ports=64,load=1.0,rounds=50,width=8,seed=3");
+}
+
+TEST(FabricSpecTest, DefaultsToBlockPartition) {
+  FabricSpec spec;
+  ASSERT_TRUE(ParseFabricSpec("fabric:shards=2,fig4b", spec));
+  EXPECT_EQ(spec.partition, FabricPartition::kBlock);
+  EXPECT_EQ(spec.inner, "fig4b");  // Bare generator name (no '=' at all).
+}
+
+TEST(FabricSpecTest, PolicyIsAnAliasForPartition) {
+  FabricSpec spec;
+  ASSERT_TRUE(ParseFabricSpec("fabric:shards=2,policy=hash,fig4b", spec));
+  EXPECT_EQ(spec.partition, FabricPartition::kHash);
+  EXPECT_EQ(spec.ToString(), "fabric:shards=2,partition=hash,fig4b");
+
+  std::string error;
+  EXPECT_FALSE(
+      ParseFabricSpec("fabric:shards=2,policy=ring,fig4b", spec, &error));
+  EXPECT_NE(error.find("ring"), std::string::npos) << error;
+}
+
+TEST(FabricSpecTest, FilePathsAreValidInnerSources) {
+  FabricSpec spec;
+  ASSERT_TRUE(ParseFabricSpec("fabric:shards=2,traces/day0.csv", spec));
+  EXPECT_EQ(spec.inner, "traces/day0.csv");
+}
+
+TEST(FabricSpecTest, RejectionsNameTheOffender) {
+  FabricSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseFabricSpec("fabric:shards=2,pods=3,fig4b", spec, &error));
+  EXPECT_NE(error.find("pods"), std::string::npos) << error;
+
+  EXPECT_FALSE(ParseFabricSpec("fabric:partition=block,fig4b", spec, &error));
+  EXPECT_NE(error.find("shards"), std::string::npos) << error;
+
+  EXPECT_FALSE(ParseFabricSpec("fabric:shards=0,fig4b", spec, &error));
+  EXPECT_NE(error.find("positive"), std::string::npos) << error;
+
+  EXPECT_FALSE(
+      ParseFabricSpec("fabric:shards=2,partition=ring,fig4b", spec, &error));
+  EXPECT_NE(error.find("ring"), std::string::npos) << error;
+
+  EXPECT_FALSE(ParseFabricSpec("fabric:shards=2", spec, &error));
+  EXPECT_NE(error.find("inner"), std::string::npos) << error;
+}
+
+TEST(FabricSpecTest, IsFabricSpecDetects) {
+  EXPECT_TRUE(IsFabricSpec("fabric:shards=2,fig4b"));
+  EXPECT_FALSE(IsFabricSpec("poisson:ports=8"));
+  EXPECT_FALSE(IsFabricSpec("fabric.csv"));
+}
+
+// ---- Partitioners --------------------------------------------------------
+
+TEST(FabricPartitionTest, BlockPartitionIsContiguousAndCoversAllShards) {
+  const int hosts = 10, shards = 3;
+  int prev = 0;
+  std::set<int> seen;
+  for (int g = 0; g < hosts; ++g) {
+    const int s = ShardOfHost(g, shards, FabricPartition::kBlock, hosts);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, shards);
+    EXPECT_GE(s, prev) << "block partition must be monotone in the host";
+    prev = s;
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(shards));
+}
+
+TEST(FabricPartitionTest, HashPartitionIsInRangeAndDeterministic) {
+  const int hosts = 64, shards = 4;
+  std::set<int> seen;
+  for (int g = 0; g < hosts; ++g) {
+    const int s = ShardOfHost(g, shards, FabricPartition::kHash, hosts);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, shards);
+    EXPECT_EQ(s, ShardOfHost(g, shards, FabricPartition::kHash, hosts));
+    seen.insert(s);
+  }
+  // 64 hashed hosts over 4 shards: every shard gets someone.
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(shards));
+}
+
+// ---- Instance decomposition ---------------------------------------------
+
+// 4 hosts, block partition into 2 pods: hosts {0,1} -> pod 0, {2,3} ->
+// pod 1. Flows cover intra-pod, cross-pod, and a split coflow.
+Instance FourHostInstance() {
+  Instance instance(SwitchSpec::Uniform(4, 4, 1), {});
+  instance.AddFlow(0, 1, 1, 0, /*coflow=*/7);  // Pod 0, intact group 7.
+  instance.AddFlow(1, 0, 1, 0, /*coflow=*/7);
+  instance.AddFlow(2, 3, 1, 0, /*coflow=*/9);  // Pod 1 member of group 9...
+  instance.AddFlow(0, 2, 1, 1, /*coflow=*/9);  // ...pod 0 member: split.
+  instance.AddFlow(3, 1, 1, 2);                // Cross-pod singleton.
+  return instance;
+}
+
+TEST(FabricPartitionTest, DecomposesFlowsBySourceHost) {
+  const Instance instance = FourHostInstance();
+  const FabricAssignment fa =
+      PartitionInstance(instance, 2, FabricPartition::kBlock);
+
+  EXPECT_EQ(fa.shards, 2);
+  EXPECT_EQ(fa.shard_of_host, (std::vector<int>{0, 0, 1, 1}));
+  EXPECT_EQ(fa.shard_of_flow, (std::vector<int>{0, 0, 1, 0, 1}));
+  EXPECT_EQ(fa.shard_instances[0].num_flows(), 3);
+  EXPECT_EQ(fa.shard_instances[1].num_flows(), 2);
+  // Flows 3 (0->2) and 4 (3->1) leave their pod: replica egress ports.
+  EXPECT_EQ(fa.cross_shard_flows, 2);
+  // Group 9 spans both pods; group 7 stays intact in pod 0.
+  EXPECT_EQ(fa.split_coflows, 1);
+  EXPECT_EQ(fa.tagged_coflows, 2);
+  EXPECT_EQ(fa.shard_demand, (std::vector<Capacity>{3, 2}));
+  EXPECT_NEAR(fa.LoadImbalance(), 3.0 / 2.5, 1e-12);
+
+  // Pod switches: 2 owned inputs each; outputs = 2 owned + 1 replica.
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_EQ(fa.shard_instances[s].sw().num_inputs(), 2);
+    EXPECT_EQ(fa.shard_instances[s].sw().num_outputs(), 3);
+    EXPECT_EQ(fa.shard_instances[s].ValidationError(), std::nullopt);
+  }
+
+  // Local flow mapping: every global flow appears exactly once, with its
+  // demand/release/coflow preserved and ports remapped consistently.
+  for (FlowId e = 0; e < instance.num_flows(); ++e) {
+    const Flow& global = instance.flow(e);
+    const Flow& local =
+        fa.shard_instances[fa.shard_of_flow[e]].flow(fa.local_flow_id[e]);
+    EXPECT_EQ(local.demand, global.demand);
+    EXPECT_EQ(local.release, global.release);
+    EXPECT_EQ(local.coflow, global.coflow);
+  }
+  // Flow 3 (0 -> 2): src host 0 is pod 0's local input 0; dst host 2 is
+  // foreign, so it rides the replica port appended after pod 0's two
+  // owned outputs.
+  const Flow& cross = fa.shard_instances[0].flow(fa.local_flow_id[3]);
+  EXPECT_EQ(cross.src, 0);
+  EXPECT_EQ(cross.dst, 2);
+}
+
+TEST(FabricPartitionTest, SingleShardIsTheIdentityModuloPortNames) {
+  const Instance instance = FourHostInstance();
+  const FabricAssignment fa =
+      PartitionInstance(instance, 1, FabricPartition::kHash);
+  EXPECT_EQ(fa.cross_shard_flows, 0);
+  EXPECT_EQ(fa.split_coflows, 0);
+  ASSERT_EQ(fa.shard_instances.size(), 1u);
+  const Instance& shard = fa.shard_instances[0];
+  ASSERT_EQ(shard.num_flows(), instance.num_flows());
+  for (FlowId e = 0; e < instance.num_flows(); ++e) {
+    EXPECT_EQ(shard.flow(fa.local_flow_id[e]).src, instance.flow(e).src);
+    EXPECT_EQ(shard.flow(fa.local_flow_id[e]).dst, instance.flow(e).dst);
+  }
+  EXPECT_DOUBLE_EQ(fa.LoadImbalance(), 1.0);
+}
+
+TEST(FabricPartitionTest, EmptyShardsAreLegal) {
+  // 2 hosts, 4 shards: block gives ceil(2/4)=1 host per shard; shards 2
+  // and 3 own nothing and must come out as valid empty instances.
+  Instance instance(SwitchSpec::Uniform(2, 2, 1), {});
+  instance.AddFlow(0, 1, 1, 0);
+  const FabricAssignment fa =
+      PartitionInstance(instance, 4, FabricPartition::kBlock);
+  ASSERT_EQ(fa.shard_instances.size(), 4u);
+  EXPECT_EQ(fa.shard_instances[0].num_flows(), 1);
+  EXPECT_EQ(fa.shard_instances[2].num_flows(), 0);
+  EXPECT_EQ(fa.shard_instances[3].num_flows(), 0);
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -1,0 +1,154 @@
+// Golden lock on the fabric subsystem, mirroring coflow_regression_test:
+// the merged metrics fabric.sebf produces on a fixed fabric spec are
+// pinned, and a {shards}-axis sweep grid is byte-identical regardless of
+// worker count — both the sweep engine's --jobs and the runner's own
+// shard-parallelism knob.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "api/instance_source.h"
+#include "api/registry.h"
+#include "exp/aggregator.h"
+#include "exp/experiment_runner.h"
+
+namespace flowsched {
+namespace {
+
+constexpr char kSpec[] =
+    "fabric:shards=4,partition=block,"
+    "coflow:ports=16,load=1.0,rounds=40,width=6,skew=0.7,seed=5";
+
+// Captured with:
+//   flowsched_cli --instance=<kSpec> --solver=fabric.sebf --diagnostics
+// The inner instance is coflow_regression_test's golden instance, so the
+// single-switch numbers pinned there are this fabric's baseline: sharding
+// 4 ways trades a x4 egress allowance for lower response/CCT.
+struct Golden {
+  const char* solver;
+  double total_response;
+  double total_cct;
+  double max_cct;
+  double cross_shard_flows;
+  double split_coflows;
+  double load_imbalance;
+};
+
+const Golden kGoldens[] = {
+    {"fabric.sebf", 2342, 1198, 23, 467, 133, 1.038},
+};
+
+TEST(FabricRegressionTest, MergedMetricsMatchGoldens) {
+  std::string error;
+  const auto instance = LoadInstance(kSpec, &error);
+  ASSERT_TRUE(instance.has_value()) << error;
+  for (const Golden& golden : kGoldens) {
+    const SolveReport report =
+        SolverRegistry::Global().Solve(golden.solver, *instance);
+    ASSERT_TRUE(report.ok) << golden.solver << ": " << report.error;
+    EXPECT_DOUBLE_EQ(report.metrics.total_response, golden.total_response)
+        << golden.solver;
+    EXPECT_DOUBLE_EQ(report.diagnostics.at("total_cct"), golden.total_cct)
+        << golden.solver;
+    EXPECT_DOUBLE_EQ(report.diagnostics.at("max_cct"), golden.max_cct)
+        << golden.solver;
+    EXPECT_DOUBLE_EQ(report.diagnostics.at("cross_shard_flows"),
+                     golden.cross_shard_flows)
+        << golden.solver;
+    EXPECT_DOUBLE_EQ(report.diagnostics.at("split_coflows"),
+                     golden.split_coflows)
+        << golden.solver;
+    EXPECT_NEAR(report.diagnostics.at("load_imbalance"),
+                golden.load_imbalance, 1e-3)
+        << golden.solver;
+    EXPECT_EQ(report.allowance.factor, 4.0) << golden.solver;
+  }
+}
+
+// The shard-parallelism knob must not change anything but wall clock.
+TEST(FabricRegressionTest, ShardJobsParamIsByteInert) {
+  std::string error;
+  const auto instance = LoadInstance(kSpec, &error);
+  ASSERT_TRUE(instance.has_value()) << error;
+  SolveOptions serial, parallel;
+  parallel.params["jobs"] = "8";
+  const SolveReport a =
+      SolverRegistry::Global().Solve("fabric.sebf", *instance, serial);
+  const SolveReport b =
+      SolverRegistry::Global().Solve("fabric.sebf", *instance, parallel);
+  ASSERT_TRUE(a.ok && b.ok) << a.error << b.error;
+  EXPECT_EQ(a.schedule.assignments(), b.schedule.assignments());
+  EXPECT_EQ(a.diagnostics.at("total_cct"), b.diagnostics.at("total_cct"));
+  EXPECT_EQ(a.diagnostics.at("peak_backlog"),
+            b.diagnostics.at("peak_backlog"));
+}
+
+// The acceptance bar: a {shards} x load grid over fabric solvers produces
+// outcomes — fabric columns included — and timing-stripped reports that
+// are byte-identical for any --jobs value.
+TEST(FabricRegressionTest, ShardSweepIsIdenticalAcrossJobCounts) {
+  SweepSpec spec;
+  spec.name = "fabric-regression";
+  spec.solvers = {"fabric.sebf", "fabric.srpt"};
+  spec.instances = {
+      "fabric:shards={shards},partition=block,"
+      "coflow:ports=16,load={load},rounds=30,width=6,skew=0.7,seed={seed}"};
+  spec.shards = {1, 2, 4};
+  spec.loads = {0.8, 1.0};
+  spec.seeds = {1, 2};
+  spec.base_seed = 3;
+  spec.params["validate"] = "1";
+
+  SweepRun run1, run8;
+  std::string error;
+  RunnerOptions opt1;
+  opt1.jobs = 1;
+  ASSERT_TRUE(RunSweep(spec, opt1, run1, &error)) << error;
+  RunnerOptions opt8;
+  opt8.jobs = 8;
+  ASSERT_TRUE(RunSweep(spec, opt8, run8, &error)) << error;
+
+  EXPECT_EQ(run1.failures, 0);
+  ASSERT_EQ(run1.plan.tasks.size(), 24u);  // 2 solvers x 3 shards x 2 x 2.
+  ASSERT_EQ(run1.outcomes.size(), run8.outcomes.size());
+  bool saw_fabric = false;
+  for (std::size_t i = 0; i < run1.outcomes.size(); ++i) {
+    const TaskOutcome& a = run1.outcomes[i];
+    const TaskOutcome& b = run8.outcomes[i];
+    SCOPED_TRACE("task " + std::to_string(i));
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.total_response, b.total_response);
+    EXPECT_EQ(a.shards, b.shards);
+    EXPECT_EQ(a.load_imbalance, b.load_imbalance);
+    EXPECT_EQ(a.cross_shard_flows, b.cross_shard_flows);
+    EXPECT_EQ(a.split_coflows, b.split_coflows);
+    EXPECT_EQ(a.avg_cct, b.avg_cct);
+    saw_fabric = saw_fabric || a.shards > 0;
+  }
+  EXPECT_TRUE(saw_fabric);
+
+  // Every cell carries its {shards} coordinate.
+  for (const SweepCell& cell : run1.plan.cells) {
+    ASSERT_TRUE(cell.shards.has_value());
+  }
+
+  auto report = [&](const SweepRun& run) {
+    Aggregator agg(run.plan);
+    agg.AddRun(run);
+    std::ostringstream json, csv;
+    agg.WriteJson(json, spec, run.jobs, run.wall_seconds,
+                  /*include_timing=*/false);
+    agg.WriteCsv(csv, /*include_timing=*/false);
+    return json.str() + "\n---\n" + csv.str();
+  };
+  const std::string r1 = report(run1);
+  EXPECT_EQ(r1, report(run8));
+  // The fabric columns made it into both report formats.
+  EXPECT_NE(r1.find("\"fabric_shards\""), std::string::npos);
+  EXPECT_NE(r1.find("load_imbalance_mean"), std::string::npos);
+  EXPECT_NE(r1.find("\"shards\": 4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Documentation checks, run by CI (and tools/ci.sh) after a Release build:
+#   1. docs/solvers.md is generated from the registry — regenerate it with
+#      `flowsched_cli --describe-solvers --markdown` and fail when the
+#      committed file is stale (a solver changed its contract without
+#      regenerating the reference).
+#   2. Every relative markdown link in README.md and docs/*.md must
+#      resolve to an existing file (http(s) links and pure anchors are
+#      skipped — no network in CI).
+#
+# Usage: tools/check_docs.sh [path/to/flowsched_cli]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLI="${1:-}"
+if [[ -z "${CLI}" ]]; then
+  for candidate in build/tools/flowsched_cli \
+                   build-ci-release/tools/flowsched_cli; do
+    if [[ -x "${candidate}" ]]; then
+      CLI="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${CLI}" || ! -x "${CLI}" ]]; then
+  echo "error: flowsched_cli not found; build first or pass its path" >&2
+  echo "usage: tools/check_docs.sh [path/to/flowsched_cli]" >&2
+  exit 2
+fi
+
+# Regenerate to a temp file and byte-compare: works whether or not the
+# file is tracked yet, and never mutates the checked tree.
+tmp="$(mktemp)"
+trap 'rm -f "${tmp}"' EXIT
+"${CLI}" --describe-solvers --markdown > "${tmp}"
+if ! cmp -s "${tmp}" docs/solvers.md; then
+  diff -u docs/solvers.md "${tmp}" | head -40 >&2 || true
+  echo "error: docs/solvers.md is stale — regenerate with" >&2
+  echo "  ${CLI} --describe-solvers --markdown > docs/solvers.md" >&2
+  echo "and commit the result" >&2
+  exit 1
+fi
+
+status=0
+for file in README.md docs/*.md; do
+  dir="$(dirname "${file}")"
+  while IFS= read -r target; do
+    [[ -z "${target}" ]] && continue
+    case "${target}" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [[ -z "${path}" ]] && continue
+    if [[ ! -e "${dir}/${path}" && ! -e "${path}" ]]; then
+      echo "${file}: broken link -> ${target}" >&2
+      status=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "${file}" | sed -E 's/^\]\(//; s/\)$//')
+done
+if [[ ${status} -ne 0 ]]; then
+  echo "error: broken documentation links (see above)" >&2
+else
+  echo "docs OK: solvers.md fresh, links resolve"
+fi
+exit ${status}

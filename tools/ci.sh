@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Local mirror of .github/workflows/ci.yml: the tier-1 verify sequence in
-# Debug and Release, a CLI smoke test, and the Debug ASan/UBSan leg over
-# the coflow + workload + model suites.
+# Debug and Release, a CLI smoke test, the docs checks (generated
+# docs/solvers.md freshness + markdown link resolution), and the Debug
+# ASan/UBSan leg over the coflow + workload + model suites.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,7 +15,11 @@ for build_type in Debug Release; do
   "./${build_dir}/tools/flowsched_cli" \
       --instance=poisson:ports=6,load=1.0,rounds=6 --solver=all
   "./${build_dir}/tools/flowsched_cli" --list-solvers | grep -q '^coflow.sebf$'
+  "./${build_dir}/tools/flowsched_cli" --list-solvers | grep -q '^fabric.sebf$'
   if [[ "${build_type}" == "Release" ]]; then
+    # Docs job: docs/solvers.md must match the registry, and every relative
+    # markdown link in README/docs must resolve.
+    tools/check_docs.sh "./${build_dir}/tools/flowsched_cli"
     # Bench smoke: every cell must succeed; JSON is the artifact.
     "./${build_dir}/tools/flowsched_bench" --suite=smoke --repeat=2 \
         --out="${build_dir}/BENCH_smoke.json"
@@ -34,11 +39,11 @@ for build_type in Debug Release; do
   fi
 done
 
-echo "=== Debug ASan/UBSan (coflow + workload + model) ==="
+echo "=== Debug ASan/UBSan (coflow + fabric + workload + model) ==="
 cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DFLOWSCHED_SANITIZE=address,undefined \
     -DFLOWSCHED_BUILD_BENCHES=OFF -DFLOWSCHED_BUILD_EXAMPLES=OFF
 cmake --build build-ci-asan -j "$(nproc)"
 (cd build-ci-asan && ctest --output-on-failure -j "$(nproc)" \
-    -R 'coflow|workload|model')
+    -R 'coflow|fabric|workload|model')
 echo "CI OK"

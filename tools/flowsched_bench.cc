@@ -103,6 +103,12 @@ SuiteSpec MakeSuite(const std::string& name) {
         {
             "poisson:ports=256,load=1.0,rounds=195,seed=1",
             "coflow:ports=256,load=1.0,rounds=195,width=16,skew=0.7,seed=1",
+            // The sharding cell: fabric.* solvers split this 4 ways
+            // (fabric.<p> x non-fabric instances are skipped; every other
+            // solver runs the inner instance unsharded for the 1-switch
+            // baseline on identical traffic).
+            "fabric:shards=4,partition=block,"
+            "coflow:ports=256,load=1.0,rounds=195,width=16,skew=0.7,seed=1",
             "shuffle:ports=256,wave=64,waves=8,period=2",
             "incast:ports=256,fanin=255",
             "fig4a:phase=128,total=1024",
@@ -118,6 +124,8 @@ SuiteSpec MakeSuite(const std::string& name) {
         {
             "poisson:ports=32,load=1.0,rounds=40,seed=1",
             "coflow:ports=32,load=1.0,rounds=40,width=6,skew=0.7,seed=1",
+            "fabric:shards=2,partition=block,"
+            "coflow:ports=32,load=1.0,rounds=40,width=6,skew=0.7,seed=1",
             "incast:ports=32,fanin=31",
             "fig4b",
         },
@@ -131,11 +139,19 @@ SuiteSpec MakeSuite(const std::string& name) {
 std::vector<std::string> SimulationSolverNames() {
   std::vector<std::string> names;
   for (const std::string& name : SolverRegistry::Global().Names()) {
-    if (name.rfind("online.", 0) == 0 || name.rfind("coflow.", 0) == 0) {
+    if (name.rfind("online.", 0) == 0 || name.rfind("coflow.", 0) == 0 ||
+        name.rfind("fabric.", 0) == 0) {
       names.push_back(name);
     }
   }
   return names;
+}
+
+// fabric.* solvers need a shard topology, which only fabric: instances
+// carry — pairing them with anything else would just bench the error path.
+bool SkipCell(const std::string& instance_spec, const std::string& solver) {
+  return solver.rfind("fabric.", 0) == 0 &&
+         instance_spec.rfind("fabric:", 0) != 0;
 }
 
 BenchCell RunCell(const std::string& instance_spec, const Instance& instance,
@@ -316,6 +332,7 @@ int Run(int argc, char** argv) {
       return 2;
     }
     for (const std::string& solver : solvers) {
+      if (SkipCell(spec, solver)) continue;
       BenchCell cell = RunCell(spec, *instance, solver, seed, repeat);
       if (cell.ok) {
         table.Row(cell.instance, cell.solver, cell.wall_seconds * 1e3,
