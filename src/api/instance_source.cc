@@ -1,13 +1,9 @@
 #include "api/instance_source.h"
 
-#include <algorithm>
-#include <charconv>
-#include <cstdlib>
 #include <fstream>
-#include <map>
 #include <sstream>
-#include <vector>
 
+#include "api/spec_parser.h"
 #include "fabric/fabric_spec.h"
 #include "model/trace_io.h"
 #include "workload/adversarial.h"
@@ -18,89 +14,14 @@
 namespace flowsched {
 namespace {
 
+using api_spec::Spec;
+using api_spec::SpecReader;
+using api_spec::SplitSpec;
+
 bool Fail(std::string* error, const std::string& msg) {
   if (error != nullptr) *error = msg;
   return false;
 }
-
-struct Spec {
-  std::string generator;
-  std::map<std::string, std::string> kv;
-};
-
-bool SplitSpec(const std::string& source, Spec& spec, std::string* error) {
-  const auto colon = source.find(':');
-  spec.generator = source.substr(0, colon);
-  if (colon == std::string::npos) return true;
-  std::stringstream rest(source.substr(colon + 1));
-  std::string pair;
-  while (std::getline(rest, pair, ',')) {
-    if (pair.empty()) continue;
-    const auto eq = pair.find('=');
-    if (eq == std::string::npos) {
-      return Fail(error, "generator spec: expected key=value, got \"" + pair +
-                             "\"");
-    }
-    spec.kv[pair.substr(0, eq)] = pair.substr(eq + 1);
-  }
-  return true;
-}
-
-// Reads spec values with defaults; collects unknown-key / parse errors.
-class SpecReader {
- public:
-  explicit SpecReader(const Spec& spec) : spec_(spec) {}
-
-  double Get(const std::string& key, double fallback) {
-    used_.push_back(key);
-    const auto it = spec_.kv.find(key);
-    if (it == spec_.kv.end()) return fallback;
-    char* end = nullptr;
-    const double v = std::strtod(it->second.c_str(), &end);
-    if (end == nullptr || *end != '\0' || end == it->second.c_str()) {
-      Error(key + ": unparsable value \"" + it->second + "\"");
-      return fallback;
-    }
-    return v;
-  }
-
-  long long GetInt(const std::string& key, long long fallback) {
-    used_.push_back(key);
-    const auto it = spec_.kv.find(key);
-    if (it == spec_.kv.end()) return fallback;
-    long long v = 0;
-    const char* first = it->second.data();
-    const char* last = first + it->second.size();
-    auto [ptr, ec] = std::from_chars(first, last, v);
-    if (ec != std::errc() || ptr != last) {
-      Error(key + ": unparsable value \"" + it->second + "\"");
-      return fallback;
-    }
-    return v;
-  }
-
-  // Call after all Get*(): flags keys the generator does not understand.
-  void CheckUnknown() {
-    for (const auto& [key, value] : spec_.kv) {
-      if (std::find(used_.begin(), used_.end(), key) == used_.end()) {
-        Error("unknown key \"" + key + "\" for generator " + spec_.generator);
-      }
-    }
-  }
-
-  bool ok() const { return error_.empty(); }
-  const std::string& error() const { return error_; }
-
- private:
-  void Error(const std::string& msg) {
-    if (!error_.empty()) error_ += "; ";
-    error_ += msg;
-  }
-
-  const Spec& spec_;
-  std::vector<std::string> used_;
-  std::string error_;
-};
 
 // Reads (and thereby key-checks) one generator spec; materializes the
 // instance only when `generate` is set, so spec validation is free of

@@ -13,8 +13,30 @@ void CoflowBacklogStats::Clear() {
   arrival_.clear();
   rem_.clear();
   bottleneck_.clear();
+  seq_.clear();
+  free_slots_.clear();
+  next_seq_ = 0;
   bucket_count_.clear();
   touched_.clear();
+}
+
+void CoflowBacklogStats::Retire(std::span<const FlowId> completed_untagged,
+                                std::span<const CoflowId> drained_groups) {
+  // Retired slots may still sit in this round's touched_ list; the next
+  // Update() zeroes their bucket_count_ marks before any slot is handed
+  // out again, so recycling is race-free with the zeroing trick.
+  for (FlowId id : completed_untagged) {
+    const auto it = single_slot_.find(id);
+    if (it == single_slot_.end()) continue;
+    free_slots_.push_back(it->second);
+    single_slot_.erase(it);
+  }
+  for (CoflowId tag : drained_groups) {
+    const auto it = tag_slot_.find(tag);
+    if (it == tag_slot_.end()) continue;
+    free_slots_.push_back(it->second);
+    tag_slot_.erase(it);
+  }
 }
 
 void CoflowBacklogStats::Update(const SwitchSpec& sw,
@@ -31,13 +53,24 @@ void CoflowBacklogStats::Update(const SwitchSpec& sw,
     const PendingFlow& f = pending[i];
     auto& by_key = f.coflow == kNoCoflow ? single_slot_ : tag_slot_;
     const int key = f.coflow == kNoCoflow ? f.id : f.coflow;
-    const auto [it, inserted] =
-        by_key.try_emplace(key, static_cast<int>(arrival_.size()));
+    // New keys recycle a retired slot when one is free (streaming), else
+    // extend the arrays (batch: Retire() is never called, so allocation
+    // order — and hence seq order — matches slot order exactly).
+    const int fresh = free_slots_.empty() ? static_cast<int>(arrival_.size())
+                                          : free_slots_.back();
+    const auto [it, inserted] = by_key.try_emplace(key, fresh);
     const int slot = it->second;
     if (inserted) {
-      arrival_.push_back(f.release);
-      rem_.push_back(0);
-      bottleneck_.push_back(0);
+      if (!free_slots_.empty()) {
+        free_slots_.pop_back();
+        arrival_[slot] = f.release;
+      } else {
+        arrival_.push_back(f.release);
+        rem_.push_back(0);
+        bottleneck_.push_back(0);
+        seq_.push_back(0);
+      }
+      seq_[slot] = next_seq_++;
     } else {
       arrival_[slot] = std::min(arrival_[slot], f.release);
     }
@@ -160,7 +193,7 @@ void CoflowSebfPolicy::RankGroups(std::vector<int>& slots) {
     if (stats_.arrival(a) != stats_.arrival(b)) {
       return stats_.arrival(a) < stats_.arrival(b);
     }
-    return a < b;
+    return stats_.seq(a) < stats_.seq(b);
   });
 }
 
@@ -169,7 +202,7 @@ void CoflowFifoPolicy::RankGroups(std::vector<int>& slots) {
     if (stats_.arrival(a) != stats_.arrival(b)) {
       return stats_.arrival(a) < stats_.arrival(b);
     }
-    return a < b;
+    return stats_.seq(a) < stats_.seq(b);
   });
 }
 

@@ -57,6 +57,20 @@ class CoflowBacklogStats {
   Round arrival(int slot) const { return arrival_[slot]; }
   Round bottleneck(int slot) const { return bottleneck_[slot]; }
 
+  // Monotone creation stamp, refreshed when a retired slot is recycled.
+  // Policies tie-break on this instead of the slot index: without
+  // retirement (batch runs) stamp order equals slot order, and with it the
+  // ordering stays stable when slots are reused for younger groups.
+  long long seq(int slot) const { return seq_[slot]; }
+
+  // Releases the slots of completed untagged flows / fully-drained coflow
+  // groups back to a free list for recycling, keeping the map and slot
+  // footprint proportional to the live backlog on unbounded streams. Call
+  // between rounds (after the round's Update()). If a tag arrives again
+  // after its group was retired, it is treated as a brand-new group.
+  void Retire(std::span<const FlowId> completed_untagged,
+              std::span<const CoflowId> drained_groups);
+
   // Forgets every slot (between simulations).
   void Clear();
 
@@ -66,6 +80,9 @@ class CoflowBacklogStats {
   std::vector<Round> arrival_;         // Per slot, persistent.
   std::vector<Capacity> rem_;          // Per slot, touched slots only.
   std::vector<Round> bottleneck_;
+  std::vector<long long> seq_;  // Per slot, see seq().
+  std::vector<int> free_slots_;
+  long long next_seq_ = 0;
   std::vector<int> touched_;
   std::vector<int> slot_of_pending_;
   // Bottleneck scratch: backlog bucketed by slot, then per-slot port loads
@@ -87,6 +104,10 @@ class CoflowGreedyPolicyBase : public SchedulingPolicy {
                        std::span<const PendingFlow> pending,
                        std::vector<int>* picked) override;
   void Reset() override { stats_.Clear(); }
+  void RetireFlows(std::span<const FlowId> completed_untagged,
+                   std::span<const CoflowId> drained_groups) override {
+    stats_.Retire(completed_untagged, drained_groups);
+  }
 
  protected:
   virtual bool NeedsBottlenecks() const = 0;
@@ -124,10 +145,15 @@ class CoflowFifoPolicy : public CoflowGreedyPolicyBase {
 class CoflowMaxWeightPolicy : public SchedulingPolicy {
  public:
   std::string_view name() const override { return "coflow-maxweight"; }
+  bool RequiresUnitDemands() const override { return true; }
   void SelectFlowsInto(const SwitchSpec& sw, Round t,
                        std::span<const PendingFlow> pending,
                        std::vector<int>* picked) override;
   void Reset() override { stats_.Clear(); }
+  void RetireFlows(std::span<const FlowId> completed_untagged,
+                   std::span<const CoflowId> drained_groups) override {
+    stats_.Retire(completed_untagged, drained_groups);
+  }
 
  private:
   CoflowBacklogStats stats_;

@@ -12,6 +12,7 @@ namespace flowsched {
 class MaxWeightPolicy : public SchedulingPolicy {
  public:
   std::string_view name() const override { return "maxweight"; }
+  bool RequiresUnitDemands() const override { return true; }
   void SelectFlowsInto(const SwitchSpec& sw, Round t,
                        std::span<const PendingFlow> pending,
                        std::vector<int>* picked) override;

@@ -56,6 +56,22 @@ class SchedulingPolicy {
 
   // Clears internal state (e.g. RNG) between simulations.
   virtual void Reset() {}
+
+  // True for matching-based policies (BacklogGraphBuilder expands ports
+  // into unit-capacity replicas, so every flow must have demand 1). The
+  // batch drivers FS_CHECK this deep in the round loop; long-running
+  // callers (src/serve/) ask up front and reject non-unit flows with an
+  // error instead of aborting.
+  virtual bool RequiresUnitDemands() const { return false; }
+
+  // Retirement hook for unbounded streams (src/serve/): after a round, the
+  // streaming simulator reports untagged flows that completed and coflow
+  // groups that fully drained, so policies holding per-flow or per-group
+  // state (src/coflow/) can recycle those slots and keep resident memory
+  // proportional to the live backlog. Batch Simulate() never calls this.
+  // Default no-op: the flow-level policies here key nothing on flow ids.
+  virtual void RetireFlows(std::span<const FlowId> /*completed_untagged*/,
+                           std::span<const CoflowId> /*drained_groups*/) {}
 };
 
 // Buffer-reusing builder for the backlog multigraph over *port replicas*:

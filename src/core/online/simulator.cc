@@ -35,12 +35,10 @@ class ReplayArrivals : public ArrivalProcess {
   bool Exhausted(Round /*t*/) const override { return next_ >= order_.size(); }
 
   Round NextArrivalRound(Round t) const override {
-    // Binary search the sorted release order for the first release >= t;
-    // the simulator then skips the idle gap in one step instead of polling
-    // every empty round.
-    const auto it =
-        std::lower_bound(releases_.begin() + next_, releases_.end(), t);
-    return it == releases_.end() ? t : std::max(t, *it);
+    // Append() has already consumed every release <= the last queried
+    // round, so the first unconsumed release is the next arrival — no
+    // search needed (a lower_bound here could only ever land on next_).
+    return next_ < releases_.size() ? std::max(t, releases_[next_]) : t;
   }
 
  private:
@@ -57,9 +55,12 @@ class ReplayArrivals : public ArrivalProcess {
   std::size_t next_ = 0;
 };
 
-void ValidateSelection(const SwitchSpec& sw,
-                       std::span<const PendingFlow> pending,
-                       std::span<const int> picked, SimulationContext& ctx) {
+}  // namespace
+
+void ValidatePolicySelection(const SwitchSpec& sw,
+                             std::span<const PendingFlow> pending,
+                             std::span<const int> picked,
+                             SimulationContext& ctx) {
   ctx.in_load.assign(sw.num_inputs(), 0);
   ctx.out_load.assign(sw.num_outputs(), 0);
   ctx.used.assign(pending.size(), 0);
@@ -80,8 +81,6 @@ void ValidateSelection(const SwitchSpec& sw,
                  "policy overloaded output port " << q);
   }
 }
-
-}  // namespace
 
 SimulationResult Simulate(const SwitchSpec& sw, ArrivalProcess& arrivals,
                           SchedulingPolicy& policy,
@@ -123,7 +122,9 @@ SimulationResult Simulate(const SwitchSpec& sw, ArrivalProcess& arrivals,
     result.peak_backlog =
         std::max(result.peak_backlog, static_cast<int>(ctx.pending.size()));
     policy.SelectFlowsInto(sw, t, ctx.pending, &ctx.picked);
-    if (options.validate) ValidateSelection(sw, ctx.pending, ctx.picked, ctx);
+    if (options.validate) {
+      ValidatePolicySelection(sw, ctx.pending, ctx.picked, ctx);
+    }
     ctx.remove.assign(ctx.backlog.size(), 0);
     for (int i : ctx.picked) {
       ctx.assigned_round[ctx.pending[i].id] = t;

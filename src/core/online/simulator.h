@@ -56,6 +56,16 @@ SimulationResult Simulate(const SwitchSpec& sw, ArrivalProcess& arrivals,
                           const SimulationOptions& options = {},
                           SimulationContext* context = nullptr);
 
+// Audits one policy selection: in-range indices, no duplicates, no port
+// overloads (aborts via FS_CHECK on violation; three O(backlog + ports)
+// scans). Shared by the batch loop above and the streaming simulator
+// (src/serve/); uses ctx's scratch vectors, so it allocates nothing at
+// steady state.
+void ValidatePolicySelection(const SwitchSpec& sw,
+                             std::span<const PendingFlow> pending,
+                             std::span<const int> picked,
+                             SimulationContext& ctx);
+
 }  // namespace flowsched
 
 #endif  // FLOWSCHED_CORE_ONLINE_SIMULATOR_H_

@@ -35,6 +35,7 @@ class HybridPolicy : public SchedulingPolicy {
  public:
   explicit HybridPolicy(double alpha = 0.5) : alpha_(alpha) {}
   std::string_view name() const override { return "hybrid"; }
+  bool RequiresUnitDemands() const override { return true; }
   void SelectFlowsInto(const SwitchSpec& sw, Round t,
                        std::span<const PendingFlow> pending,
                        std::vector<int>* picked) override;

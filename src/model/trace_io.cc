@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <ostream>
+#include <sstream>
 
 #include "util/csv.h"
 
@@ -31,6 +32,12 @@ bool Fail(std::string* error, const std::string& msg) {
 // ParseCsv, so this is exact for files without them).
 std::string LineTag(std::size_t row_index) {
   return "line " + std::to_string(row_index + 1) + ": ";
+}
+
+// Same tag from a CsvRowReader's physical line number (already 1-based,
+// exact even with blank lines).
+std::string LineTagAt(long long line) {
+  return "line " + std::to_string(line) + ": ";
 }
 
 bool ParseCapacityRow(const std::vector<std::string>& row,
@@ -84,53 +91,94 @@ void WriteInstanceCsv(const Instance& instance, std::ostream& out) {
   }
 }
 
-std::optional<Instance> ReadInstanceCsv(const std::string& content,
-                                        std::string* error) {
-  const auto rows = ParseCsv(content);
-  std::string err;
-  if (rows.size() < 5 || rows[0].empty() || rows[0][0] != "input_capacities" ||
-      rows[2].empty() || rows[2][0] != "output_capacities") {
-    Fail(error, "missing capacity header rows");
-    return std::nullopt;
-  }
+InstanceCsvReader::InstanceCsvReader(std::istream& in) : rows_(in) {
+  auto expect_label = [&](const char* label) {
+    if (!rows_.Next(&row_) || row_.size() != 1 || row_[0] != label) {
+      error_ = "missing capacity header rows";
+      return false;
+    }
+    return true;
+  };
+  auto read_caps = [&](std::vector<Capacity>& caps) {
+    if (!rows_.Next(&row_)) {
+      error_ = "missing capacity header rows";
+      return false;
+    }
+    caps.reserve(row_.size());
+    for (const auto& field : row_) {
+      std::int64_t v = 0;
+      // Reject non-positive values here rather than let SwitchSpec's
+      // capacity >= 1 invariant abort on daemon-supplied input.
+      if (!ParseInt64(field, v) || v < 1) {
+        error_ = LineTagAt(rows_.line()) + "bad capacity: " + field;
+        return false;
+      }
+      caps.push_back(v);
+    }
+    return true;
+  };
   std::vector<Capacity> in_caps;
   std::vector<Capacity> out_caps;
-  if (!ParseCapacityRow(rows[1], 1, in_caps, error)) return std::nullopt;
-  if (!ParseCapacityRow(rows[3], 3, out_caps, error)) return std::nullopt;
+  if (!expect_label("input_capacities") || !read_caps(in_caps) ||
+      !expect_label("output_capacities") || !read_caps(out_caps)) {
+    return;
+  }
+  if (!rows_.Next(&row_)) {
+    error_ = "missing flow header row";
+    return;
+  }
   const std::vector<std::string> header4 = {"src", "dst", "demand", "release"};
   const std::vector<std::string> header5 = {"src", "dst", "demand", "release",
                                             "coflow"};
-  const bool with_coflow = rows[4] == header5;
-  if (!with_coflow && rows[4] != header4) {
-    Fail(error, "missing flow header row");
+  with_coflow_ = row_ == header5;
+  if (!with_coflow_ && row_ != header4) {
+    error_ = "missing flow header row";
+    return;
+  }
+  sw_ = SwitchSpec(std::move(in_caps), std::move(out_caps));
+}
+
+bool InstanceCsvReader::NextFlow(Flow* flow) {
+  if (!error_.empty() || !rows_.Next(&row_)) return false;
+  const std::size_t width = with_coflow_ ? 5 : 4;
+  if (row_.size() != width) {
+    error_ = LineTagAt(rows_.line()) + "flow row has " +
+             std::to_string(row_.size()) + " fields, want " +
+             std::to_string(width) +
+             (with_coflow_ ? " (src,dst,demand,release,coflow)"
+                           : " (src,dst,demand,release)");
+    return false;
+  }
+  Flow e;
+  if (!ParseInt(row_[0], e.src) || !ParseInt(row_[1], e.dst) ||
+      !ParseInt64(row_[2], e.demand) || !ParseInt(row_[3], e.release)) {
+    error_ = LineTagAt(rows_.line()) + "unparsable flow row";
+    return false;
+  }
+  if (with_coflow_ && !row_[4].empty() && !ParseInt(row_[4], e.coflow)) {
+    error_ = LineTagAt(rows_.line()) + "unparsable coflow tag: " + row_[4];
+    return false;
+  }
+  flow->src = e.src;
+  flow->dst = e.dst;
+  flow->demand = e.demand;
+  flow->release = e.release;
+  flow->coflow = e.coflow;
+  return true;
+}
+
+std::optional<Instance> ReadInstanceCsv(const std::string& content,
+                                        std::string* error) {
+  std::istringstream in(content);
+  InstanceCsvReader reader(in);
+  std::vector<Flow> flows;
+  Flow e;
+  while (reader.NextFlow(&e)) flows.push_back(e);
+  if (!reader.ok()) {
+    Fail(error, reader.error());
     return std::nullopt;
   }
-  const std::size_t width = with_coflow ? 5 : 4;
-  std::vector<Flow> flows;
-  flows.reserve(rows.size() - 5);
-  for (std::size_t i = 5; i < rows.size(); ++i) {
-    const auto& row = rows[i];
-    if (row.size() != width) {
-      Fail(error, LineTag(i) + "flow row has " + std::to_string(row.size()) +
-                      " fields, want " + std::to_string(width) +
-                      (with_coflow ? " (src,dst,demand,release,coflow)"
-                                   : " (src,dst,demand,release)"));
-      return std::nullopt;
-    }
-    Flow e;
-    if (!ParseInt(row[0], e.src) || !ParseInt(row[1], e.dst) ||
-        !ParseInt64(row[2], e.demand) || !ParseInt(row[3], e.release)) {
-      Fail(error, LineTag(i) + "unparsable flow row");
-      return std::nullopt;
-    }
-    if (with_coflow && !row[4].empty() && !ParseInt(row[4], e.coflow)) {
-      Fail(error, LineTag(i) + "unparsable coflow tag: " + row[4]);
-      return std::nullopt;
-    }
-    flows.push_back(e);
-  }
-  Instance instance(SwitchSpec(std::move(in_caps), std::move(out_caps)),
-                    std::move(flows));
+  Instance instance(reader.sw(), std::move(flows));
   if (auto verr = instance.ValidationError()) {
     Fail(error, *verr);
     return std::nullopt;

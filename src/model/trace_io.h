@@ -27,16 +27,52 @@
 #ifndef FLOWSCHED_MODEL_TRACE_IO_H_
 #define FLOWSCHED_MODEL_TRACE_IO_H_
 
-#include <iosfwd>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "model/instance.h"
 #include "model/schedule.h"
+#include "util/csv.h"
 
 namespace flowsched {
 
 void WriteInstanceCsv(const Instance& instance, std::ostream& out);
+
+// Line-at-a-time instance-CSV reader: the streaming primitive behind both
+// batch loading (ReadInstanceCsv collects every row) and the serve-path
+// trace source (src/serve/), which pulls one row per arrival and never
+// materializes the file. The constructor consumes the capacity preamble
+// and the flow header; NextFlow() then yields one flow per row. Row-level
+// errors carry the exact 1-based line number (blank lines included —
+// CsvRowReader counts physical lines).
+class InstanceCsvReader {
+ public:
+  // Reads the preamble + header from `in`; on malformed input ok() turns
+  // false and error() explains. `in` must outlive the reader.
+  explicit InstanceCsvReader(std::istream& in);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  const SwitchSpec& sw() const { return sw_; }
+  bool with_coflow() const { return with_coflow_; }
+
+  // Parses the next flow row into *flow (id left untouched — callers
+  // number flows). Returns false at end of input or on a malformed row;
+  // check ok() to distinguish. Per-flow model validation (port ranges,
+  // demand bounds) is the caller's concern.
+  bool NextFlow(Flow* flow);
+
+  // 1-based line number of the row the last NextFlow() returned.
+  long long line() const { return rows_.line(); }
+
+ private:
+  CsvRowReader rows_;
+  SwitchSpec sw_;
+  bool with_coflow_ = false;
+  std::string error_;
+  std::vector<std::string> row_;
+};
 
 // Parses an instance written by WriteInstanceCsv. Returns nullopt and fills
 // `error` (if non-null) on malformed input; row-level errors carry the

@@ -1,0 +1,56 @@
+// Pull-based flow sources for the streaming scheduler service.
+//
+// A StreamingFlowSource hands the StreamingSimulator one round of arrivals
+// at a time, so nothing on this path ever materializes the whole stream:
+// the memory contract is that a source buffers at most a *bounded arrival
+// window* — generator sources hold the next nonempty round they have drawn
+// ahead to, the trace source holds a single lookahead row. Exhausted() and
+// NextArrivalRound() may read or draw ahead within that window (which is
+// why they are non-const); what they buffer is later emitted verbatim by
+// ArrivalsInto().
+//
+// Determinism contract: driving the StreamingSimulator from a source over
+// a finite stream yields results bit-identical to batch Simulate() on the
+// materialized instance (locked by tests/serve/). Generator sources
+// guarantee this by consuming the generator RNG round-by-round in exactly
+// the batch order (workload/ Append*Round primitives).
+#ifndef FLOWSCHED_SERVE_FLOW_SOURCE_H_
+#define FLOWSCHED_SERVE_FLOW_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "model/instance.h"
+
+namespace flowsched {
+
+class StreamingFlowSource {
+ public:
+  virtual ~StreamingFlowSource() = default;
+
+  // The switch the stream runs on; fixed for the source's lifetime.
+  virtual const SwitchSpec& sw() const = 0;
+
+  // Appends every not-yet-emitted flow released at rounds <= t to *out
+  // (ids are assigned downstream, releases are clamped to the round the
+  // simulator admits them in). Called with strictly increasing t.
+  virtual void ArrivalsInto(Round t, std::vector<Flow>* out) = 0;
+
+  // True when no arrival remains at any round >= t. May scan or draw ahead
+  // (bounded window) to answer.
+  virtual bool Exhausted(Round t) = 0;
+
+  // Earliest round >= t that carries an arrival; t when none is known.
+  // Lets the simulator fast-forward idle gaps instead of spinning round by
+  // round (the hoisted replacement for ReplayArrivals' internal search).
+  virtual Round NextArrivalRound(Round t) = 0;
+
+  // Sources that can fail mid-stream (trace parse errors, out-of-order
+  // rows) report here; the simulator stops pulling when ok() turns false.
+  virtual bool ok() const { return true; }
+  virtual std::string error() const { return std::string(); }
+};
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_SERVE_FLOW_SOURCE_H_

@@ -1,0 +1,135 @@
+// StreamingSimulator: the round loop of core/online/simulator.cc rebuilt
+// for unbounded streams.
+//
+// Differences from batch Simulate():
+//   * arrivals are pulled from a StreamingFlowSource (or injected by the
+//     wire protocol) instead of replayed from a materialized Instance;
+//   * completed flows retire immediately — their response is folded into
+//     StreamingMetrics and their per-flow state (backlog slot, coflow
+//     group slot via SchedulingPolicy::RetireFlows) is released, so
+//     resident memory is O(live flows), not O(all flows);
+//   * hitting the round cap truncates the run (summary.truncated) instead
+//     of aborting — a daemon must not FS_CHECK-die on a long stream.
+//
+// Everything else mirrors the batch loop exactly — arrival admission
+// order, id assignment, idle-gap fast-forward, termination round — so on
+// a finite input the realized schedule and the exact aggregates (flows,
+// rounds, total/max response, peak backlog, utilization, total CCT) are
+// bit-identical to batch Simulate() (locked by tests/serve/).
+//
+// Coflow streaming caveat: a group is retired the moment its last live
+// member completes. If a trace releases more members of the same tag
+// *after* the group fully drained, the streaming run treats them as a new
+// group while batch CoflowSet sees one — keep a coflow's members' releases
+// ahead of its drain (true for the clustered generator, which releases
+// whole coflows in one round).
+#ifndef FLOWSCHED_SERVE_STREAMING_SIMULATOR_H_
+#define FLOWSCHED_SERVE_STREAMING_SIMULATOR_H_
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/online/simulation_context.h"
+#include "core/online/simulator.h"
+#include "serve/flow_source.h"
+#include "serve/streaming_metrics.h"
+
+namespace flowsched {
+
+struct StreamingOptions {
+  Round max_rounds = -1;  // < 0: run until the source exhausts and drains.
+  bool validate = true;   // Audit every selection (see SimulationOptions).
+  // Emit a JSONL stats line to *stats_out every stats_every rounds (the
+  // tumbling-window cadence); 0 disables periodic emission.
+  Round stats_every = 0;
+  std::ostream* stats_out = nullptr;
+  // When set, every round with selections emits "MATCH <t> <id>..." here.
+  std::ostream* match_out = nullptr;
+};
+
+struct StreamingSummary {
+  long long flows = 0;      // Completed flows.
+  long long arrived = 0;    // Admitted flows (== flows unless truncated).
+  Round rounds = 0;         // Mirrors batch SimulationResult::rounds.
+  double total_response = 0.0;  // Exact (integer-valued summands).
+  double mean_response = 0.0;
+  double max_response = 0.0;
+  double stddev_response = 0.0;  // Welford estimate of the sample stddev.
+  double p50_response = 0.0;     // P² estimates, not exact percentiles.
+  double p95_response = 0.0;
+  double p99_response = 0.0;
+  int peak_backlog = 0;
+  double avg_port_utilization = 0.0;
+  long long coflows = 0;  // Drained groups, singletons included.
+  double total_cct = 0.0;
+  double mean_cct = 0.0;
+  double max_cct = 0.0;
+  bool truncated = false;     // Hit max_rounds with flows still pending.
+  bool source_error = false;  // The source failed mid-stream (see error).
+  std::string error;
+
+  // The summary as one JSON object line (no trailing newline); schema in
+  // docs/serve-protocol.md.
+  std::string ToJson() const;
+};
+
+class StreamingSimulator {
+ public:
+  StreamingSimulator(const SwitchSpec& sw, SchedulingPolicy& policy,
+                     const StreamingOptions& options = {});
+
+  // Pull mode: drives `source` until it exhausts and the backlog drains
+  // (or max_rounds truncates). One-shot per simulator instance.
+  StreamingSummary Run(StreamingFlowSource& source);
+
+  // Wire mode: inject arrivals for the current round, then Step() once per
+  // TICK. Injected flows keep their caller-chosen id (must be unique among
+  // live flows) and are released at the current round.
+  Round round() const { return round_; }
+  bool Inject(const Flow& flow, std::string* error);
+  void Step();
+  std::size_t backlog_size() const { return ctx_.backlog.size(); }
+
+  // Current stats line (wire STATS command); resets the tumbling window.
+  std::string StatsLine();
+  // Summary of everything processed so far (wire STOP / EOF).
+  StreamingSummary Summarize() const;
+
+ private:
+  void Admit(Flow f);       // Appends to backlog + group tracking.
+  void RunRound();          // Policy -> validate -> emit -> retire.
+  void EmitPeriodicStats();
+
+  struct GroupState {
+    long long live = 0;
+    Round arrival = 0;
+  };
+
+  const SwitchSpec& sw_;
+  SchedulingPolicy& policy_;
+  StreamingOptions options_;
+  SimulationContext ctx_;
+  StreamingMetrics metrics_;
+  Round round_ = 0;
+  FlowId next_id_ = 0;  // Pull-mode ids, dense in arrival order.
+  long long arrived_ = 0;
+  long long completed_ = 0;
+  long long coflows_completed_ = 0;
+  double arrived_demand_ = 0.0;
+  int peak_backlog_ = 0;
+  bool truncated_ = false;
+  bool source_error_ = false;
+  std::string error_;
+  std::unordered_map<CoflowId, GroupState> groups_;  // Live tagged groups.
+  std::unordered_set<FlowId> live_ids_;              // Wire mode only.
+  bool wire_mode_ = false;
+  std::vector<FlowId> completed_untagged_;  // Per-round retirement scratch.
+  std::vector<CoflowId> drained_groups_;
+};
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_SERVE_STREAMING_SIMULATOR_H_

@@ -1,0 +1,91 @@
+#include "serve/wire_protocol.h"
+
+#include <charconv>
+#include <vector>
+
+namespace flowsched {
+namespace {
+
+bool Fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+void Tokenize(const std::string& line, std::vector<std::string>* tokens) {
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                               line[i] == '\r')) {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != '\r') {
+      ++i;
+    }
+    if (i > start) tokens->push_back(line.substr(start, i - start));
+  }
+}
+
+bool ParseInt64(const std::string& s, std::int64_t& out) {
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
+}
+
+}  // namespace
+
+bool ParseWireLine(const std::string& line, WireCommand* command,
+                   std::string* error) {
+  command->kind = WireCommand::Kind::kNone;
+  command->flow = Flow{};
+  std::vector<std::string> tokens;
+  Tokenize(line, &tokens);
+  if (tokens.empty() || tokens[0][0] == '#') return true;  // kNone.
+  const std::string& verb = tokens[0];
+  if (verb == "TICK" || verb == "STATS" || verb == "STOP") {
+    if (tokens.size() != 1) {
+      return Fail(error, verb + " takes no arguments");
+    }
+    command->kind = verb == "TICK"    ? WireCommand::Kind::kTick
+                    : verb == "STATS" ? WireCommand::Kind::kStats
+                                      : WireCommand::Kind::kStop;
+    return true;
+  }
+  if (verb == "ARRIVE") {
+    if (tokens.size() != 5 && tokens.size() != 6) {
+      return Fail(error,
+                  "ARRIVE wants: ARRIVE <id> <src> <dst> <size> [coflow]");
+    }
+    std::int64_t id = 0, src = 0, dst = 0, size = 0, coflow = 0;
+    if (!ParseInt64(tokens[1], id) || !ParseInt64(tokens[2], src) ||
+        !ParseInt64(tokens[3], dst) || !ParseInt64(tokens[4], size) ||
+        (tokens.size() == 6 && !ParseInt64(tokens[5], coflow))) {
+      return Fail(error, "ARRIVE arguments must be decimal integers");
+    }
+    constexpr std::int64_t kMaxId = 2147483647;  // FlowId/CoflowId are int.
+    if (id < 0 || id > kMaxId) {
+      return Fail(error, "ARRIVE id must be in [0, 2^31)");
+    }
+    if (src < 0 || src > kMaxId || dst < 0 || dst > kMaxId) {
+      return Fail(error, "ARRIVE ports must be in [0, 2^31)");
+    }
+    if (size < 1) return Fail(error, "ARRIVE size must be >= 1");
+    if (tokens.size() == 6 && (coflow < 0 || coflow > kMaxId)) {
+      return Fail(error, "ARRIVE coflow tag must be in [0, 2^31)");
+    }
+    command->kind = WireCommand::Kind::kArrive;
+    command->flow.id = static_cast<FlowId>(id);
+    command->flow.src = static_cast<PortId>(src);
+    command->flow.dst = static_cast<PortId>(dst);
+    command->flow.demand = size;
+    command->flow.coflow =
+        tokens.size() == 6 ? static_cast<CoflowId>(coflow) : kNoCoflow;
+    return true;
+  }
+  return Fail(error, "unknown command \"" + verb +
+                         "\" (want ARRIVE, TICK, STATS, or STOP)");
+}
+
+}  // namespace flowsched

@@ -6,6 +6,7 @@
 #ifndef FLOWSCHED_UTIL_CSV_H_
 #define FLOWSCHED_UTIL_CSV_H_
 
+#include <istream>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -45,6 +46,31 @@ class CsvWriter {
 
 // Parses CSV content into rows of fields. Handles quoted fields.
 std::vector<std::vector<std::string>> ParseCsv(std::string_view content);
+
+// Line-at-a-time CSV row reader over an std::istream: the streaming
+// counterpart of ParseCsv, shared by the batch trace parsers and the
+// streaming trace source so a multi-gigabyte trace never has to be
+// materialized (or even fully read) to start serving rows. Same dialect as
+// ParseCsv: quoted fields (which may span lines), '\r' stripped, blank
+// lines skipped.
+class CsvRowReader {
+ public:
+  explicit CsvRowReader(std::istream& in) : in_(in) {}
+
+  // Overwrites *row with the next non-blank row; false at end of input.
+  bool Next(std::vector<std::string>* row);
+
+  // 1-based line number where the row returned by the last Next() started
+  // (0 before the first call). Exact even when the file has blank lines —
+  // this is what error messages should report.
+  long long line() const { return row_line_; }
+
+ private:
+  std::istream& in_;
+  std::string buffer_;       // Current physical line(s) being parsed.
+  long long next_line_ = 0;  // Lines consumed from in_ so far.
+  long long row_line_ = 0;
+};
 
 }  // namespace flowsched
 

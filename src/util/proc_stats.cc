@@ -1,0 +1,30 @@
+#include "util/proc_stats.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace flowsched {
+
+long long PeakRssKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  long long kb = -1;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      std::sscanf(line + 6, "%lld", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+bool ResetPeakRss() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+}
+
+}  // namespace flowsched

@@ -39,32 +39,44 @@ double MeanCoflowWidth(const CoflowGenConfig& config) {
   return mean / weight_sum;
 }
 
+void AppendCoflowRound(const CoflowGenConfig& config, Round t, Rng& rng,
+                       CoflowId* next_coflow, std::vector<Flow>* out) {
+  const int span = config.max_width - config.min_width + 1;
+  const auto demand_cap =
+      static_cast<int>(std::min(config.max_demand, config.port_capacity));
+  const int arrivals = rng.Poisson(config.mean_coflows_per_round);
+  for (int c = 0; c < arrivals; ++c) {
+    const int width =
+        config.width_skew >= 1.0
+            ? rng.UniformInt(config.min_width, config.max_width)
+            : config.min_width - 1 +
+                  rng.TruncatedGeometric(config.width_skew, span);
+    const CoflowId coflow = (*next_coflow)++;
+    for (int k = 0; k < width; ++k) {
+      Flow e;
+      e.src = rng.UniformInt(0, config.num_inputs - 1);
+      e.dst = rng.UniformInt(0, config.num_outputs - 1);
+      e.demand = demand_cap > 1 ? rng.UniformInt(1, demand_cap) : 1;
+      e.release = t;
+      e.coflow = coflow;
+      out->push_back(e);
+    }
+  }
+}
+
 Instance GenerateCoflows(const CoflowGenConfig& config) {
   ValidateConfig(config);
   Rng rng(config.seed);
   Instance instance(SwitchSpec::Uniform(config.num_inputs, config.num_outputs,
                                         config.port_capacity),
                     {});
-  const int span = config.max_width - config.min_width + 1;
-  const auto demand_cap = static_cast<int>(
-      std::min(config.max_demand, config.port_capacity));
   CoflowId next_coflow = 0;
+  std::vector<Flow> round;
   for (Round t = 0; t < config.num_rounds; ++t) {
-    const int arrivals = rng.Poisson(config.mean_coflows_per_round);
-    for (int c = 0; c < arrivals; ++c) {
-      const int width =
-          config.width_skew >= 1.0
-              ? rng.UniformInt(config.min_width, config.max_width)
-              : config.min_width - 1 +
-                    rng.TruncatedGeometric(config.width_skew, span);
-      const CoflowId coflow = next_coflow++;
-      for (int k = 0; k < width; ++k) {
-        const PortId src = rng.UniformInt(0, config.num_inputs - 1);
-        const PortId dst = rng.UniformInt(0, config.num_outputs - 1);
-        const Capacity demand =
-            demand_cap > 1 ? rng.UniformInt(1, demand_cap) : 1;
-        instance.AddFlow(src, dst, demand, t, coflow);
-      }
+    round.clear();
+    AppendCoflowRound(config, t, rng, &next_coflow, &round);
+    for (const Flow& e : round) {
+      instance.AddFlow(e.src, e.dst, e.demand, e.release, e.coflow);
     }
   }
   FS_CHECK(!instance.ValidationError().has_value());

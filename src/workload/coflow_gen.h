@@ -11,8 +11,10 @@
 #define FLOWSCHED_WORKLOAD_COFLOW_GEN_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "model/instance.h"
+#include "util/rng.h"
 
 namespace flowsched {
 
@@ -36,6 +38,15 @@ struct CoflowGenConfig {
 // Generates a random coflow instance; deterministic in `config.seed`.
 // Flows appear in release order, grouped by coflow, coflow ids dense from 0.
 Instance GenerateCoflows(const CoflowGenConfig& config);
+
+// Appends round t's coflow arrivals to *out (release = t, coflow tags
+// allocated from *next_coflow, ids left at 0), drawing from `rng` exactly
+// as GenerateCoflows does for one round — the sharing point with the
+// streaming source (src/serve/), which replays the identical instance on
+// finite runs. `config.num_rounds` is ignored; pacing belongs to the
+// caller. Precondition: config already validated.
+void AppendCoflowRound(const CoflowGenConfig& config, Round t, Rng& rng,
+                       CoflowId* next_coflow, std::vector<Flow>* out);
 
 // Expected coflow width under `config`'s distribution. Drivers use this to
 // translate a per-port flow load into mean_coflows_per_round:

@@ -7,6 +7,22 @@
 
 namespace flowsched {
 
+void AppendPoissonRound(const PoissonConfig& config, Round t, Rng& rng,
+                        std::vector<Flow>* out) {
+  const int arrivals = rng.Poisson(config.mean_arrivals_per_round);
+  for (int k = 0; k < arrivals; ++k) {
+    Flow e;
+    e.src = rng.UniformInt(0, config.num_inputs - 1);
+    e.dst = rng.UniformInt(0, config.num_outputs - 1);
+    if (config.max_demand > 1) {
+      const Capacity kappa = std::min(config.port_capacity, config.max_demand);
+      e.demand = rng.UniformInt(1, static_cast<int>(kappa));
+    }
+    e.release = t;
+    out->push_back(e);
+  }
+}
+
 Instance GeneratePoisson(const PoissonConfig& config) {
   FS_CHECK_GT(config.num_inputs, 0);
   FS_CHECK_GT(config.num_outputs, 0);
@@ -17,17 +33,12 @@ Instance GeneratePoisson(const PoissonConfig& config) {
   Instance instance(SwitchSpec::Uniform(config.num_inputs, config.num_outputs,
                                         config.port_capacity),
                     {});
+  std::vector<Flow> round;
   for (Round t = 0; t < config.num_rounds; ++t) {
-    const int arrivals = rng.Poisson(config.mean_arrivals_per_round);
-    for (int k = 0; k < arrivals; ++k) {
-      const PortId src = rng.UniformInt(0, config.num_inputs - 1);
-      const PortId dst = rng.UniformInt(0, config.num_outputs - 1);
-      Capacity demand = 1;
-      if (config.max_demand > 1) {
-        const Capacity kappa = std::min(config.port_capacity, config.max_demand);
-        demand = rng.UniformInt(1, static_cast<int>(kappa));
-      }
-      instance.AddFlow(src, dst, demand, t);
+    round.clear();
+    AppendPoissonRound(config, t, rng, &round);
+    for (const Flow& e : round) {
+      instance.AddFlow(e.src, e.dst, e.demand, e.release);
     }
   }
   FS_CHECK(!instance.ValidationError().has_value());

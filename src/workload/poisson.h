@@ -5,8 +5,10 @@
 #define FLOWSCHED_WORKLOAD_POISSON_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "model/instance.h"
+#include "util/rng.h"
 
 namespace flowsched {
 
@@ -24,6 +26,17 @@ struct PoissonConfig {
 
 // Generates a random instance; deterministic in `config.seed`.
 Instance GeneratePoisson(const PoissonConfig& config);
+
+// Appends round t's arrivals to *out (release = t, ids left at 0 — callers
+// number flows), drawing from `rng` exactly as GeneratePoisson does for one
+// round. This is the sharing point between the batch generator and the
+// streaming source (src/serve/): both consume the same RNG stream, so a
+// finite streaming run replays the identical instance. `config.num_rounds`
+// is ignored — pacing belongs to the caller. Precondition: config already
+// validated (GeneratePoisson's checks); this runs once per round in the
+// steady-state loop and re-checks nothing.
+void AppendPoissonRound(const PoissonConfig& config, Round t, Rng& rng,
+                        std::vector<Flow>* out);
 
 }  // namespace flowsched
 

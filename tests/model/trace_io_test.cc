@@ -207,5 +207,57 @@ TEST(TraceIoTest, ScheduleRejectsOutOfRangeId) {
   EXPECT_NE(error.find("out of range"), std::string::npos);
 }
 
+TEST(TraceIoTest, MalformedRowDeepInALargeTraceReportsItsExactLine) {
+  // 5000 good rows, then one with a non-numeric demand. The shared
+  // line-at-a-time row reader must keep exact physical line numbers at any
+  // depth — flows start at line 6 after the two capacity sections and the
+  // header, so row i sits on line 6 + i.
+  std::ostringstream content;
+  content << "input_capacities\n1,1\noutput_capacities\n1,1\n"
+             "src,dst,demand,release\n";
+  for (int i = 0; i < 5000; ++i) content << (i % 2) << ",1,1," << i << "\n";
+  content << "0,1,oops,5000\n";
+  std::string error;
+  EXPECT_FALSE(ReadInstanceCsv(content.str(), &error).has_value());
+  EXPECT_NE(error.find("line 5006"), std::string::npos) << error;
+  EXPECT_NE(error.find("unparsable flow row"), std::string::npos) << error;
+}
+
+TEST(TraceIoTest, InstanceCsvReaderStreamsFlowsOneAtATime) {
+  Instance instance(SwitchSpec({2, 1}, {1, 2}), {});
+  instance.AddFlow(0, 1, 2, 0, 3);
+  instance.AddFlow(1, 0, 1, 4);
+  std::ostringstream out;
+  WriteInstanceCsv(instance, out);
+  std::istringstream in(out.str());
+  InstanceCsvReader reader(in);
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(reader.sw(), instance.sw());
+  EXPECT_TRUE(reader.with_coflow());
+  Flow flow;
+  ASSERT_TRUE(reader.NextFlow(&flow));
+  EXPECT_EQ(flow.src, 0);
+  EXPECT_EQ(flow.demand, 2);
+  EXPECT_EQ(flow.coflow, 3);
+  ASSERT_TRUE(reader.NextFlow(&flow));
+  EXPECT_EQ(flow.src, 1);
+  EXPECT_EQ(flow.coflow, kNoCoflow);
+  EXPECT_FALSE(reader.NextFlow(&flow));  // Clean EOF...
+  EXPECT_TRUE(reader.ok());              // ...is not an error.
+}
+
+TEST(TraceIoTest, InstanceCsvReaderRejectsBadCapacityWithoutAborting) {
+  // A zero capacity must surface as a parse error (SwitchSpec would
+  // FS_CHECK-abort on it — fatal for a daemon fed untrusted traces).
+  std::istringstream in(
+      "input_capacities\n1,0\noutput_capacities\n1,1\n"
+      "src,dst,demand,release\n");
+  InstanceCsvReader reader(in);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("line 2"), std::string::npos)
+      << reader.error();
+  EXPECT_NE(reader.error().find("bad capacity"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace flowsched

@@ -1,0 +1,72 @@
+#include "serve/streaming_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/stats.h"
+
+namespace flowsched {
+namespace {
+
+TEST(StreamingDistributionTest, TracksTotalsAndWindowIndependently) {
+  StreamingDistribution d;
+  d.Add(2.0);
+  d.Add(4.0);
+  EXPECT_EQ(d.total().count(), 2u);
+  EXPECT_EQ(d.window().count(), 2u);
+  d.ResetWindow();
+  d.Add(10.0);
+  EXPECT_EQ(d.total().count(), 3u);
+  EXPECT_DOUBLE_EQ(d.total().sum(), 16.0);
+  EXPECT_EQ(d.window().count(), 1u);
+  EXPECT_DOUBLE_EQ(d.window().mean(), 10.0);
+}
+
+TEST(StreamingDistributionTest, QuantileEstimatesConvergeOnUniformRamp) {
+  StreamingDistribution d;
+  // 1..1000 in a deterministic scrambled order (stride coprime to 1000).
+  for (int i = 0; i < 1000; ++i) d.Add(static_cast<double>(i * 7 % 1000 + 1));
+  EXPECT_NEAR(d.p50(), 500.0, 25.0);
+  EXPECT_NEAR(d.p95(), 950.0, 25.0);
+  EXPECT_NEAR(d.p99(), 990.0, 15.0);
+}
+
+TEST(StreamingMetricsTest, StatsLineCarriesRoundBacklogAndCounts) {
+  StreamingMetrics m;
+  m.RecordResponse(3.0);
+  m.RecordResponse(5.0);
+  m.RecordCct(5.0);
+  const std::string line = m.StatsLine(41, 7);
+  EXPECT_EQ(line.rfind("{\"round\":41,\"backlog\":7,", 0), 0u) << line;
+  EXPECT_NE(line.find("\"resp_count\":2"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"resp_mean\":4"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"resp_max\":5"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"cct_count\":1"), std::string::npos) << line;
+  EXPECT_EQ(line.back(), '}');
+}
+
+TEST(StreamingMetricsTest, StatsLineResetsTheTumblingWindow) {
+  StreamingMetrics m;
+  m.RecordResponse(8.0);
+  (void)m.StatsLine(0, 0);
+  m.RecordResponse(2.0);
+  const std::string line = m.StatsLine(1, 0);
+  // Cumulative side remembers both; the window only sees the new sample.
+  EXPECT_NE(line.find("\"resp_count\":2"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"resp_win_count\":1"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"resp_win_mean\":2"), std::string::npos) << line;
+}
+
+TEST(P2QuantileTest, ExactBelowFiveObservations) {
+  P2Quantile q(0.5);
+  EXPECT_DOUBLE_EQ(q.Estimate(), 0.0);  // Empty.
+  q.Add(30.0);
+  EXPECT_DOUBLE_EQ(q.Estimate(), 30.0);
+  q.Add(10.0);
+  q.Add(20.0);
+  EXPECT_DOUBLE_EQ(q.Estimate(), 20.0);  // Nearest-rank median of 3.
+}
+
+}  // namespace
+}  // namespace flowsched

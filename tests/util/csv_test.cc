@@ -45,5 +45,56 @@ TEST(CsvTest, ParseEmptyContent) {
   EXPECT_TRUE(ParseCsv("").empty());
 }
 
+TEST(CsvRowReaderTest, StreamsRowsWithExactLineNumbers) {
+  std::istringstream in("a,b\n\n1,2\r\n\n\n3,4");  // No trailing newline.
+  CsvRowReader reader(in);
+  std::vector<std::string> row;
+  EXPECT_EQ(reader.line(), 0);
+  ASSERT_TRUE(reader.Next(&row));
+  EXPECT_EQ(row, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(reader.line(), 1);
+  ASSERT_TRUE(reader.Next(&row));
+  EXPECT_EQ(row, (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(reader.line(), 3);  // Blank line 2 skipped but counted.
+  ASSERT_TRUE(reader.Next(&row));
+  EXPECT_EQ(row, (std::vector<std::string>{"3", "4"}));
+  EXPECT_EQ(reader.line(), 6);
+  EXPECT_FALSE(reader.Next(&row));
+}
+
+TEST(CsvRowReaderTest, QuotedFieldsMaySpanLines) {
+  std::istringstream in("x,\"two\nlines\",z\nnext,row\n");
+  CsvRowReader reader(in);
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.Next(&row));
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[1], "two\nlines");
+  EXPECT_EQ(reader.line(), 1);  // The row *starts* on line 1.
+  ASSERT_TRUE(reader.Next(&row));
+  EXPECT_EQ(row, (std::vector<std::string>{"next", "row"}));
+  EXPECT_EQ(reader.line(), 3);  // The quoted row consumed lines 1-2.
+}
+
+TEST(CsvRowReaderTest, AgreesWithParseCsvOnSharedDialect) {
+  const std::string content = "p,\"q\"\"q\",r\n,,\nlast\n";
+  const auto want = ParseCsv(content);
+  std::istringstream in(content);
+  CsvRowReader reader(in);
+  std::vector<std::vector<std::string>> got;
+  std::vector<std::string> row;
+  while (reader.Next(&row)) got.push_back(row);
+  EXPECT_EQ(got, want);
+}
+
+TEST(CsvRowReaderTest, EmptyInputYieldsNoRows) {
+  std::istringstream in("");
+  CsvRowReader reader(in);
+  std::vector<std::string> row;
+  EXPECT_FALSE(reader.Next(&row));
+  std::istringstream blanks("\n\n\n");
+  CsvRowReader reader2(blanks);
+  EXPECT_FALSE(reader2.Next(&row));
+}
+
 }  // namespace
 }  // namespace flowsched

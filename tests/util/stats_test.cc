@@ -56,6 +56,57 @@ TEST(StatsTest, MeanAndMax) {
   EXPECT_DOUBLE_EQ(Max(v), 8.0);
 }
 
+TEST(P2QuantileTest, EmptyAndSmallSamplesAreExact) {
+  P2Quantile q(0.99);
+  EXPECT_DOUBLE_EQ(q.Estimate(), 0.0);
+  q.Add(7.0);
+  EXPECT_DOUBLE_EQ(q.Estimate(), 7.0);
+  q.Add(3.0);
+  q.Add(5.0);
+  q.Add(1.0);
+  // Below five observations the estimate is the exact nearest-rank value.
+  EXPECT_DOUBLE_EQ(q.Estimate(), 7.0);
+  EXPECT_EQ(q.count(), 4u);
+}
+
+TEST(P2QuantileTest, MedianOfSmallSampleIsNearestRank) {
+  P2Quantile q(0.5);
+  q.Add(30.0);
+  q.Add(10.0);
+  q.Add(20.0);
+  EXPECT_DOUBLE_EQ(q.Estimate(), 20.0);
+}
+
+TEST(P2QuantileTest, TracksQuantilesOfALongStream) {
+  // 1..10000 in scrambled order (stride 77 is coprime to 10000). P² keeps
+  // five markers, so compare against the exact quantile with a small
+  // relative tolerance.
+  P2Quantile p50(0.5);
+  P2Quantile p95(0.95);
+  P2Quantile p99(0.99);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = static_cast<double>(i * 77 % 10000 + 1);
+    p50.Add(x);
+    p95.Add(x);
+    p99.Add(x);
+  }
+  EXPECT_NEAR(p50.Estimate(), 5000.0, 100.0);
+  EXPECT_NEAR(p95.Estimate(), 9500.0, 100.0);
+  EXPECT_NEAR(p99.Estimate(), 9900.0, 60.0);
+  EXPECT_EQ(p50.count(), 10000u);
+}
+
+TEST(P2QuantileTest, ExtremesClampIntoEndMarkers) {
+  P2Quantile q(0.5);
+  for (double x : {5.0, 6.0, 7.0, 8.0, 9.0}) q.Add(x);
+  q.Add(-100.0);  // Below the lowest marker.
+  q.Add(1000.0);  // Above the highest.
+  const double e = q.Estimate();
+  EXPECT_GE(e, -100.0);
+  EXPECT_LE(e, 1000.0);
+  EXPECT_EQ(q.count(), 7u);
+}
+
 TEST(StatsTest, IntHistogramClampsToLastBucket) {
   const std::vector<double> v = {0.0, 1.0, 1.0, 2.0, 9.0};
   const auto h = IntHistogram(v, 3);

@@ -36,14 +36,38 @@ for build_type in Debug Release; do
     cmp "${build_dir}/SWEEP_smoke_j1.json" "${build_dir}/SWEEP_smoke_j2.json"
     cmp "${build_dir}/SWEEP_smoke_j1.csv" "${build_dir}/SWEEP_smoke_j2.csv"
     echo "sweep smoke written to ${build_dir}/SWEEP_smoke.json (jobs=1/2 reports identical)"
+    # Streaming service: the daemon's self-check replays a ~6k-flow
+    # instance through the trace and wire paths and requires schedules and
+    # aggregates bit-identical to batch Simulate.
+    "./${build_dir}/tools/flowsched_serve" --smoke
+    "./${build_dir}/tools/flowsched_serve" --smoke --policy=coflow.sebf
+    # And a trace piped through stdin end to end: every output line must be
+    # MATCH / stats JSONL / DONE, with a clean final summary.
+    { printf 'input_capacities\n1,1,1,1,1,1,1,1\n'
+      printf 'output_capacities\n1,1,1,1,1,1,1,1\n'
+      printf 'src,dst,demand,release\n'
+      awk 'BEGIN{for(i=0;i<5000;i++) printf "%d,%d,1,%d\n", i%8, (i*3)%8, int(i/16)}'
+    } | "./${build_dir}/tools/flowsched_serve" --trace=- --stats-every=100 \
+        > "${build_dir}/serve_stdin.out"
+    if grep -vEq '^(MATCH [0-9]+( [0-9]+)+|\{"round":|DONE \{)' \
+        "${build_dir}/serve_stdin.out"; then
+      echo "error: malformed flowsched_serve output line:" >&2
+      grep -vE '^(MATCH [0-9]+( [0-9]+)+|\{"round":|DONE \{)' \
+          "${build_dir}/serve_stdin.out" | head -3 >&2
+      exit 1
+    fi
+    tail -n 1 "${build_dir}/serve_stdin.out" \
+      | grep -q '^DONE {"flows":5000,"arrived":5000,' \
+      || { echo "error: flowsched_serve stdin summary wrong" >&2; exit 1; }
+    echo "serve smoke ok: streaming == batch, stdin trace served cleanly"
   fi
 done
 
-echo "=== Debug ASan/UBSan (coflow + fabric + workload + model) ==="
+echo "=== Debug ASan/UBSan (coflow + fabric + workload + model + serve) ==="
 cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DFLOWSCHED_SANITIZE=address,undefined \
     -DFLOWSCHED_BUILD_BENCHES=OFF -DFLOWSCHED_BUILD_EXAMPLES=OFF
 cmake --build build-ci-asan -j "$(nproc)"
 (cd build-ci-asan && ctest --output-on-failure -j "$(nproc)" \
-    -R 'coflow|fabric|workload|model')
+    -R 'coflow|fabric|workload|model|serve')
 echo "CI OK"

@@ -34,8 +34,12 @@
 
 #include "api/instance_source.h"
 #include "api/registry.h"
+#include "api/stream_source.h"
 #include "graph/edge_coloring.h"
+#include "serve/daemon.h"
+#include "serve/streaming_simulator.h"
 #include "util/json.h"
+#include "util/proc_stats.h"
 #include "util/provenance.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -78,6 +82,11 @@ struct BenchCell {
   double avg_response = 0.0;
   double max_response = 0.0;
   long long makespan = 0;
+  // VmHWM across the cell's repeats (watermark reset per cell); -1 when
+  // the kernel doesn't support per-interval resets. Batch cells hold the
+  // whole instance + schedule; stream: cells quantify the O(live flows)
+  // memory of the serve path on the same traffic.
+  long long peak_rss_kb = -1;
 };
 
 struct KernelCell {
@@ -91,6 +100,10 @@ struct KernelCell {
 struct SuiteSpec {
   std::string name;
   std::vector<std::string> instances;
+  // Generator specs run through the streaming service (src/serve/) with
+  // online.srpt — same traffic as the matching batch cell, so the
+  // peak_rss_kb columns are directly comparable.
+  std::vector<std::string> streams;
   // Dense multigraph for the edge-coloring kernel comparison.
   int coloring_side = 0;
   int coloring_edges = 0;
@@ -114,6 +127,10 @@ SuiteSpec MakeSuite(const std::string& name) {
             "fig4a:phase=128,total=1024",
             "fig4b",
         },
+        {
+            "poisson:ports=256,load=1.0,rounds=195,seed=1",
+            "poisson:ports=64,load=0.9,rounds=100000,seed=1",
+        },
         /*coloring_side=*/256,
         /*coloring_edges=*/200000,
     };
@@ -128,6 +145,9 @@ SuiteSpec MakeSuite(const std::string& name) {
             "coflow:ports=32,load=1.0,rounds=40,width=6,skew=0.7,seed=1",
             "incast:ports=32,fanin=31",
             "fig4b",
+        },
+        {
+            "poisson:ports=32,load=1.0,rounds=40,seed=1",
         },
         /*coloring_side=*/64,
         /*coloring_edges=*/4000,
@@ -162,6 +182,7 @@ BenchCell RunCell(const std::string& instance_spec, const Instance& instance,
   SolveOptions options;
   options.seed = seed;
   options.params["validate"] = "0";
+  ResetPeakRss();
   for (int rep = 0; rep < repeat; ++rep) {
     const std::uint64_t allocs_before =
         g_alloc_count.load(std::memory_order_relaxed);
@@ -196,6 +217,59 @@ BenchCell RunCell(const std::string& instance_spec, const Instance& instance,
   if (cell.wall_seconds > 0.0 && cell.rounds > 0) {
     cell.rounds_per_sec = static_cast<double>(cell.rounds) / cell.wall_seconds;
   }
+  cell.peak_rss_kb = PeakRssKb();
+  return cell;
+}
+
+// One generator spec through the streaming service. The spec never
+// materializes as an Instance — the cell's peak_rss_kb is the serve path's
+// O(live flows) footprint on the same traffic the batch cells replay.
+BenchCell RunStreamCell(const std::string& spec, std::uint64_t seed,
+                        int repeat) {
+  BenchCell cell;
+  cell.instance = "stream:" + spec;
+  cell.solver = "online.srpt";
+  ResetPeakRss();
+  for (int rep = 0; rep < repeat; ++rep) {
+    std::string error;
+    const auto source = MakeStreamSource(spec, &error);
+    const auto policy = MakeServePolicy(cell.solver, &error, seed);
+    if (source == nullptr || policy == nullptr) {
+      cell.ok = false;
+      cell.error = error;
+      return cell;
+    }
+    StreamingOptions options;
+    options.validate = false;
+    StreamingSimulator sim(source->sw(), *policy, options);
+    const std::uint64_t allocs_before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    Stopwatch sw;
+    const StreamingSummary summary = sim.Run(*source);
+    const double s = sw.ElapsedSeconds();
+    const std::uint64_t allocs_after =
+        g_alloc_count.load(std::memory_order_relaxed);
+    if (summary.source_error) {
+      cell.ok = false;
+      cell.error = summary.error;
+      return cell;
+    }
+    if (rep == 0 || s < cell.wall_seconds) {
+      cell.wall_seconds = s;
+      cell.allocations = static_cast<long long>(allocs_after - allocs_before);
+    }
+    cell.ok = true;
+    cell.rounds = summary.rounds;
+    cell.peak_backlog = summary.peak_backlog;
+    cell.total_response = summary.total_response;
+    cell.avg_response = summary.mean_response;
+    cell.max_response = summary.max_response;
+    cell.makespan = summary.rounds;
+  }
+  if (cell.wall_seconds > 0.0 && cell.rounds > 0) {
+    cell.rounds_per_sec = static_cast<double>(cell.rounds) / cell.wall_seconds;
+  }
+  cell.peak_rss_kb = PeakRssKb();
   return cell;
 }
 
@@ -255,7 +329,8 @@ void WriteJson(std::ostream& out, const SuiteSpec& suite,
           << ", \"total_response\": " << JsonNum(c.total_response)
           << ", \"avg_response\": " << JsonNum(c.avg_response)
           << ", \"max_response\": " << JsonNum(c.max_response)
-          << ", \"makespan\": " << c.makespan;
+          << ", \"makespan\": " << c.makespan
+          << ", \"peak_rss_kb\": " << c.peak_rss_kb;
     } else {
       out << ", \"error\": \"" << JsonEscape(c.error) << "\"";
     }
@@ -323,7 +398,7 @@ int Run(int argc, char** argv) {
   const std::vector<std::string> solvers = SimulationSolverNames();
   std::vector<BenchCell> cells;
   TextTable table({"instance", "solver", "wall_ms", "rounds", "rounds/s",
-                   "peak_backlog", "allocs"});
+                   "peak_backlog", "allocs", "peak_rss_kb"});
   for (const std::string& spec : suite.instances) {
     std::string error;
     const auto instance = LoadInstance(spec, &error);
@@ -337,13 +412,25 @@ int Run(int argc, char** argv) {
       if (cell.ok) {
         table.Row(cell.instance, cell.solver, cell.wall_seconds * 1e3,
                   cell.rounds, cell.rounds_per_sec, cell.peak_backlog,
-                  cell.allocations);
+                  cell.allocations, cell.peak_rss_kb);
       } else {
         table.Row(cell.instance, cell.solver, "FAIL: " + cell.error, "-", "-",
-                  "-", "-");
+                  "-", "-", "-");
       }
       cells.push_back(std::move(cell));
     }
+  }
+  for (const std::string& spec : suite.streams) {
+    BenchCell cell = RunStreamCell(spec, seed, repeat);
+    if (cell.ok) {
+      table.Row(cell.instance, cell.solver, cell.wall_seconds * 1e3,
+                cell.rounds, cell.rounds_per_sec, cell.peak_backlog,
+                cell.allocations, cell.peak_rss_kb);
+    } else {
+      table.Row(cell.instance, cell.solver, "FAIL: " + cell.error, "-", "-",
+                "-", "-", "-");
+    }
+    cells.push_back(std::move(cell));
   }
 
   // Edge-coloring kernel comparison on one dense random multigraph.
@@ -364,7 +451,7 @@ int Run(int argc, char** argv) {
       table.Row(k.name,
                 "D=" + std::to_string(k.max_degree) +
                     " E=" + std::to_string(k.edges),
-                k.wall_seconds * 1e3, "-", "-", "-", "-");
+                k.wall_seconds * 1e3, "-", "-", "-", "-", "-");
     }
   }
   table.Print(std::cout);
