@@ -11,6 +11,7 @@
 
 #include "api/builtin_solvers.h"
 #include "api/registry.h"
+#include "api/scenario_support.h"
 #include "core/online/simulator.h"
 
 namespace flowsched {
@@ -38,18 +39,22 @@ class OnlinePolicySolver : public Solver {
     return {{"record_backlog",
              "0/1 (default 0): keep per-round backlog sizes; the maximum "
              "surfaces as diagnostics max_backlog"},
+            ScenarioParamDoc(),
             {"validate",
              "0/1 (default 1): audit every policy selection for duplicates "
              "and port overloads (benchmarks turn this off)"}};
   }
   std::vector<SolverKeyDoc> DiagnosticDocs() const override {
-    return {{"rounds_simulated", "rounds until the backlog drained"},
-            {"avg_port_utilization",
-             "scheduled demand / available bandwidth over the run (1.0 = "
-             "every port saturated every round)"},
-            {"peak_backlog", "largest pending set any policy call saw"},
-            {"max_backlog",
-             "largest recorded backlog (only with record_backlog=1)"}};
+    std::vector<SolverKeyDoc> docs = {
+        {"rounds_simulated", "rounds until the backlog drained"},
+        {"avg_port_utilization",
+         "scheduled demand / available bandwidth over the run (1.0 = "
+         "every port saturated every round)"},
+        {"peak_backlog", "largest backlog at any policy round"},
+        {"max_backlog",
+         "largest recorded backlog (only with record_backlog=1)"}};
+    AppendScenarioDiagnosticDocs(&docs);
+    return docs;
   }
 
  protected:
@@ -81,8 +86,18 @@ class OnlinePolicySolver : public Solver {
       report.error = perr;
       return report;
     }
+    ScenarioScript script;
+    bool has_scenario = false;
+    if (!LoadScenarioOption(options, &script, &has_scenario, &report.error)) {
+      return report;
+    }
+    if (has_scenario) sim.scenario = &script;
     auto policy = MakePolicy(policy_, options.seed);
     const SimulationResult r = Simulate(instance, *policy, sim);
+    if (r.truncated) {
+      report.error = r.error;
+      return report;
+    }
     report.schedule = MapRealizedSchedule(instance, r.schedule);
 
     report.ok = true;
@@ -93,6 +108,19 @@ class OnlinePolicySolver : public Solver {
     if (sim.record_backlog && !r.backlog_trace.empty()) {
       report.diagnostics["max_backlog"] =
           *std::max_element(r.backlog_trace.begin(), r.backlog_trace.end());
+    }
+    if (has_scenario) {
+      // The fault-free baseline (same policy, same seed) anchors the
+      // robustness diagnostics.
+      SimulationOptions base_sim = sim;
+      base_sim.scenario = nullptr;
+      base_sim.record_backlog = false;
+      auto base_policy = MakePolicy(policy_, options.seed);
+      const SimulationResult base = Simulate(instance, *base_policy, base_sim);
+      AddScenarioDiagnostics(script, r.rounds, r.downtime_rounds,
+                             r.peak_backlog, r.metrics.total_response,
+                             base.peak_backlog, base.metrics.total_response,
+                             &report);
     }
     return report;
   }

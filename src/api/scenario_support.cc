@@ -1,0 +1,59 @@
+#include "api/scenario_support.h"
+
+namespace flowsched {
+namespace internal {
+
+bool LoadScenarioOption(const SolveOptions& options, ScenarioScript* script,
+                        bool* loaded, std::string* error) {
+  const std::string value = options.ParamOr("scenario", "");
+  if (value.empty()) return true;
+  std::string parse_error;
+  if (!LoadScenarioParam(value, script, &parse_error)) {
+    *error = "scenario: " + parse_error;
+    return false;
+  }
+  *loaded = true;
+  return true;
+}
+
+SolverKeyDoc ScenarioParamDoc() {
+  return {"scenario",
+          "fault-injection script: a file path or inline:<script> with ';' "
+          "as the line separator (grammar in docs/scenarios.md); the run "
+          "replays under timed port/pod outages and adds robustness "
+          "diagnostics vs the fault-free run"};
+}
+
+void AppendScenarioDiagnosticDocs(std::vector<SolverKeyDoc>* docs) {
+  docs->push_back({"scenario_events",
+                   "timed events in the bound scenario script"});
+  docs->push_back({"downtime_rounds",
+                   "simulated rounds with >= 1 port side down"});
+  docs->push_back({"backlog_surge",
+                   "scenario peak backlog minus the fault-free run's"});
+  docs->push_back({"recovery_drain_rounds",
+                   "rounds simulated after the last scenario event "
+                   "(post-recovery drain time)"});
+  docs->push_back({"response_inflation",
+                   "scenario total response / fault-free total response"});
+}
+
+void AddScenarioDiagnostics(const ScenarioScript& script, Round rounds,
+                            Round downtime_rounds, int peak_backlog,
+                            double total_response, int base_peak_backlog,
+                            double base_total_response, SolveReport* report) {
+  report->diagnostics["scenario_events"] =
+      static_cast<double>(script.events().size());
+  report->diagnostics["downtime_rounds"] =
+      static_cast<double>(downtime_rounds);
+  report->diagnostics["backlog_surge"] =
+      static_cast<double>(peak_backlog - base_peak_backlog);
+  const Round last = script.last_event_round();
+  report->diagnostics["recovery_drain_rounds"] =
+      static_cast<double>(rounds > last ? rounds - last : 0);
+  report->diagnostics["response_inflation"] =
+      base_total_response > 0.0 ? total_response / base_total_response : 1.0;
+}
+
+}  // namespace internal
+}  // namespace flowsched

@@ -1,0 +1,38 @@
+// Internal: shared `scenario=` parameter plumbing for the online./coflow./
+// fabric. solver adapters — param loading, the common doc rows, and the
+// robustness diagnostics computed against the fault-free baseline run.
+#ifndef FLOWSCHED_API_SCENARIO_SUPPORT_H_
+#define FLOWSCHED_API_SCENARIO_SUPPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "api/solver.h"
+#include "scenario/scenario.h"
+
+namespace flowsched {
+namespace internal {
+
+// Loads the "scenario" param: a file path or "inline:<script>" with ';' as
+// the line separator. Absent/empty param: *loaded stays false, returns
+// true. Parse failures return false with a line-tagged *error.
+bool LoadScenarioOption(const SolveOptions& options, ScenarioScript* script,
+                        bool* loaded, std::string* error);
+
+// The shared ParamDocs row for the "scenario" key.
+SolverKeyDoc ScenarioParamDoc();
+
+// Appends the robustness diagnostic doc rows emitted by scenario runs.
+void AppendScenarioDiagnosticDocs(std::vector<SolverKeyDoc>* docs);
+
+// Emits the robustness diagnostics: the scenario run (rounds, downtime,
+// peak backlog, total response) against its fault-free baseline.
+void AddScenarioDiagnostics(const ScenarioScript& script, Round rounds,
+                            Round downtime_rounds, int peak_backlog,
+                            double total_response, int base_peak_backlog,
+                            double base_total_response, SolveReport* report);
+
+}  // namespace internal
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_API_SCENARIO_SUPPORT_H_

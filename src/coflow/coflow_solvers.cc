@@ -11,6 +11,7 @@
 
 #include "api/builtin_solvers.h"
 #include "api/registry.h"
+#include "api/scenario_support.h"
 #include "coflow/coflow_metrics.h"
 #include "coflow/coflow_policies.h"
 #include "core/online/simulator.h"
@@ -33,27 +34,31 @@ class CoflowPolicySolver : public Solver {
   std::vector<SolverKeyDoc> ParamDocs() const override {
     return {{"record_backlog",
              "0/1 (default 0): keep per-round backlog sizes"},
+            ScenarioParamDoc(),
             {"validate",
              "0/1 (default 1): audit every policy selection for duplicates "
              "and port overloads (benchmarks turn this off)"}};
   }
   std::vector<SolverKeyDoc> DiagnosticDocs() const override {
-    return {{"rounds_simulated", "rounds until the backlog drained"},
-            {"avg_port_utilization",
-             "scheduled demand / available bandwidth over the run"},
-            {"peak_backlog", "largest pending set any policy call saw"},
-            {"num_coflows",
-             "groups in the instance (untagged flows count as singletons)"},
-            {"num_tagged_coflows", "groups that carry a real coflow tag"},
-            {"total_cct", "sum of per-group completion times"},
-            {"avg_cct", "mean group completion time"},
-            {"p50_cct", "median group completion time"},
-            {"p95_cct", "95th-percentile group completion time"},
-            {"p99_cct", "99th-percentile group completion time"},
-            {"max_cct", "slowest group's completion time"},
-            {"avg_slowdown",
-             "mean CCT / isolation bound (1.0 = as fast as an empty switch)"},
-            {"max_slowdown", "worst group slowdown vs isolation"}};
+    std::vector<SolverKeyDoc> docs = {
+        {"rounds_simulated", "rounds until the backlog drained"},
+        {"avg_port_utilization",
+         "scheduled demand / available bandwidth over the run"},
+        {"peak_backlog", "largest backlog at any policy round"},
+        {"num_coflows",
+         "groups in the instance (untagged flows count as singletons)"},
+        {"num_tagged_coflows", "groups that carry a real coflow tag"},
+        {"total_cct", "sum of per-group completion times"},
+        {"avg_cct", "mean group completion time"},
+        {"p50_cct", "median group completion time"},
+        {"p95_cct", "95th-percentile group completion time"},
+        {"p99_cct", "99th-percentile group completion time"},
+        {"max_cct", "slowest group's completion time"},
+        {"avg_slowdown",
+         "mean CCT / isolation bound (1.0 = as fast as an empty switch)"},
+        {"max_slowdown", "worst group slowdown vs isolation"}};
+    AppendScenarioDiagnosticDocs(&docs);
+    return docs;
   }
 
  protected:
@@ -83,8 +88,18 @@ class CoflowPolicySolver : public Solver {
       report.error = perr;
       return report;
     }
+    ScenarioScript script;
+    bool has_scenario = false;
+    if (!LoadScenarioOption(options, &script, &has_scenario, &report.error)) {
+      return report;
+    }
+    if (has_scenario) sim.scenario = &script;
     auto policy = MakeCoflowPolicy(policy_, options.seed);
     const SimulationResult r = Simulate(instance, *policy, sim);
+    if (r.truncated) {
+      report.error = r.error;
+      return report;
+    }
     report.schedule = MapRealizedSchedule(instance, r.schedule);
 
     report.ok = true;
@@ -106,6 +121,19 @@ class CoflowPolicySolver : public Solver {
     report.diagnostics["max_cct"] = cm.max_cct;
     report.diagnostics["avg_slowdown"] = cm.avg_slowdown;
     report.diagnostics["max_slowdown"] = cm.max_slowdown;
+    if (has_scenario) {
+      // Fault-free baseline (same policy, same seed) for the robustness
+      // diagnostics.
+      SimulationOptions base_sim = sim;
+      base_sim.scenario = nullptr;
+      base_sim.record_backlog = false;
+      auto base_policy = MakeCoflowPolicy(policy_, options.seed);
+      const SimulationResult base = Simulate(instance, *base_policy, base_sim);
+      AddScenarioDiagnostics(script, r.rounds, r.downtime_rounds,
+                             r.peak_backlog, r.metrics.total_response,
+                             base.peak_backlog, base.metrics.total_response,
+                             &report);
+    }
     return report;
   }
 

@@ -29,6 +29,7 @@ class SimulationContext {
     backlog.clear();
     arrivals.clear();
     pending.clear();
+    pending_map.clear();
     picked.clear();
     assigned_round.clear();
     remove.clear();
@@ -41,6 +42,9 @@ class SimulationContext {
   std::vector<Flow> backlog;          ///< Released, unscheduled flows.
   std::vector<Flow> arrivals;         ///< Staging for ArrivalsInto.
   std::vector<PendingFlow> pending;   ///< Backlog view handed to the policy.
+  std::vector<int> pending_map;       ///< pending index -> backlog index
+                                      ///< (scenario rounds filter blocked
+                                      ///< flows, so the view is not 1:1).
   std::vector<int> picked;            ///< Policy selection for the round.
   std::vector<Round> assigned_round;  ///< Indexed by realized flow id.
   std::vector<char> remove;           ///< Backlog compaction flags.

@@ -1,6 +1,7 @@
 #include "core/online/simulator.h"
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "util/check.h"
@@ -91,6 +92,23 @@ SimulationResult Simulate(const SwitchSpec& sw, ArrivalProcess& arrivals,
   ctx.Clear();
   SimulationResult result;
   result.realized = Instance(sw, {});
+  // The fault overlay, bound once per run. Without a scenario this stays
+  // untouched and the loop below is byte-for-byte the fault-free loop.
+  ScenarioRuntime scen;
+  const bool has_scenario =
+      options.scenario_ops != nullptr || options.scenario != nullptr;
+  if (has_scenario) {
+    std::string scen_error;
+    const bool bound =
+        options.scenario_ops != nullptr
+            ? scen.BindOps(*options.scenario_ops, sw, &scen_error)
+            : scen.Bind(*options.scenario, sw, &scen_error);
+    if (!bound) {
+      result.truncated = true;
+      result.error = "scenario: " + scen_error;
+      return result;
+    }
+  }
   Round t = 0;
   for (; t < options.max_rounds; ++t) {
     // Arrivals for round t (the adversary sees the current backlog).
@@ -103,32 +121,68 @@ SimulationResult Simulate(const SwitchSpec& sw, ArrivalProcess& arrivals,
       ctx.assigned_round.push_back(kUnassigned);
       ctx.backlog.push_back(f);
     }
+    if (has_scenario) scen.AdvanceTo(t);
     if (ctx.backlog.empty()) {
       if (arrivals.Exhausted(t + 1)) break;
       // Fast-forward the idle gap: with nothing pending and nothing
       // released before `next`, the intermediate rounds are no-ops. Never
       // skip past the round cap — result.rounds must stay <= max_rounds
       // exactly as if the gap had been walked one round at a time.
+      // (AdvanceTo is monotone, so skipped scenario events are caught up.)
       const Round next =
           std::min(arrivals.NextArrivalRound(t + 1), options.max_rounds);
       if (next > t + 1) t = next - 1;  // ++t lands on `next`.
       continue;
     }
     ctx.pending.clear();
-    for (const Flow& f : ctx.backlog) {
-      ctx.pending.push_back(
-          PendingFlow{f.id, f.src, f.dst, f.demand, f.release, f.coflow});
+    const bool mapped = has_scenario && scen.degraded();
+    if (mapped) {
+      // Flows touching a dead port stay backlogged and are withheld from
+      // the policy; pending_map remembers each survivor's backlog slot.
+      ctx.pending_map.clear();
+      for (std::size_t i = 0; i < ctx.backlog.size(); ++i) {
+        const Flow& f = ctx.backlog[i];
+        if (scen.IsBlocked(f.src, f.dst)) continue;
+        ctx.pending.push_back(
+            PendingFlow{f.id, f.src, f.dst, f.demand, f.release, f.coflow});
+        ctx.pending_map.push_back(static_cast<int>(i));
+      }
+    } else {
+      for (const Flow& f : ctx.backlog) {
+        ctx.pending.push_back(
+            PendingFlow{f.id, f.src, f.dst, f.demand, f.release, f.coflow});
+      }
     }
     result.peak_backlog =
-        std::max(result.peak_backlog, static_cast<int>(ctx.pending.size()));
-    policy.SelectFlowsInto(sw, t, ctx.pending, &ctx.picked);
+        std::max(result.peak_backlog, static_cast<int>(ctx.backlog.size()));
+    if (has_scenario && scen.AnyPortDown()) ++result.downtime_rounds;
+    if (ctx.pending.empty()) {
+      // Every backlogged flow is blocked. The round idles — unless nothing
+      // can ever unblock them, in which case the run is stranded.
+      if (arrivals.Exhausted(t + 1) && !scen.HasOpAfter(t)) {
+        result.truncated = true;
+        result.error =
+            "scenario leaves " + std::to_string(ctx.backlog.size()) +
+            " flows on dead ports with no recovery event after round " +
+            std::to_string(t);
+        break;
+      }
+      if (options.record_backlog) {
+        result.backlog_trace.push_back(static_cast<int>(ctx.backlog.size()));
+      }
+      continue;
+    }
+    // Selection and validation audit against the round's *effective*
+    // capacities, not the base spec.
+    const SwitchSpec& round_sw = mapped ? scen.view() : sw;
+    policy.SelectFlowsInto(round_sw, t, ctx.pending, &ctx.picked);
     if (options.validate) {
-      ValidatePolicySelection(sw, ctx.pending, ctx.picked, ctx);
+      ValidatePolicySelection(round_sw, ctx.pending, ctx.picked, ctx);
     }
     ctx.remove.assign(ctx.backlog.size(), 0);
     for (int i : ctx.picked) {
       ctx.assigned_round[ctx.pending[i].id] = t;
-      ctx.remove[i] = 1;
+      ctx.remove[mapped ? ctx.pending_map[i] : i] = 1;
     }
     // Stable in-place compaction of the surviving backlog.
     std::size_t kept = 0;
@@ -143,10 +197,27 @@ SimulationResult Simulate(const SwitchSpec& sw, ArrivalProcess& arrivals,
       result.backlog_trace.push_back(static_cast<int>(kept));
     }
   }
-  FS_CHECK_MSG(ctx.backlog.empty(),
-               "simulation hit max_rounds with " << ctx.backlog.size()
-                                                 << " flows still pending");
+  if (has_scenario) {
+    // A daemon-facing scenario run must degrade gracefully: hitting the
+    // round cap truncates instead of aborting.
+    if (!ctx.backlog.empty() && !result.truncated) {
+      result.truncated = true;
+      result.error = "scenario run hit max_rounds=" +
+                     std::to_string(options.max_rounds) + " with " +
+                     std::to_string(ctx.backlog.size()) +
+                     " flows still pending";
+    }
+  } else {
+    FS_CHECK_MSG(ctx.backlog.empty(),
+                 "simulation hit max_rounds with " << ctx.backlog.size()
+                                                   << " flows still pending");
+  }
   result.rounds = t;
+  if (result.truncated) {
+    // Partial run: the realized instance (and downtime count) stand, but
+    // there is no complete schedule to validate or score.
+    return result;
+  }
   result.schedule = Schedule(result.realized.num_flows());
   for (FlowId e = 0; e < result.realized.num_flows(); ++e) {
     FS_CHECK_NE(ctx.assigned_round[e], kUnassigned);

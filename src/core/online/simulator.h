@@ -12,10 +12,13 @@
 #ifndef FLOWSCHED_CORE_ONLINE_SIMULATOR_H_
 #define FLOWSCHED_CORE_ONLINE_SIMULATOR_H_
 
+#include <string>
+
 #include "core/online/policy.h"
 #include "core/online/simulation_context.h"
 #include "model/metrics.h"
 #include "model/schedule.h"
+#include "scenario/scenario.h"
 #include "workload/adversarial.h"
 
 namespace flowsched {
@@ -28,6 +31,13 @@ struct SimulationOptions {
   // policy corrupts the realized schedule silently otherwise; benchmarks
   // turn it off to keep the measured loop free of audit overhead.
   bool validate = true;
+  // Fault-injection overlay (scenario/scenario.h): timed events reshape
+  // the effective capacities before each round's policy call. Flows on a
+  // dead port stay backlogged; a run that can never drain truncates
+  // gracefully (SimulationResult::truncated) instead of tripping FS_CHECK.
+  const ScenarioScript* scenario = nullptr;
+  // Pre-projected per-side ops (fabric pods); wins over `scenario`.
+  const std::vector<ScenarioOp>* scenario_ops = nullptr;
 };
 
 struct SimulationResult {
@@ -36,10 +46,17 @@ struct SimulationResult {
   ScheduleMetrics metrics;
   Round rounds = 0;                // Rounds simulated until drain.
   std::vector<int> backlog_trace;  // If record_backlog.
-  int peak_backlog = 0;  // Largest backlog any policy call ever saw.
+  int peak_backlog = 0;  // Largest backlog at any policy round.
   // Scheduled demand / available port bandwidth over the simulated rounds,
   // averaged over the two sides (1.0 = every port saturated every round).
   double avg_port_utilization = 0.0;
+  // Scenario runs only. A truncated run carries a partial realized
+  // instance but no schedule/metrics; `error` says why (hit max_rounds, or
+  // flows stranded on dead ports with no recovery event left).
+  bool truncated = false;
+  std::string error;
+  // Simulated (non-idle) rounds during which >= 1 port side was down.
+  Round downtime_rounds = 0;
 };
 
 // Replays a fixed instance (the "online" policy still only sees released

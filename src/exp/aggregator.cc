@@ -68,6 +68,16 @@ void Aggregator::Add(const SweepTask& task, const TaskOutcome& outcome) {
     cell.cross_shard_flows.Add(static_cast<double>(outcome.cross_shard_flows));
     cell.split_coflows.Add(static_cast<double>(outcome.split_coflows));
   }
+  if (outcome.has_scenario) {
+    ++cell.scenario_n;
+    cell.scenario_events = std::max(cell.scenario_events,
+                                    outcome.scenario_events);
+    cell.downtime_rounds.Add(static_cast<double>(outcome.downtime_rounds));
+    cell.backlog_surge.Add(outcome.backlog_surge);
+    cell.recovery_drain_rounds.Add(
+        static_cast<double>(outcome.recovery_drain_rounds));
+    cell.response_inflation.Add(outcome.response_inflation);
+  }
   cell.wall_seconds.Add(outcome.wall_seconds);
   cell.rounds_per_sec.Add(outcome.rounds_per_sec);
 }
@@ -115,6 +125,7 @@ void Aggregator::WriteJson(std::ostream& out, const SweepSpec& spec, int jobs,
     if (key.ports) out << ", \"ports\": " << *key.ports;
     if (key.rounds) out << ", \"rounds\": " << *key.rounds;
     if (key.shards) out << ", \"shards\": " << *key.shards;
+    if (key.scenario) out << ", " << JsonStr("scenario", *key.scenario);
     out << ", \"n\": " << c.n << ", \"failures\": " << c.failures
         << ", \"num_flows\": " << c.num_flows;
     if (c.n > 0) {
@@ -154,6 +165,17 @@ void Aggregator::WriteJson(std::ostream& out, const SweepSpec& spec, int jobs,
         out << ",\n     \"split_coflows\": ";
         WriteStatsObject(out, c.split_coflows);
       }
+      if (c.scenario_n > 0) {
+        out << ",\n     \"scenario_events\": " << c.scenario_events;
+        out << ",\n     \"downtime_rounds\": ";
+        WriteStatsObject(out, c.downtime_rounds);
+        out << ",\n     \"backlog_surge\": ";
+        WriteStatsObject(out, c.backlog_surge);
+        out << ",\n     \"recovery_drain_rounds\": ";
+        WriteStatsObject(out, c.recovery_drain_rounds);
+        out << ",\n     \"response_inflation\": ";
+        WriteStatsObject(out, c.response_inflation);
+      }
       if (include_timing) {
         out << ",\n     \"wall_seconds\": ";
         WriteStatsObject(out, c.wall_seconds);
@@ -171,18 +193,22 @@ void Aggregator::WriteJson(std::ostream& out, const SweepSpec& spec, int jobs,
 }
 
 void Aggregator::WriteCsv(std::ostream& out, bool include_timing) const {
-  out << "solver,instance,load,ports,rounds,shards,n,failures,num_flows";
-  // Coflow and fabric columns are always present (zeros for solvers that
-  // emit neither) so the header is independent of which solvers ran.
-  const char* metrics[] = {"total_response", "avg_response",
-                           "p50_response",   "p95_response",
-                           "p99_response",   "max_response",
-                           "makespan",       "peak_backlog",
-                           "avg_cct",        "p95_cct",
-                           "max_cct",        "avg_slowdown",
-                           "load_imbalance", "cross_shard_flows",
-                           "split_coflows"};
-  out << ",num_coflows,fabric_shards";
+  out << "solver,instance,load,ports,rounds,shards,scenario,n,failures,"
+         "num_flows";
+  // Coflow, fabric, and robustness columns are always present (zeros for
+  // solvers/cells that emit none) so the header is independent of which
+  // solvers ran.
+  const char* metrics[] = {"total_response",        "avg_response",
+                           "p50_response",          "p95_response",
+                           "p99_response",          "max_response",
+                           "makespan",              "peak_backlog",
+                           "avg_cct",               "p95_cct",
+                           "max_cct",               "avg_slowdown",
+                           "load_imbalance",        "cross_shard_flows",
+                           "split_coflows",         "downtime_rounds",
+                           "backlog_surge",         "recovery_drain_rounds",
+                           "response_inflation"};
+  out << ",num_coflows,fabric_shards,scenario_events";
   for (const char* m : metrics) {
     out << "," << m << "_mean," << m << "_stddev," << m << "_min," << m
         << "_max," << m << "_ci95";
@@ -202,13 +228,18 @@ void Aggregator::WriteCsv(std::ostream& out, bool include_timing) const {
     if (key.rounds) out << *key.rounds;
     out << ",";
     if (key.shards) out << *key.shards;
+    out << ",";
+    // Scenario values may hold commas (inline scripts); quote like instance.
+    if (key.scenario) out << "\"" << *key.scenario << "\"";
     out << "," << c.n << "," << c.failures << "," << c.num_flows << ","
-        << c.num_coflows << "," << c.shards;
+        << c.num_coflows << "," << c.shards << "," << c.scenario_events;
     const RunningStats* stats[] = {
         &c.total_response, &c.avg_response, &c.p50_response, &c.p95_response,
         &c.p99_response,   &c.max_response, &c.makespan,     &c.peak_backlog,
         &c.avg_cct,        &c.p95_cct,      &c.max_cct,      &c.avg_slowdown,
-        &c.load_imbalance, &c.cross_shard_flows, &c.split_coflows};
+        &c.load_imbalance, &c.cross_shard_flows, &c.split_coflows,
+        &c.downtime_rounds, &c.backlog_surge, &c.recovery_drain_rounds,
+        &c.response_inflation};
     for (const RunningStats* s : stats) {
       out << ",";
       WriteCsvStats(out, *s);

@@ -59,6 +59,15 @@ struct CellAggregate {
   RunningStats load_imbalance;
   RunningStats cross_shard_flows;
   RunningStats split_coflows;
+  // Robustness, fed only by tasks that ran under a scenario script
+  // (TaskOutcome::has_scenario); scenario_n counts them so the report
+  // writers can gate the block per cell.
+  int scenario_n = 0;
+  long long scenario_events = 0;  // Cell-level constant; max seen.
+  RunningStats downtime_rounds;
+  RunningStats backlog_surge;
+  RunningStats recovery_drain_rounds;
+  RunningStats response_inflation;
   // Timing (schedule-dependent).
   RunningStats wall_seconds;
   RunningStats rounds_per_sec;

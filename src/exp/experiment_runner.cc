@@ -59,6 +59,20 @@ TaskOutcome OutcomeFromReport(const SolveReport& report) {
     o.cross_shard_flows = static_cast<long long>(get("cross_shard_flows"));
     o.split_coflows = static_cast<long long>(get("split_coflows"));
   }
+  const auto downtime = report.diagnostics.find("downtime_rounds");
+  if (downtime != report.diagnostics.end()) {
+    auto get = [&](const char* key) {
+      const auto it = report.diagnostics.find(key);
+      return it == report.diagnostics.end() ? 0.0 : it->second;
+    };
+    o.has_scenario = true;
+    o.downtime_rounds = static_cast<long long>(downtime->second);
+    o.scenario_events = static_cast<long long>(get("scenario_events"));
+    o.backlog_surge = get("backlog_surge");
+    o.recovery_drain_rounds =
+        static_cast<long long>(get("recovery_drain_rounds"));
+    o.response_inflation = get("response_inflation");
+  }
   if (o.rounds > 0 && o.wall_seconds > 0.0) {
     o.rounds_per_sec = static_cast<double>(o.rounds) / o.wall_seconds;
   }
@@ -71,8 +85,9 @@ void WriteTaskJsonLine(std::ostream& out, const SweepCell& cell,
                        const SweepTask& task, const TaskOutcome& outcome) {
   out << "{\"task\": " << task.index << ", \"cell\": " << cell.index << ", "
       << JsonStr("solver", cell.solver) << ", "
-      << JsonStr("instance", task.instance_spec)
-      << ", \"instance_seed\": " << task.instance_seed
+      << JsonStr("instance", task.instance_spec);
+  if (cell.scenario) out << ", " << JsonStr("scenario", *cell.scenario);
+  out << ", \"instance_seed\": " << task.instance_seed
       << ", \"trial\": " << task.trial
       << ", \"solver_seed\": " << task.solver_seed
       << ", \"ok\": " << (outcome.ok ? "true" : "false");
@@ -100,6 +115,14 @@ void WriteTaskJsonLine(std::ostream& out, const SweepCell& cell,
           << ", \"load_imbalance\": " << JsonNum(outcome.load_imbalance)
           << ", \"cross_shard_flows\": " << outcome.cross_shard_flows
           << ", \"split_coflows\": " << outcome.split_coflows;
+    }
+    if (outcome.has_scenario) {
+      out << ", \"scenario_events\": " << outcome.scenario_events
+          << ", \"downtime_rounds\": " << outcome.downtime_rounds
+          << ", \"backlog_surge\": " << JsonNum(outcome.backlog_surge)
+          << ", \"recovery_drain_rounds\": " << outcome.recovery_drain_rounds
+          << ", \"response_inflation\": "
+          << JsonNum(outcome.response_inflation);
     }
     out << ", \"wall_seconds\": " << JsonNum(outcome.wall_seconds)
         << ", \"rounds_per_sec\": " << JsonNum(outcome.rounds_per_sec);
@@ -153,6 +176,11 @@ bool RunSweep(const SweepSpec& spec, const RunnerOptions& options,
         solve.seed = task.solver_seed;
         solve.max_rounds = static_cast<Round>(spec.max_rounds);
         solve.params = spec.params;
+        // The scenario axis forwards as the solver's `scenario` param;
+        // "none" is the fault-free point (no param, no overlay work).
+        if (cell.scenario && *cell.scenario != "none") {
+          solve.params["scenario"] = *cell.scenario;
+        }
         outcome = OutcomeFromReport(
             registry.Solve(cell.solver, *instance, solve));
       }

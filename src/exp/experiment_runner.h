@@ -57,6 +57,15 @@ struct TaskOutcome {
   double load_imbalance = 0.0;
   long long cross_shard_flows = 0;
   long long split_coflows = 0;
+  // Robustness diagnostics emitted when the task ran under a scenario
+  // script (api/scenario_support.h); has_scenario == false for fault-free
+  // runs, which carry none of them.
+  bool has_scenario = false;
+  long long scenario_events = 0;
+  long long downtime_rounds = 0;
+  double backlog_surge = 0.0;
+  long long recovery_drain_rounds = 0;
+  double response_inflation = 0.0;
   double wall_seconds = 0.0;   // Timing — excluded from determinism checks.
   double rounds_per_sec = 0.0;
 };

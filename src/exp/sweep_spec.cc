@@ -9,6 +9,7 @@
 #include <set>
 
 #include "api/instance_source.h"
+#include "scenario/scenario.h"
 #include "util/rng.h"
 
 namespace flowsched {
@@ -189,6 +190,11 @@ bool ApplyKey(SweepSpec& spec, const std::string& key,
     if (!ParseAxis(value, spec.seeds, &axis_error)) {
       return Fail(error, "seeds: " + axis_error);
     }
+  } else if (key == "scenarios") {
+    // '|' separates elements because inline scenario scripts use ';' as
+    // their own line separator (scenario/scenario.h).
+    spec.scenarios = Split(value, '|');
+    if (spec.scenarios.empty()) return Fail(error, "scenarios: empty list");
   } else if (key == "trials") {
     long long v = 0;
     if (!ParseLongLong(value, v) || v < 1) {
@@ -371,7 +377,9 @@ bool ParseJsonSpec(const std::string& text, SweepSpec& spec,
       cur.Eat('[');
       // Arrays join into the list syntax ApplyKey already speaks; instance
       // specs contain commas, so that key joins with ';'.
-      const char sep = (key == "instances" || key == "instance") ? ';' : ',';
+      const char sep = (key == "instances" || key == "instance") ? ';'
+                       : key == "scenarios"                      ? '|'
+                                                                 : ',';
       bool first = true;
       if (!cur.Eat(']')) {
         do {
@@ -492,6 +500,21 @@ bool ExpandSweep(const SweepSpec& spec, const SolverRegistry& registry,
                                                spec.shards.end());
   if (shards.empty()) shards.push_back(std::nullopt);
 
+  // The scenario axis is a solver-param axis (no template placeholder): a
+  // malformed script is an expansion error, not per-task noise. "none" is
+  // the explicit fault-free point.
+  for (const std::string& s : spec.scenarios) {
+    if (s == "none") continue;
+    ScenarioScript probe;
+    std::string scen_error;
+    if (!LoadScenarioParam(s, &probe, &scen_error)) {
+      return Fail(error, "scenario \"" + s + "\": " + scen_error);
+    }
+  }
+  std::vector<std::optional<std::string>> scenarios(spec.scenarios.begin(),
+                                                    spec.scenarios.end());
+  if (scenarios.empty()) scenarios.push_back(std::nullopt);
+
   std::map<std::string, int> instance_slots;
   for (const std::string& tmpl : spec.instances) {
     for (const auto& load : loads) {
@@ -507,17 +530,20 @@ bool ExpandSweep(const SweepSpec& spec, const SolverRegistry& registry,
                                            std::to_string(*round));
             if (shard) family = ReplaceAll(family, "{shards}",
                                            std::to_string(*shard));
-            for (const std::string& solver : solvers) {
-              SweepCell cell;
-              cell.index = static_cast<int>(plan.cells.size());
-              cell.solver = solver;
-              cell.instance_template = tmpl;
-              cell.load = load;
-              cell.ports = port;
-              cell.rounds = round;
-              cell.shards = shard;
-              cell.instance_family = family;
-              plan.cells.push_back(std::move(cell));
+            for (const auto& scenario : scenarios) {
+              for (const std::string& solver : solvers) {
+                SweepCell cell;
+                cell.index = static_cast<int>(plan.cells.size());
+                cell.solver = solver;
+                cell.instance_template = tmpl;
+                cell.load = load;
+                cell.ports = port;
+                cell.rounds = round;
+                cell.shards = shard;
+                cell.scenario = scenario;
+                cell.instance_family = family;
+                plan.cells.push_back(std::move(cell));
+              }
             }
           }
         }

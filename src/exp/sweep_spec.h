@@ -23,6 +23,15 @@
 //   trials      repeat count per (cell, seed) with distinct solver seeds
 //               (distinguishes run-to-run variance of randomized policies
 //               from instance-to-instance variance)
+//   scenarios   fault-injection axis: '|'-separated scenario values, each
+//               "none" (fault-free), a script path, or inline:<script>
+//               ('|' because inline scripts use ';' as their line
+//               separator). Unlike the template axes this one has no
+//               placeholder — it forwards per cell as the solver's
+//               `scenario` param, so every (solver, instance) point runs
+//               once per listed fault pattern and the robustness
+//               diagnostics (downtime, backlog surge, drain time,
+//               response inflation) aggregate per cell
 //
 // A *cell* is one point of solver × template × load × ports × rounds — the
 // unit the Aggregator reports statistics for. A *task* is one run: a cell
@@ -63,6 +72,9 @@ struct SweepSpec {
   std::vector<long long> shards;         // {shards} axis (fabric pod count).
   std::vector<std::uint64_t> seeds;      // {seed} axis; defaults to {1} when
                                          // a template uses {seed}.
+  std::vector<std::string> scenarios;    // Scenario axis (empty = unused);
+                                         // elements: "none", a path, or
+                                         // inline:<script>.
   int trials = 1;
   std::uint64_t base_seed = 1;           // Root of all task seed derivation.
   long long max_rounds = 0;              // SolveOptions::max_rounds.
@@ -78,6 +90,7 @@ struct SweepCell {
   std::optional<long long> ports;        // when the axis is unused).
   std::optional<long long> rounds;
   std::optional<long long> shards;
+  std::optional<std::string> scenario;   // "none" = explicit fault-free cell.
   // Template with axes substituted but `{seed}` / `{trial}` left in place —
   // the repetition-independent identity of the cell's instance family.
   std::string instance_family;
@@ -116,8 +129,9 @@ bool ParseAxis(const std::string& text, std::vector<std::uint64_t>& out,
 // Parses a spec from text: a flat JSON object when the first non-space
 // character is '{', otherwise key=value lines ('#' comments, blank lines
 // ignored). Keys: name, solvers, instances (';'-separated — specs contain
-// commas), loads, ports, rounds, shards, seeds, trials, base_seed,
-// max_rounds, param (repeatable "key=value"). JSON uses the same keys with
+// commas), loads, ports, rounds, shards, seeds, scenarios ('|'-separated),
+// trials, base_seed, max_rounds, param (repeatable "key=value"). JSON uses
+// the same keys with
 // arrays for lists and an object for "params". Unknown keys are errors.
 bool ParseSweepSpec(const std::string& text, SweepSpec& spec,
                     std::string* error);

@@ -127,6 +127,26 @@ FabricAssignment PartitionInstance(const Instance& instance, int shards,
     }
   }
 
+  // Local -> global host maps (scenario projection): the exact inverse of
+  // the local ranks, replica tail included.
+  fa.shard_input_host.assign(shards, {});
+  fa.shard_output_host.assign(shards, {});
+  for (int s = 0; s < shards; ++s) {
+    fa.shard_input_host[s].resize(in_caps[s].size());
+    fa.shard_output_host[s].resize(out_caps[s].size());
+  }
+  for (int g = 0; g < sw.num_inputs(); ++g) {
+    fa.shard_input_host[fa.shard_of_host[g]][local_input[g]] = g;
+  }
+  for (int g = 0; g < sw.num_outputs(); ++g) {
+    fa.shard_output_host[fa.shard_of_host[g]][local_output[g]] = g;
+  }
+  for (int s = 0; s < shards; ++s) {
+    for (std::size_t k = 0; k < replicas[s].size(); ++k) {
+      fa.shard_output_host[s][outputs_owned[s] + k] = replicas[s][k];
+    }
+  }
+
   fa.shard_instances.reserve(shards);
   std::vector<int> shard_flows(shards, 0);
   for (const Flow& e : instance.flows()) ++shard_flows[fa.shard_of_flow[e.id]];
@@ -135,8 +155,14 @@ FabricAssignment PartitionInstance(const Instance& instance, int shards,
     // lopsided switch) still needs a well-formed SwitchSpec; pad the empty
     // side with one unit port. Such pods carry no flows on that side, so
     // the pad never schedules anything.
-    if (in_caps[s].empty()) in_caps[s].push_back(1);
-    if (out_caps[s].empty()) out_caps[s].push_back(1);
+    if (in_caps[s].empty()) {
+      in_caps[s].push_back(1);
+      fa.shard_input_host[s].push_back(-1);
+    }
+    if (out_caps[s].empty()) {
+      out_caps[s].push_back(1);
+      fa.shard_output_host[s].push_back(-1);
+    }
     Instance shard(SwitchSpec(std::move(in_caps[s]), std::move(out_caps[s])),
                    {});
     shard.Reserve(shard_flows[s]);

@@ -53,6 +53,14 @@ struct FabricAssignment {
   /// empty flow list (the runner skips them).
   std::vector<Instance> shard_instances;
 
+  /// Per-shard local port id -> global host, both sides (the inverse of the
+  /// local ranks above). Owned ports map to their global host; the replica
+  /// tail of the output side maps to the replicated host; pad ports (an
+  /// empty side filled with one unit port) map to -1. The scenario engine
+  /// projects global host events through these (fabric_runner.h).
+  std::vector<std::vector<PortId>> shard_input_host;
+  std::vector<std::vector<PortId>> shard_output_host;
+
   /// Total demand assigned to each shard (the load-imbalance numerator).
   std::vector<Capacity> shard_demand;
   /// Flows whose destination host lives in a different shard than their

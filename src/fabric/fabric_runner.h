@@ -24,6 +24,7 @@
 
 #include "fabric/fabric_partition.h"
 #include "model/schedule.h"
+#include "scenario/scenario.h"
 
 namespace flowsched {
 
@@ -46,6 +47,13 @@ struct FabricRunOptions {
   Round max_rounds = 0;
   /// Per-round selection audits (SimulationOptions::validate).
   bool validate = true;
+  /// Optional fault-injection script (scenario/scenario.h), expressed in
+  /// *global* host / pod coordinates. RunFabric projects each event onto
+  /// every shard's local ports (ProjectScenarioOps below) — a host outage
+  /// downs its owned input/output ports in its own pod *and* every replica
+  /// egress port other pods materialized for it, so no pod keeps sending
+  /// toward a dead host. Not owned; must outlive the run.
+  const ScenarioScript* scenario = nullptr;
 };
 
 /// What one pod's simulation contributed (diagnostic granularity; the
@@ -56,6 +64,7 @@ struct FabricShardReport {
   Capacity demand = 0;
   Round rounds = 0;
   int peak_backlog = 0;
+  Round downtime_rounds = 0;
 };
 
 /// The merged fabric run.
@@ -69,9 +78,30 @@ struct FabricResult {
   int peak_backlog = 0;
   /// Mean per-pod port utilization over pods that carried flows.
   double avg_port_utilization = 0.0;
+  /// Max over pods of rounds that pod spent with >= 1 port down (pods share
+  /// the round clock, so this is the fabric's wall-clock downtime).
+  Round downtime_rounds = 0;
+  /// True when any pod's run ended without draining (scenario strands flows
+  /// on dead ports, or a scenario run hit max_rounds). `schedule` is then
+  /// partial and must not be consumed; `error` says which pod and why.
+  bool truncated = false;
+  std::string error;
   /// Per-pod breakdown, indexed by shard.
   std::vector<FabricShardReport> shard_reports;
 };
+
+/// Projects the global-coordinate `script` onto shard `shard` of `fa` as
+/// shard-local per-side capacity ops (consumed via
+/// SimulationOptions::scenario_ops). PORT_* / SET_CAPACITY events on host h
+/// hit every local port mapped to h — the owned input/output in h's own pod
+/// and replica egress ports elsewhere. POD_* events expand to every host
+/// the partitioner assigned to that pod; a `PODS k` header must match
+/// fa.shards (a script written for a different topology is an error), and a
+/// headerless script simply has no pod events to check. Returns false with
+/// a line-tagged *error on out-of-range hosts/pods or a PODS mismatch.
+bool ProjectScenarioOps(const ScenarioScript& script,
+                        const FabricAssignment& fa, int shard,
+                        std::vector<ScenarioOp>* ops, std::string* error);
 
 /// Simulates every shard of `fa` (built from `instance`) and merges.
 /// `instance` must be the instance `fa` was partitioned from.

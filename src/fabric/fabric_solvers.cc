@@ -20,11 +20,13 @@
 
 #include "api/builtin_solvers.h"
 #include "api/registry.h"
+#include "api/scenario_support.h"
 #include "coflow/coflow_metrics.h"
 #include "coflow/coflow_policies.h"
 #include "fabric/fabric_runner.h"
 #include "fabric/fabric_spec.h"
 #include "model/coflow.h"
+#include "model/metrics.h"
 
 namespace flowsched {
 namespace internal {
@@ -60,32 +62,36 @@ class FabricPolicySolver : public Solver {
             {"jobs",
              "threads simulating pods in parallel (default 1; results are "
              "byte-identical for any value)"},
+            ScenarioParamDoc(),
             {"validate",
              "0/1 (default 1): per-round selection audits inside each pod"}};
   }
   std::vector<SolverKeyDoc> DiagnosticDocs() const override {
-    return {{"shards", "pod count the run used"},
-            {"rounds_simulated", "fabric makespan: max rounds any pod ran"},
-            {"avg_port_utilization", "mean pod port utilization"},
-            {"peak_backlog", "largest backlog any pod's policy saw"},
-            {"cross_shard_flows",
-             "flows whose destination host lives in another pod (served "
-             "via a replica egress port)"},
-            {"split_coflows",
-             "tagged coflows simulated in more than one pod (their CCT is "
-             "the max over member pods)"},
-            {"load_imbalance",
-             "max pod demand / mean pod demand (1.0 = balanced)"},
-            {"num_coflows", "groups (untagged flows count as singletons)"},
-            {"num_tagged_coflows", "groups with a real coflow tag"},
-            {"total_cct", "sum of per-group fabric completion times"},
-            {"avg_cct", "mean fabric CCT"},
-            {"p50_cct", "median fabric CCT"},
-            {"p95_cct", "95th-percentile fabric CCT"},
-            {"p99_cct", "99th-percentile fabric CCT"},
-            {"max_cct", "slowest group's fabric CCT"},
-            {"avg_slowdown", "mean CCT / single-switch isolation bound"},
-            {"max_slowdown", "worst group slowdown vs isolation"}};
+    std::vector<SolverKeyDoc> docs = {
+        {"shards", "pod count the run used"},
+        {"rounds_simulated", "fabric makespan: max rounds any pod ran"},
+        {"avg_port_utilization", "mean pod port utilization"},
+        {"peak_backlog", "largest backlog any pod's policy saw"},
+        {"cross_shard_flows",
+         "flows whose destination host lives in another pod (served "
+         "via a replica egress port)"},
+        {"split_coflows",
+         "tagged coflows simulated in more than one pod (their CCT is "
+         "the max over member pods)"},
+        {"load_imbalance",
+         "max pod demand / mean pod demand (1.0 = balanced)"},
+        {"num_coflows", "groups (untagged flows count as singletons)"},
+        {"num_tagged_coflows", "groups with a real coflow tag"},
+        {"total_cct", "sum of per-group fabric completion times"},
+        {"avg_cct", "mean fabric CCT"},
+        {"p50_cct", "median fabric CCT"},
+        {"p95_cct", "95th-percentile fabric CCT"},
+        {"p99_cct", "99th-percentile fabric CCT"},
+        {"max_cct", "slowest group's fabric CCT"},
+        {"avg_slowdown", "mean CCT / single-switch isolation bound"},
+        {"max_slowdown", "worst group slowdown vs isolation"}};
+    AppendScenarioDiagnosticDocs(&docs);
+    return docs;
   }
 
  protected:
@@ -157,10 +163,20 @@ class FabricPolicySolver : public Solver {
       }
       run_options.max_rounds = options.max_rounds;
     }
+    ScenarioScript script;
+    bool has_scenario = false;
+    if (!LoadScenarioOption(options, &script, &has_scenario, &report.error)) {
+      return report;
+    }
+    if (has_scenario) run_options.scenario = &script;
 
     const FabricAssignment fa =
         PartitionInstance(instance, shards, partition);
     const FabricResult r = RunFabric(instance, fa, run_options);
+    if (r.truncated) {
+      report.error = r.error;
+      return report;
+    }
 
     report.ok = true;
     report.schedule = r.schedule;
@@ -191,6 +207,21 @@ class FabricPolicySolver : public Solver {
     report.diagnostics["max_cct"] = cm.max_cct;
     report.diagnostics["avg_slowdown"] = cm.avg_slowdown;
     report.diagnostics["max_slowdown"] = cm.max_slowdown;
+    if (has_scenario) {
+      // Fault-free baseline: the same partition and seeds with no overlay
+      // (scenario off is the only difference, so the surge/inflation
+      // deltas isolate the faults).
+      FabricRunOptions base_options = run_options;
+      base_options.scenario = nullptr;
+      const FabricResult base = RunFabric(instance, fa, base_options);
+      const double faulty_response =
+          ComputeMetrics(instance, report.schedule).total_response;
+      const double base_response =
+          ComputeMetrics(instance, base.schedule).total_response;
+      AddScenarioDiagnostics(script, r.rounds, r.downtime_rounds,
+                             r.peak_backlog, faulty_response,
+                             base.peak_backlog, base_response, &report);
+    }
     return report;
   }
 

@@ -10,10 +10,24 @@ SwitchSpec::SwitchSpec(std::vector<Capacity> input_capacities,
                        std::vector<Capacity> output_capacities)
     : input_capacity_(std::move(input_capacities)),
       output_capacity_(std::move(output_capacities)) {
-  FS_CHECK(!input_capacity_.empty());
-  FS_CHECK(!output_capacity_.empty());
-  for (Capacity c : input_capacity_) FS_CHECK_GE(c, 1);
-  for (Capacity c : output_capacity_) FS_CHECK_GE(c, 1);
+  FS_CHECK_MSG(!input_capacity_.empty(),
+               "SwitchSpec needs at least one input port");
+  FS_CHECK_MSG(!output_capacity_.empty(),
+               "SwitchSpec needs at least one output port");
+  for (std::size_t p = 0; p < input_capacity_.size(); ++p) {
+    FS_CHECK_MSG(input_capacity_[p] >= 1,
+                 "SwitchSpec input port " << p << " has non-positive capacity "
+                     << input_capacity_[p]
+                     << " (capacities must be >= 1; model an outage with a "
+                        "scenario script, see docs/scenarios.md)");
+  }
+  for (std::size_t q = 0; q < output_capacity_.size(); ++q) {
+    FS_CHECK_MSG(output_capacity_[q] >= 1,
+                 "SwitchSpec output port " << q << " has non-positive capacity "
+                     << output_capacity_[q]
+                     << " (capacities must be >= 1; model an outage with a "
+                        "scenario script, see docs/scenarios.md)");
+  }
 }
 
 SwitchSpec SwitchSpec::Uniform(int num_inputs, int num_outputs, Capacity cap) {

@@ -1,0 +1,344 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "util/check.h"
+
+namespace flowsched {
+namespace {
+
+// Largest accepted round / port / capacity literal. Keeps every later
+// arithmetic step (round comparisons, capacity sums) far from overflow.
+constexpr std::int64_t kMaxLiteral = std::int64_t{1} << 30;
+
+std::string LineTag(int line) {
+  return "line " + std::to_string(line) + ": ";
+}
+
+bool Fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+// Splits on spaces, tabs, CRs, and commas (so a script is equally valid as
+// bare text or CSV columns).
+void Tokenize(const std::string& line, std::vector<std::string>* tokens) {
+  auto is_sep = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == ',';
+  };
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && is_sep(line[i])) ++i;
+    const std::size_t start = i;
+    while (i < line.size() && !is_sep(line[i])) ++i;
+    if (i > start) tokens->push_back(line.substr(start, i - start));
+  }
+}
+
+bool ParseLiteral(const std::string& s, std::int64_t* out) {
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last;
+}
+
+struct VerbSpec {
+  const char* name;
+  ScenarioEvent::Kind kind;
+  int args;  // Argument count after the verb (t + target [+ capacity]).
+};
+
+constexpr VerbSpec kVerbs[] = {
+    {"PORT_DOWN", ScenarioEvent::Kind::kPortDown, 2},
+    {"PORT_UP", ScenarioEvent::Kind::kPortUp, 2},
+    {"SET_CAPACITY", ScenarioEvent::Kind::kSetCapacity, 3},
+    {"POD_DOWN", ScenarioEvent::Kind::kPodDown, 2},
+    {"POD_UP", ScenarioEvent::Kind::kPodUp, 2},
+};
+
+// Mirrors the fabric block partitioner (fabric/fabric_partition.cc): pod s
+// owns hosts [s*per, (s+1)*per) with the tail folded into the last pod.
+int PodOfHost(int host, int num_hosts, int pods) {
+  const int per = (num_hosts + pods - 1) / pods;
+  return std::min(host / per, pods - 1);
+}
+
+}  // namespace
+
+bool ScenarioScript::Parse(std::istream& in, ScenarioScript* script,
+                           std::string* error) {
+  script->events_.clear();
+  script->pods_ = 0;
+  std::string line;
+  std::vector<std::string> tokens;
+  for (int line_no = 1; std::getline(in, line); ++line_no) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    tokens.clear();
+    Tokenize(line, &tokens);
+    if (tokens.empty()) continue;
+    const std::string& verb = tokens[0];
+    if (verb == "PODS") {
+      if (tokens.size() != 2) {
+        return Fail(error, LineTag(line_no) + "PODS wants: PODS <k>");
+      }
+      std::int64_t k = 0;
+      if (!ParseLiteral(tokens[1], &k) || k < 1 || k > kMaxLiteral) {
+        return Fail(error, LineTag(line_no) + "PODS count must be a positive"
+                                              " integer, got \"" +
+                               tokens[1] + "\"");
+      }
+      if (script->pods_ != 0) {
+        return Fail(error, LineTag(line_no) + "duplicate PODS header");
+      }
+      script->pods_ = static_cast<int>(k);
+      continue;
+    }
+    const VerbSpec* spec = nullptr;
+    for (const VerbSpec& v : kVerbs) {
+      if (verb == v.name) {
+        spec = &v;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      return Fail(error, LineTag(line_no) + "unknown scenario verb \"" + verb +
+                             "\" (want PORT_DOWN, PORT_UP, SET_CAPACITY, "
+                             "POD_DOWN, POD_UP, or PODS)");
+    }
+    if (static_cast<int>(tokens.size()) != spec->args + 1) {
+      std::string usage = std::string(spec->name) + " <t> <" +
+                          (spec->kind == ScenarioEvent::Kind::kPodDown ||
+                                   spec->kind == ScenarioEvent::Kind::kPodUp
+                               ? "pod"
+                               : "port") +
+                          ">";
+      if (spec->kind == ScenarioEvent::Kind::kSetCapacity) usage += " <cap>";
+      return Fail(error, LineTag(line_no) + verb + " wants: " + usage);
+    }
+    std::int64_t t = 0, target = 0, cap = 0;
+    if (!ParseLiteral(tokens[1], &t) || !ParseLiteral(tokens[2], &target) ||
+        (spec->args == 3 && !ParseLiteral(tokens[3], &cap))) {
+      return Fail(error, LineTag(line_no) + verb +
+                             " arguments must be decimal integers");
+    }
+    if (t < 0 || t > kMaxLiteral) {
+      return Fail(error,
+                  LineTag(line_no) + verb + " round must be in [0, 2^30]");
+    }
+    if (target < 0 || target > kMaxLiteral) {
+      return Fail(error, LineTag(line_no) + verb +
+                             " port/pod index must be in [0, 2^30]");
+    }
+    if (spec->args == 3 && (cap < 0 || cap > kMaxLiteral)) {
+      return Fail(error, LineTag(line_no) +
+                             "SET_CAPACITY capacity must be in [0, 2^30]");
+    }
+    if ((spec->kind == ScenarioEvent::Kind::kPodDown ||
+         spec->kind == ScenarioEvent::Kind::kPodUp) &&
+        script->pods_ == 0) {
+      return Fail(error, LineTag(line_no) + verb +
+                             " needs a PODS <k> header earlier in the script");
+    }
+    ScenarioEvent event;
+    event.kind = spec->kind;
+    event.t = static_cast<Round>(t);
+    event.target = static_cast<int>(target);
+    event.capacity = static_cast<Capacity>(cap);
+    event.line = line_no;
+    script->events_.push_back(event);
+  }
+  // Same-round events keep file order (stable), so a script can express
+  // "down then immediately shrink the neighbor" deterministically.
+  std::stable_sort(
+      script->events_.begin(), script->events_.end(),
+      [](const ScenarioEvent& a, const ScenarioEvent& b) { return a.t < b.t; });
+  return true;
+}
+
+bool ScenarioScript::ParseText(const std::string& text, ScenarioScript* script,
+                               std::string* error) {
+  std::istringstream in(text);
+  return Parse(in, script, error);
+}
+
+bool ScenarioScript::ParseFile(const std::string& path, ScenarioScript* script,
+                               std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    return Fail(error, "cannot open scenario file \"" + path + "\"");
+  }
+  return Parse(in, script, error);
+}
+
+bool ScenarioRuntime::Bind(const ScenarioScript& script, const SwitchSpec& base,
+                           std::string* error) {
+  base_ = base;
+  ops_.clear();
+  const int num_hosts = std::max(base.num_inputs(), base.num_outputs());
+  auto push_host = [&](Round t, PortId host, Capacity cap) {
+    if (host < base.num_inputs()) ops_.push_back({t, true, host, cap});
+    if (host < base.num_outputs()) ops_.push_back({t, false, host, cap});
+  };
+  for (const ScenarioEvent& e : script.events()) {
+    Capacity cap = 0;
+    switch (e.kind) {
+      case ScenarioEvent::Kind::kPortDown:
+        cap = 0;
+        break;
+      case ScenarioEvent::Kind::kPortUp:
+        cap = kScenarioRestore;
+        break;
+      case ScenarioEvent::Kind::kSetCapacity:
+        cap = e.capacity;
+        break;
+      case ScenarioEvent::Kind::kPodDown:
+      case ScenarioEvent::Kind::kPodUp: {
+        if (e.target >= script.pods()) {
+          return Fail(error, LineTag(e.line) + "pod " +
+                                 std::to_string(e.target) +
+                                 " out of range (PODS " +
+                                 std::to_string(script.pods()) + ")");
+        }
+        cap = e.kind == ScenarioEvent::Kind::kPodDown ? 0 : kScenarioRestore;
+        for (PortId h = 0; h < num_hosts; ++h) {
+          if (PodOfHost(h, num_hosts, script.pods()) == e.target) {
+            push_host(e.t, h, cap);
+          }
+        }
+        continue;
+      }
+    }
+    if (e.target >= num_hosts) {
+      return Fail(error, LineTag(e.line) + "port " + std::to_string(e.target) +
+                             " out of range (switch has " +
+                             std::to_string(num_hosts) + " hosts)");
+    }
+    push_host(e.t, e.target, cap);
+  }
+  return FinishBind(error);
+}
+
+bool ScenarioRuntime::BindOps(std::vector<ScenarioOp> ops,
+                              const SwitchSpec& base, std::string* error) {
+  base_ = base;
+  ops_ = std::move(ops);
+  std::stable_sort(ops_.begin(), ops_.end(),
+                   [](const ScenarioOp& a, const ScenarioOp& b) {
+                     return a.t < b.t;
+                   });
+  for (const ScenarioOp& op : ops_) {
+    const int limit = op.input_side ? base.num_inputs() : base.num_outputs();
+    if (op.port < 0 || op.port >= limit) {
+      return Fail(error, "scenario op targets " +
+                             std::string(op.input_side ? "input" : "output") +
+                             " port " + std::to_string(op.port) +
+                             " out of range [0, " + std::to_string(limit) +
+                             ")");
+    }
+  }
+  return FinishBind(error);
+}
+
+bool ScenarioRuntime::FinishBind(std::string* /*error*/) {
+  eff_in_ = base_.input_capacities();
+  eff_out_ = base_.output_capacities();
+  next_op_ = 0;
+  diff_sides_ = 0;
+  down_sides_ = 0;
+  view_dirty_ = true;
+  bound_ = true;
+  return true;
+}
+
+void ScenarioRuntime::AdvanceTo(Round t) {
+  while (next_op_ < ops_.size() && ops_[next_op_].t <= t) {
+    const ScenarioOp& op = ops_[next_op_++];
+    ApplySide(op.input_side, op.port, op.cap);
+  }
+}
+
+void ScenarioRuntime::ApplySide(bool input_side, PortId p, Capacity cap) {
+  const Capacity base =
+      input_side ? base_.input_capacity(p) : base_.output_capacity(p);
+  // Degradation only: a SET_CAPACITY above base clamps to base (realized
+  // schedules must stay valid against the declared switch).
+  const Capacity eff = cap == kScenarioRestore ? base : std::min(cap, base);
+  std::vector<Capacity>& side = input_side ? eff_in_ : eff_out_;
+  const Capacity old = side[p];
+  if (old == eff) return;  // Double PORT_DOWN etc. is an idempotent no-op.
+  if (old == 0) --down_sides_;
+  if (eff == 0) ++down_sides_;
+  if (old == base) ++diff_sides_;
+  if (eff == base) --diff_sides_;
+  side[p] = eff;
+  view_dirty_ = true;
+}
+
+const SwitchSpec& ScenarioRuntime::view() const {
+  if (view_dirty_) {
+    std::vector<Capacity> in = eff_in_;
+    std::vector<Capacity> out = eff_out_;
+    for (Capacity& c : in) c = std::max<Capacity>(c, 1);
+    for (Capacity& c : out) c = std::max<Capacity>(c, 1);
+    view_ = SwitchSpec(std::move(in), std::move(out));
+    view_dirty_ = false;
+  }
+  return view_;
+}
+
+bool ScenarioRuntime::HasOpAfter(Round t) const {
+  // Ops are sorted by round, so it suffices to look at the unapplied tail.
+  for (std::size_t i = next_op_; i < ops_.size(); ++i) {
+    if (ops_[i].t > t) return true;
+  }
+  return false;
+}
+
+bool ScenarioRuntime::ForceHostDown(PortId h, std::string* error) {
+  FS_CHECK(bound_);
+  const int num_hosts = std::max(base_.num_inputs(), base_.num_outputs());
+  if (h < 0 || h >= num_hosts) {
+    return Fail(error, "port " + std::to_string(h) +
+                           " out of range (switch has " +
+                           std::to_string(num_hosts) + " hosts)");
+  }
+  if (h < base_.num_inputs()) ApplySide(true, h, 0);
+  if (h < base_.num_outputs()) ApplySide(false, h, 0);
+  return true;
+}
+
+bool ScenarioRuntime::ForceHostUp(PortId h, std::string* error) {
+  FS_CHECK(bound_);
+  const int num_hosts = std::max(base_.num_inputs(), base_.num_outputs());
+  if (h < 0 || h >= num_hosts) {
+    return Fail(error, "port " + std::to_string(h) +
+                           " out of range (switch has " +
+                           std::to_string(num_hosts) + " hosts)");
+  }
+  if (h < base_.num_inputs()) ApplySide(true, h, kScenarioRestore);
+  if (h < base_.num_outputs()) ApplySide(false, h, kScenarioRestore);
+  return true;
+}
+
+bool LoadScenarioParam(const std::string& value, ScenarioScript* script,
+                       std::string* error) {
+  if (value.empty()) {
+    *script = ScenarioScript();
+    return true;
+  }
+  constexpr std::string_view kInline = "inline:";
+  if (value.rfind(kInline, 0) == 0) {
+    std::string text = value.substr(kInline.size());
+    std::replace(text.begin(), text.end(), ';', '\n');
+    return ScenarioScript::ParseText(text, script, error);
+  }
+  return ScenarioScript::ParseFile(value, script, error);
+}
+
+}  // namespace flowsched

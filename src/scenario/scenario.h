@@ -1,0 +1,165 @@
+// Fault-injection scenario engine: timed events that reshape a switch's
+// effective port capacities mid-run (ROADMAP open item 2b — the SWARM-SIM
+// scenario_parser idea recast for the single-switch model).
+//
+// A ScenarioScript is parsed from line-oriented text (or CSV — commas are
+// treated as separators). Verbs, one event per line:
+//
+//   PODS <k>                  header: partition hosts into k equal pods
+//   PORT_DOWN <t> <p>         at round t, host p loses both port sides
+//   PORT_UP <t> <p>           at round t, host p returns to base capacity
+//   SET_CAPACITY <t> <p> <c>  at round t, host p's sides become min(c, base)
+//   POD_DOWN <t> <s>          at round t, every host in pod s goes down
+//   POD_UP <t> <s>            at round t, every host in pod s recovers
+//
+// Blank lines and '#' comments are ignored; parse errors carry 1-based line
+// numbers ("line N: ...", the trace_io convention). "Host p" addresses the
+// unified host index: input port p AND output port p (they are the same
+// machine's NIC; see docs/scenarios.md). Events at round t apply *before*
+// round t's policy selection; same-round events apply in file order.
+//
+// Semantics are graceful degradation only: capacities never exceed the base
+// SwitchSpec (SET_CAPACITY clamps — realized schedules must stay valid
+// against the instance's declared switch), flows on a dead port stay
+// backlogged until the port recovers, and a shrink below the current
+// backlog just truncates that round's allowance. No event sequence —
+// double PORT_DOWN, shrink-below-backlog, recovery of a live port — is an
+// error at runtime; only out-of-range ports/pods are (at bind time).
+#ifndef FLOWSCHED_SCENARIO_SCENARIO_H_
+#define FLOWSCHED_SCENARIO_SCENARIO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "model/switch_spec.h"
+
+namespace flowsched {
+
+// One parsed script line (host/pod addressed; not yet bound to a switch).
+struct ScenarioEvent {
+  enum class Kind { kPortDown, kPortUp, kSetCapacity, kPodDown, kPodUp };
+  Kind kind = Kind::kPortDown;
+  Round t = 0;          // Round the event takes effect (applied pre-policy).
+  int target = 0;       // Host index, or pod index for kPod*.
+  Capacity capacity = 0;  // kSetCapacity only.
+  int line = 0;         // 1-based source line (for bind-time errors).
+};
+
+// A parsed, switch-independent script: events stable-sorted by round.
+class ScenarioScript {
+ public:
+  // Parses a script; on failure returns false with *error = "line N: ...".
+  static bool Parse(std::istream& in, ScenarioScript* script,
+                    std::string* error);
+  static bool ParseText(const std::string& text, ScenarioScript* script,
+                        std::string* error);
+  static bool ParseFile(const std::string& path, ScenarioScript* script,
+                        std::string* error);
+
+  bool empty() const { return events_.empty(); }
+  const std::vector<ScenarioEvent>& events() const { return events_; }
+  // Declared pod count (PODS header); 0 when the script declared none.
+  int pods() const { return pods_; }
+  // Round of the last event (0 for an empty script).
+  Round last_event_round() const {
+    return events_.empty() ? 0 : events_.back().t;
+  }
+
+ private:
+  std::vector<ScenarioEvent> events_;
+  int pods_ = 0;
+};
+
+// In `ScenarioOp::cap`: restore this port side to its base capacity.
+inline constexpr Capacity kScenarioRestore = -1;
+
+// One compiled per-port-side capacity override. Host-level script events
+// expand to these at bind time; the fabric runner projects them per shard.
+struct ScenarioOp {
+  Round t = 0;
+  bool input_side = true;
+  PortId port = 0;
+  Capacity cap = 0;  // kScenarioRestore, 0 (down), or a shrink target.
+};
+
+// A script bound to a concrete switch: the per-round cursor the simulators
+// drive. AdvanceTo() is monotone; the effective capacities it maintains are
+// what selection and validation audit against each round.
+class ScenarioRuntime {
+ public:
+  ScenarioRuntime() = default;
+
+  // Binds `script` against `base`: range-checks hosts/pods and expands
+  // host-level events into per-side ops. Returns false with *error
+  // ("line N: ...") on an out-of-range host or a pod event without a PODS
+  // header. An empty script binds fine (wire-mode FAULT/RECOVER needs a
+  // bound runtime even without a file).
+  bool Bind(const ScenarioScript& script, const SwitchSpec& base,
+            std::string* error);
+
+  // Binds pre-projected ops (fabric shards). Ops are stable-sorted by
+  // round; out-of-range ports are a bind error.
+  bool BindOps(std::vector<ScenarioOp> ops, const SwitchSpec& base,
+               std::string* error);
+
+  bool bound() const { return bound_; }
+
+  // Applies every op with op.t <= t. Monotone: rounds a caller skipped
+  // (idle fast-forward) are caught up in one call.
+  void AdvanceTo(Round t);
+
+  // True when any port side currently differs from base (the simulators
+  // skip all overlay work otherwise, keeping the fault-free path intact).
+  bool degraded() const { return diff_sides_ > 0; }
+  // True when any port side is fully down (capacity 0).
+  bool AnyPortDown() const { return down_sides_ > 0; }
+  // True when the flow (src input, dst output) touches a dead port side —
+  // such flows are withheld from the policy and stay backlogged.
+  bool IsBlocked(PortId src, PortId dst) const {
+    return eff_in_[src] == 0 || eff_out_[dst] == 0;
+  }
+
+  // The effective switch the policy sees this round. Dead sides are
+  // clamped to capacity 1 (SwitchSpec requires >= 1) — safe because
+  // blocked flows never reach the policy, so nothing can be scheduled
+  // through a dead port.
+  const SwitchSpec& view() const;
+
+  // True when some script op is scheduled strictly after round t (a
+  // fully-blocked backlog can still recover).
+  bool HasOpAfter(Round t) const;
+  // Round of the last bound op (0 when there are none).
+  Round last_op_round() const { return ops_.empty() ? 0 : ops_.back().t; }
+
+  // Wire-mode forcing (FAULT/RECOVER verbs): immediately downs/restores
+  // host `h` on both sides. False with *error when h is out of range.
+  bool ForceHostDown(PortId h, std::string* error);
+  bool ForceHostUp(PortId h, std::string* error);
+
+ private:
+  bool FinishBind(std::string* error);
+  void ApplySide(bool input_side, PortId p, Capacity cap);
+
+  bool bound_ = false;
+  SwitchSpec base_;
+  std::vector<ScenarioOp> ops_;  // Stable-sorted by round.
+  std::size_t next_op_ = 0;
+  // True effective capacities (0 = down), maintained by AdvanceTo/Force*.
+  std::vector<Capacity> eff_in_;
+  std::vector<Capacity> eff_out_;
+  int diff_sides_ = 0;  // Port sides differing from base.
+  int down_sides_ = 0;  // Port sides at capacity 0.
+  mutable SwitchSpec view_;
+  mutable bool view_dirty_ = true;
+};
+
+// Loads a solver `scenario=` param value: a file path, or an inline script
+// with "inline:" prefix and ';' as the line separator (handy for CI and
+// sweeps — no temp file). Empty value leaves *script empty and succeeds.
+bool LoadScenarioParam(const std::string& value, ScenarioScript* script,
+                       std::string* error);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_SCENARIO_SCENARIO_H_

@@ -52,12 +52,29 @@ StreamingSummary RunWireSession(const SwitchSpec& sw, std::istream& in,
   sim_options.stats_every = options.stats_every;
   sim_options.stats_out = nullptr;  // Wire stats lines carry a prefix.
   sim_options.match_out = options.emit_match ? &out : nullptr;
+  sim_options.scenario = options.scenario;
+  sim_options.stop = options.stop;
   StreamingSimulator sim(sw, *policy, sim_options);
+  {
+    // A scenario that cannot bind to this switch fails the session up
+    // front (the summary carries the line-tagged error).
+    const StreamingSummary probe = sim.Summarize();
+    if (probe.source_error) {
+      out << "ERROR " << probe.error << '\n';
+      out << "DONE " << probe.ToJson() << '\n';
+      out.flush();
+      return probe;
+    }
+  }
   std::string line;
   std::string error;
   WireCommand command;
   bool stopped = false;
-  while (!stopped && std::getline(in, line)) {
+  // A signal mid-session exits the read loop (the handler is installed
+  // without SA_RESTART, so the blocking read returns) and still emits the
+  // final DONE summary below.
+  while (!stopped && !(options.stop != nullptr && *options.stop != 0) &&
+         std::getline(in, line)) {
     if (!ParseWireLine(line, &command, &error)) {
       out << "ERROR " << error << '\n';
       continue;
@@ -84,6 +101,16 @@ StreamingSummary RunWireSession(const SwitchSpec& sw, std::istream& in,
         break;
       case WireCommand::Kind::kStats:
         out << "STATS " << sim.StatsLine() << '\n';
+        break;
+      case WireCommand::Kind::kFault:
+        if (!sim.ForceFault(command.port, &error)) {
+          out << "ERROR " << error << '\n';
+        }
+        break;
+      case WireCommand::Kind::kRecover:
+        if (!sim.ForceRecover(command.port, &error)) {
+          out << "ERROR " << error << '\n';
+        }
         break;
       case WireCommand::Kind::kStop:
         stopped = true;
@@ -115,6 +142,8 @@ StreamingSummary RunSourceSession(StreamingFlowSource& source,
   sim_options.stats_every = options.stats_every;
   sim_options.stats_out = &out;
   sim_options.match_out = options.emit_match ? &out : nullptr;
+  sim_options.scenario = options.scenario;
+  sim_options.stop = options.stop;
   StreamingSimulator sim(source.sw(), *policy, sim_options);
   const StreamingSummary summary = sim.Run(source);
   out << "DONE " << summary.ToJson() << '\n';

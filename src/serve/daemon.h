@@ -12,11 +12,13 @@
 #ifndef FLOWSCHED_SERVE_DAEMON_H_
 #define FLOWSCHED_SERVE_DAEMON_H_
 
+#include <csignal>
 #include <iosfwd>
 #include <memory>
 #include <string>
 
 #include "core/online/policy.h"
+#include "scenario/scenario.h"
 #include "serve/flow_source.h"
 #include "serve/streaming_simulator.h"
 
@@ -29,6 +31,11 @@ struct ServeOptions {
   bool emit_match = true;
   bool validate = true;
   Round max_rounds = -1;  // < 0: unbounded.
+  // Fault-injection script applied to the session's switch (--scenario).
+  const ScenarioScript* scenario = nullptr;
+  // Cooperative shutdown flag (SIGINT/SIGTERM): pull sessions finish the
+  // round in flight and emit DONE (StreamingOptions::stop).
+  const volatile std::sig_atomic_t* stop = nullptr;
 };
 
 // Builds the policy behind a registry-style name: "online.<p>" maps to

@@ -51,6 +51,7 @@ std::string StreamingSummary::ToJson() const {
   AppendField(out, "total_cct", total_cct);
   AppendField(out, "mean_cct", mean_cct);
   AppendField(out, "max_cct", max_cct);
+  AppendField(out, "downtime_rounds", static_cast<double>(downtime_rounds));
   AppendBool(out, "truncated", truncated);
   AppendBool(out, "source_error", source_error);
   if (!error.empty()) {
@@ -74,6 +75,16 @@ StreamingSimulator::StreamingSimulator(const SwitchSpec& sw,
                                        const StreamingOptions& options)
     : sw_(sw), policy_(policy), options_(options) {
   ctx_.Clear();
+  std::string scen_error;
+  if (options_.scenario != nullptr) {
+    if (!scenario_.Bind(*options_.scenario, sw, &scen_error)) {
+      source_error_ = true;
+      error_ = "scenario: " + scen_error;
+    }
+  } else {
+    // An empty binding keeps wire-mode FAULT/RECOVER available.
+    scenario_.Bind(ScenarioScript(), sw, &scen_error);
+  }
 }
 
 void StreamingSimulator::Admit(Flow f) {
@@ -89,29 +100,55 @@ void StreamingSimulator::Admit(Flow f) {
 }
 
 void StreamingSimulator::RunRound() {
+  scenario_.AdvanceTo(round_);
   ctx_.pending.clear();
-  for (const Flow& f : ctx_.backlog) {
-    ctx_.pending.push_back(
-        PendingFlow{f.id, f.src, f.dst, f.demand, f.release, f.coflow});
+  const bool mapped = scenario_.degraded();
+  if (mapped) {
+    // Mirror the batch loop: blocked flows stay backlogged and never reach
+    // the policy; pending_map remembers each survivor's backlog slot.
+    ctx_.pending_map.clear();
+    for (std::size_t i = 0; i < ctx_.backlog.size(); ++i) {
+      const Flow& f = ctx_.backlog[i];
+      if (scenario_.IsBlocked(f.src, f.dst)) continue;
+      ctx_.pending.push_back(
+          PendingFlow{f.id, f.src, f.dst, f.demand, f.release, f.coflow});
+      ctx_.pending_map.push_back(static_cast<int>(i));
+    }
+  } else {
+    for (const Flow& f : ctx_.backlog) {
+      ctx_.pending.push_back(
+          PendingFlow{f.id, f.src, f.dst, f.demand, f.release, f.coflow});
+    }
   }
   peak_backlog_ =
-      std::max(peak_backlog_, static_cast<int>(ctx_.pending.size()));
-  policy_.SelectFlowsInto(sw_, round_, ctx_.pending, &ctx_.picked);
+      std::max(peak_backlog_, static_cast<int>(ctx_.backlog.size()));
+  if (scenario_.AnyPortDown()) ++downtime_rounds_;
+  round_blocked_ = ctx_.pending.empty();
+  if (round_blocked_) {
+    // Every backlogged flow touches a dead port: the round idles.
+    ctx_.picked.clear();
+    return;
+  }
+  const SwitchSpec& round_sw = mapped ? scenario_.view() : sw_;
+  policy_.SelectFlowsInto(round_sw, round_, ctx_.pending, &ctx_.picked);
   if (options_.validate) {
-    ValidatePolicySelection(sw_, ctx_.pending, ctx_.picked, ctx_);
+    ValidatePolicySelection(round_sw, ctx_.pending, ctx_.picked, ctx_);
   }
   if (options_.match_out != nullptr && !ctx_.picked.empty()) {
     std::ostream& out = *options_.match_out;
     out << "MATCH " << round_;
-    for (int i : ctx_.picked) out << ' ' << ctx_.backlog[i].id;
+    for (int i : ctx_.picked) {
+      out << ' ' << ctx_.backlog[mapped ? ctx_.pending_map[i] : i].id;
+    }
     out << '\n';
   }
   completed_untagged_.clear();
   drained_groups_.clear();
   ctx_.remove.assign(ctx_.backlog.size(), 0);
   for (int i : ctx_.picked) {
-    ctx_.remove[i] = 1;
-    const Flow& f = ctx_.backlog[i];
+    const int bi = mapped ? ctx_.pending_map[i] : i;
+    ctx_.remove[bi] = 1;
+    const Flow& f = ctx_.backlog[bi];
     const auto response = static_cast<double>(round_ + 1 - f.release);
     metrics_.RecordResponse(response);
     ++completed_;
@@ -156,8 +193,12 @@ void StreamingSimulator::EmitPeriodicStats() {
 }
 
 StreamingSummary StreamingSimulator::Run(StreamingFlowSource& source) {
+  if (source_error_) return Summarize();  // Scenario bind failed in ctor.
   for (round_ = 0; options_.max_rounds < 0 || round_ < options_.max_rounds;
        ++round_) {
+    // Cooperative shutdown: the round in flight always completes, so the
+    // summary below is a consistent cut of the stream.
+    if (options_.stop != nullptr && *options_.stop != 0) break;
     ctx_.arrivals.clear();
     source.ArrivalsInto(round_, &ctx_.arrivals);
     if (!source.ok()) {
@@ -191,6 +232,15 @@ StreamingSummary StreamingSimulator::Run(StreamingFlowSource& source) {
     }
     RunRound();
     EmitPeriodicStats();
+    if (round_blocked_ && source.Exhausted(round_ + 1) &&
+        !scenario_.HasOpAfter(round_)) {
+      // Stranded: every remaining flow sits on a dead port and no script
+      // event can revive one. Truncate (batch Simulate breaks here too).
+      error_ = "scenario leaves " + std::to_string(ctx_.backlog.size()) +
+               " flows on dead ports with no recovery event after round " +
+               std::to_string(round_);
+      break;
+    }
   }
   truncated_ = !ctx_.backlog.empty();
   return Summarize();
@@ -235,6 +285,16 @@ void StreamingSimulator::Step() {
   ++round_;
 }
 
+bool StreamingSimulator::ForceFault(PortId h, std::string* error) {
+  wire_mode_ = true;
+  return scenario_.ForceHostDown(h, error);
+}
+
+bool StreamingSimulator::ForceRecover(PortId h, std::string* error) {
+  wire_mode_ = true;
+  return scenario_.ForceHostUp(h, error);
+}
+
 std::string StreamingSimulator::StatsLine() {
   return metrics_.StatsLine(round_, ctx_.backlog.size());
 }
@@ -268,6 +328,7 @@ StreamingSummary StreamingSimulator::Summarize() const {
   s.total_cct = c.sum();
   s.mean_cct = c.mean();
   s.max_cct = c.max();
+  s.downtime_rounds = downtime_rounds_;
   s.truncated = truncated_ || !ctx_.backlog.empty();
   s.source_error = source_error_;
   s.error = error_;

@@ -26,6 +26,7 @@
 #ifndef FLOWSCHED_SERVE_STREAMING_SIMULATOR_H_
 #define FLOWSCHED_SERVE_STREAMING_SIMULATOR_H_
 
+#include <csignal>
 #include <iosfwd>
 #include <string>
 #include <unordered_map>
@@ -34,6 +35,7 @@
 
 #include "core/online/simulation_context.h"
 #include "core/online/simulator.h"
+#include "scenario/scenario.h"
 #include "serve/flow_source.h"
 #include "serve/streaming_metrics.h"
 
@@ -48,6 +50,13 @@ struct StreamingOptions {
   std::ostream* stats_out = nullptr;
   // When set, every round with selections emits "MATCH <t> <id>..." here.
   std::ostream* match_out = nullptr;
+  // Fault-injection overlay, mirroring SimulationOptions::scenario: the
+  // same script replays the identical realized schedule on both paths.
+  const ScenarioScript* scenario = nullptr;
+  // Cooperative shutdown: when set and *stop turns non-zero, Run() finishes
+  // the round in flight, truncates, and returns — so a signal still ends
+  // with a complete DONE summary (flowsched_serve installs the handler).
+  const volatile std::sig_atomic_t* stop = nullptr;
 };
 
 struct StreamingSummary {
@@ -67,6 +76,8 @@ struct StreamingSummary {
   double total_cct = 0.0;
   double mean_cct = 0.0;
   double max_cct = 0.0;
+  // Simulated rounds with >= 1 port side down (scenario / FAULT sessions).
+  long long downtime_rounds = 0;
   bool truncated = false;     // Hit max_rounds with flows still pending.
   bool source_error = false;  // The source failed mid-stream (see error).
   std::string error;
@@ -93,6 +104,12 @@ class StreamingSimulator {
   void Step();
   std::size_t backlog_size() const { return ctx_.backlog.size(); }
 
+  // Wire FAULT/RECOVER: immediately downs/restores host `h` on both port
+  // sides. False with *error on an out-of-range host; never aborts. Flows
+  // already backlogged on a downed host stay queued until it recovers.
+  bool ForceFault(PortId h, std::string* error);
+  bool ForceRecover(PortId h, std::string* error);
+
   // Current stats line (wire STATS command); resets the tumbling window.
   std::string StatsLine();
   // Summary of everything processed so far (wire STOP / EOF).
@@ -113,6 +130,11 @@ class StreamingSimulator {
   StreamingOptions options_;
   SimulationContext ctx_;
   StreamingMetrics metrics_;
+  // Always bound (to an empty script when options.scenario is null), so
+  // wire FAULT/RECOVER works in any session.
+  ScenarioRuntime scenario_;
+  long long downtime_rounds_ = 0;
+  bool round_blocked_ = false;  // Last RunRound saw a fully-blocked backlog.
   Round round_ = 0;
   FlowId next_id_ = 0;  // Pull-mode ids, dense in arrival order.
   long long arrived_ = 0;

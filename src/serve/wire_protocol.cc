@@ -40,6 +40,7 @@ bool ParseWireLine(const std::string& line, WireCommand* command,
                    std::string* error) {
   command->kind = WireCommand::Kind::kNone;
   command->flow = Flow{};
+  command->port = 0;
   std::vector<std::string> tokens;
   Tokenize(line, &tokens);
   if (tokens.empty() || tokens[0][0] == '#') return true;  // kNone.
@@ -51,6 +52,23 @@ bool ParseWireLine(const std::string& line, WireCommand* command,
     command->kind = verb == "TICK"    ? WireCommand::Kind::kTick
                     : verb == "STATS" ? WireCommand::Kind::kStats
                                       : WireCommand::Kind::kStop;
+    return true;
+  }
+  if (verb == "FAULT" || verb == "RECOVER") {
+    if (tokens.size() != 2) {
+      return Fail(error, verb + " wants: " + verb + " <port>");
+    }
+    std::int64_t port = 0;
+    if (!ParseInt64(tokens[1], port)) {
+      return Fail(error, verb + " port must be a decimal integer");
+    }
+    constexpr std::int64_t kMaxPort = 2147483647;  // PortId is int.
+    if (port < 0 || port > kMaxPort) {
+      return Fail(error, verb + " port must be in [0, 2^31)");
+    }
+    command->kind = verb == "FAULT" ? WireCommand::Kind::kFault
+                                    : WireCommand::Kind::kRecover;
+    command->port = static_cast<PortId>(port);
     return true;
   }
   if (verb == "ARRIVE") {
@@ -85,7 +103,8 @@ bool ParseWireLine(const std::string& line, WireCommand* command,
     return true;
   }
   return Fail(error, "unknown command \"" + verb +
-                         "\" (want ARRIVE, TICK, STATS, or STOP)");
+                         "\" (want ARRIVE, TICK, STATS, FAULT, RECOVER, "
+                         "or STOP)");
 }
 
 }  // namespace flowsched

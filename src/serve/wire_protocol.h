@@ -4,6 +4,8 @@
 //   ARRIVE <id> <src> <dst> <size> [coflow]   queue a flow for this round
 //   TICK                                      simulate one round
 //   STATS                                     request a stats line now
+//   FAULT <port>                              down host <port> (both sides)
+//   RECOVER <port>                            restore host <port> to base
 //   STOP                                      finish: final summary, exit
 //
 // Blank lines and lines starting with '#' are ignored. Tokens are
@@ -24,10 +26,13 @@ struct WireCommand {
     kArrive,
     kTick,
     kStats,
+    kFault,
+    kRecover,
     kStop,
   };
   Kind kind = Kind::kNone;
   Flow flow;  // For kArrive: id/src/dst/demand/coflow (release unset).
+  PortId port = 0;  // For kFault/kRecover: the host to down/restore.
 };
 
 // Parses one protocol line. Returns false (with *error set) on a malformed

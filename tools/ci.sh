@@ -2,7 +2,7 @@
 # Local mirror of .github/workflows/ci.yml: the tier-1 verify sequence in
 # Debug and Release, a CLI smoke test, the docs checks (generated
 # docs/solvers.md freshness + markdown link resolution), and the Debug
-# ASan/UBSan leg over the coflow + workload + model suites.
+# ASan/UBSan leg over the coflow + workload + model + scenario suites.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -60,14 +60,28 @@ for build_type in Debug Release; do
       | grep -q '^DONE {"flows":5000,"arrived":5000,' \
       || { echo "error: flowsched_serve stdin summary wrong" >&2; exit 1; }
     echo "serve smoke ok: streaming == batch, stdin trace served cleanly"
+    # Scenario smoke: a two-event outage script through flowsched_cli must
+    # degrade gracefully and report the robustness diagnostics.
+    "./${build_dir}/tools/flowsched_cli" \
+        --instance=poisson:ports=8,load=0.9,rounds=60,seed=3 \
+        --solver=online.srpt --diagnostics \
+        --param scenario='inline:PORT_DOWN 20 3;PORT_UP 60 3' \
+        > "${build_dir}/scenario_smoke.out"
+    grep -Eq 'online\.srpt +ok ' "${build_dir}/scenario_smoke.out" \
+      || { echo "error: scenario run did not succeed" >&2; exit 1; }
+    grep -Eq 'downtime_rounds = [1-9]' "${build_dir}/scenario_smoke.out" \
+      || { echo "error: no downtime_rounds diagnostic" >&2; exit 1; }
+    grep -Eq 'recovery_drain_rounds = [1-9]' "${build_dir}/scenario_smoke.out" \
+      || { echo "error: no recovery_drain_rounds diagnostic" >&2; exit 1; }
+    echo "scenario smoke ok: outage degraded gracefully with diagnostics"
   fi
 done
 
-echo "=== Debug ASan/UBSan (coflow + fabric + workload + model + serve) ==="
+echo "=== Debug ASan/UBSan (coflow + fabric + workload + model + serve + scenario) ==="
 cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DFLOWSCHED_SANITIZE=address,undefined \
     -DFLOWSCHED_BUILD_BENCHES=OFF -DFLOWSCHED_BUILD_EXAMPLES=OFF
 cmake --build build-ci-asan -j "$(nproc)"
 (cd build-ci-asan && ctest --output-on-failure -j "$(nproc)" \
-    -R 'coflow|fabric|workload|model|serve')
+    -R 'coflow|fabric|workload|model|serve|scenario')
 echo "CI OK"

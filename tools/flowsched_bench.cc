@@ -22,6 +22,7 @@
 // estimator for throughput benches on shared machines.
 //
 // The JSON schema is documented in README.md ("Performance" section).
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -35,7 +36,9 @@
 #include "api/instance_source.h"
 #include "api/registry.h"
 #include "api/stream_source.h"
+#include "core/online/simulator.h"
 #include "graph/edge_coloring.h"
+#include "scenario/scenario.h"
 #include "serve/daemon.h"
 #include "serve/streaming_simulator.h"
 #include "util/json.h"
@@ -87,6 +90,11 @@ struct BenchCell {
   // whole instance + schedule; stream: cells quantify the O(live flows)
   // memory of the serve path on the same traffic.
   long long peak_rss_kb = -1;
+  // scenario: cells only (-1 elsewhere). Surge is the peak backlog over the
+  // fault-free twin's peak; drain is rounds simulated past the last event.
+  long long backlog_surge = -1;
+  long long drain_rounds = -1;
+  long long downtime_rounds = -1;
 };
 
 struct KernelCell {
@@ -97,6 +105,11 @@ struct KernelCell {
   double wall_seconds = 0.0;
 };
 
+struct ScenarioBenchSpec {
+  std::string instance;  // Generator spec for the faulted run.
+  std::string script;    // Scenario script text (scenario/scenario.h).
+};
+
 struct SuiteSpec {
   std::string name;
   std::vector<std::string> instances;
@@ -104,6 +117,10 @@ struct SuiteSpec {
   // online.srpt — same traffic as the matching batch cell, so the
   // peak_rss_kb columns are directly comparable.
   std::vector<std::string> streams;
+  // Fault-injection cells: the instance replayed under a timed outage
+  // script (online.srpt), measuring the degraded round loop and recording
+  // backlog surge + recovery drain against the fault-free twin.
+  std::vector<ScenarioBenchSpec> scenarios;
   // Dense multigraph for the edge-coloring kernel comparison.
   int coloring_side = 0;
   int coloring_edges = 0;
@@ -131,6 +148,12 @@ SuiteSpec MakeSuite(const std::string& name) {
             "poisson:ports=256,load=1.0,rounds=195,seed=1",
             "poisson:ports=64,load=0.9,rounds=100000,seed=1",
         },
+        {
+            // Mid-run loss of a quarter of the fabric (pod 0 of 4) under
+            // sustained near-saturation load, then recovery and drain.
+            {"poisson:ports=256,load=0.9,rounds=195,seed=1",
+             "PODS 4\nPOD_DOWN 60 0\nPOD_UP 120 0\n"},
+        },
         /*coloring_side=*/256,
         /*coloring_edges=*/200000,
     };
@@ -148,6 +171,10 @@ SuiteSpec MakeSuite(const std::string& name) {
         },
         {
             "poisson:ports=32,load=1.0,rounds=40,seed=1",
+        },
+        {
+            {"poisson:ports=32,load=0.9,rounds=40,seed=1",
+             "PODS 4\nPOD_DOWN 10 0\nPOD_UP 25 0\n"},
         },
         /*coloring_side=*/64,
         /*coloring_edges=*/4000,
@@ -273,6 +300,73 @@ BenchCell RunStreamCell(const std::string& spec, std::uint64_t seed,
   return cell;
 }
 
+// The faulted instance through batch Simulate with online.srpt: the timed
+// script reshapes the effective capacities mid-run. The fault-free twin runs
+// once (untimed) for the surge baseline; the measured repeats all replay the
+// degraded loop. A script that strands flows fails the cell rather than
+// aborting the harness.
+BenchCell RunScenarioCell(const ScenarioBenchSpec& spec, std::uint64_t seed,
+                          int repeat) {
+  BenchCell cell;
+  cell.instance = "scenario:" + spec.instance;
+  cell.solver = "online.srpt";
+  std::string error;
+  const auto instance = LoadInstance(spec.instance, &error);
+  if (!instance.has_value()) {
+    cell.error = error;
+    return cell;
+  }
+  ScenarioScript script;
+  if (!ScenarioScript::ParseText(spec.script, &script, &error)) {
+    cell.error = error;
+    return cell;
+  }
+  const auto policy = MakeServePolicy(cell.solver, &error, seed);
+  if (policy == nullptr) {
+    cell.error = error;
+    return cell;
+  }
+  SimulationOptions options;
+  options.validate = false;
+  const SimulationResult base = Simulate(*instance, *policy, options);
+  options.scenario = &script;
+  ResetPeakRss();
+  for (int rep = 0; rep < repeat; ++rep) {
+    const std::uint64_t allocs_before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    Stopwatch sw;
+    const SimulationResult r = Simulate(*instance, *policy, options);
+    const double s = sw.ElapsedSeconds();
+    const std::uint64_t allocs_after =
+        g_alloc_count.load(std::memory_order_relaxed);
+    if (r.truncated) {
+      cell.ok = false;
+      cell.error = r.error;
+      return cell;
+    }
+    if (rep == 0 || s < cell.wall_seconds) {
+      cell.wall_seconds = s;
+      cell.allocations = static_cast<long long>(allocs_after - allocs_before);
+    }
+    cell.ok = true;
+    cell.rounds = r.rounds;
+    cell.peak_backlog = r.peak_backlog;
+    cell.total_response = r.metrics.total_response;
+    cell.avg_response = r.metrics.avg_response;
+    cell.max_response = r.metrics.max_response;
+    cell.makespan = r.metrics.makespan;
+    cell.backlog_surge = r.peak_backlog - base.peak_backlog;
+    cell.drain_rounds =
+        std::max<long long>(0, r.rounds - script.last_event_round());
+    cell.downtime_rounds = r.downtime_rounds;
+  }
+  if (cell.wall_seconds > 0.0 && cell.rounds > 0) {
+    cell.rounds_per_sec = static_cast<double>(cell.rounds) / cell.wall_seconds;
+  }
+  cell.peak_rss_kb = PeakRssKb();
+  return cell;
+}
+
 KernelCell RunColoringKernel(const std::string& name,
                              EdgeColoringAlgorithm algorithm,
                              const BipartiteGraph& g, int repeat) {
@@ -331,6 +425,11 @@ void WriteJson(std::ostream& out, const SuiteSpec& suite,
           << ", \"max_response\": " << JsonNum(c.max_response)
           << ", \"makespan\": " << c.makespan
           << ", \"peak_rss_kb\": " << c.peak_rss_kb;
+      if (c.downtime_rounds >= 0) {
+        out << ", \"backlog_surge\": " << c.backlog_surge
+            << ", \"recovery_drain_rounds\": " << c.drain_rounds
+            << ", \"downtime_rounds\": " << c.downtime_rounds;
+      }
     } else {
       out << ", \"error\": \"" << JsonEscape(c.error) << "\"";
     }
@@ -422,6 +521,18 @@ int Run(int argc, char** argv) {
   }
   for (const std::string& spec : suite.streams) {
     BenchCell cell = RunStreamCell(spec, seed, repeat);
+    if (cell.ok) {
+      table.Row(cell.instance, cell.solver, cell.wall_seconds * 1e3,
+                cell.rounds, cell.rounds_per_sec, cell.peak_backlog,
+                cell.allocations, cell.peak_rss_kb);
+    } else {
+      table.Row(cell.instance, cell.solver, "FAIL: " + cell.error, "-", "-",
+                "-", "-", "-");
+    }
+    cells.push_back(std::move(cell));
+  }
+  for (const ScenarioBenchSpec& spec : suite.scenarios) {
+    BenchCell cell = RunScenarioCell(spec, seed, repeat);
     if (cell.ok) {
       table.Row(cell.instance, cell.solver, cell.wall_seconds * 1e3,
                 cell.rounds, cell.rounds_per_sec, cell.peak_backlog,

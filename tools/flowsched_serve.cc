@@ -23,6 +23,13 @@
 //   flowsched_serve --spec "poisson:ports=64,load=0.9,rounds=1000000"
 //   flowsched_serve --trace=trace.csv --policy=coflow.sebf --stats-every=64
 //   printf 'ARRIVE 0 0 1 1\nTICK\nSTOP\n' | flowsched_serve --ports=4
+//
+// SIGINT/SIGTERM request a graceful stop: the session finishes its current
+// round and emits the final DONE summary before the process exits. Socket
+// accept/read errors are logged and the daemon keeps accepting — only a
+// signal (or --tcp/--unix bind failure at startup) ends it.
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,6 +45,7 @@
 #include "core/online/simulator.h"
 #include "model/schedule.h"
 #include "model/trace_io.h"
+#include "scenario/scenario.h"
 #include "serve/daemon.h"
 #include "serve/stream_sources.h"
 
@@ -53,10 +61,33 @@
 namespace flowsched {
 namespace {
 
+// Set by the SIGINT/SIGTERM handler; every session loop polls it between
+// rounds, so a signal drains the current round and still emits DONE.
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void HandleStopSignal(int) { g_stop = 1; }
+
+void InstallStopHandlers() {
+#if defined(__unix__) || defined(__APPLE__)
+  // No SA_RESTART: a signal must interrupt the blocking read()/accept() so
+  // the session loop can observe g_stop instead of sleeping in the kernel.
+  struct sigaction sa {};
+  sa.sa_handler = HandleStopSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+#else
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+#endif
+}
+
 struct ServeCli {
   std::string spec;
   std::string trace;
   std::string unix_path;
+  std::string scenario;   // --scenario: path or inline:<script>.
   int tcp_port = -1;
   int ports = 16;         // Wire-mode switch geometry.
   long long cap = 1;
@@ -69,10 +100,15 @@ void PrintUsage(std::ostream& out) {
          "  --spec=SPEC        generator stream (poisson|coflow:k=v,...;\n"
          "                     rounds=inf for an endless stream)\n"
          "  --trace=PATH       stream an instance CSV; \"-\" reads stdin\n"
-         "  --tcp=PORT         wire protocol over TCP (single client)\n"
+         "  --tcp=PORT         wire protocol over TCP (clients served one "
+         "at a time)\n"
          "  --unix=PATH        wire protocol over a unix socket\n"
          "  --policy=NAME      online.<p> or coflow.<p> (default "
          "online.srpt)\n"
+         "  --scenario=S       fault-injection script: a path or "
+         "inline:<script>\n"
+         "                     with ';' line separators "
+         "(docs/scenarios.md)\n"
          "  --ports=N          wire-mode switch: N inputs and N outputs\n"
          "  --cap=C            wire-mode switch: uniform port capacity\n"
          "  --seed=N           RNG seed for randomized policies\n"
@@ -83,7 +119,8 @@ void PrintUsage(std::ostream& out) {
          "  --no-validate      skip per-round selection audits\n"
          "  --smoke            run the streaming-vs-batch self-check\n"
          "With no mode flag, speaks the wire protocol on stdin/stdout\n"
-         "(docs/serve-protocol.md).\n";
+         "(docs/serve-protocol.md). SIGINT/SIGTERM finish the current\n"
+         "round and emit the final DONE summary.\n";
 }
 
 // Accepts --name=value and --name value.
@@ -140,6 +177,8 @@ bool ParseArgs(int argc, char** argv, ServeCli& cli, std::string& error) {
       cli.unix_path = value;
     } else if (TakeValue(argc, argv, i, "policy", &value)) {
       cli.serve.policy = value;
+    } else if (TakeValue(argc, argv, i, "scenario", &value)) {
+      cli.scenario = value;
     } else if (count("tcp")) {
       cli.tcp_port = static_cast<int>(n);
     } else if (count("ports")) {
@@ -206,21 +245,34 @@ class FdStreamBuf : public std::streambuf {
   char wbuf_[4096];
 };
 
+// Serves wire sessions one client at a time until a stop signal arrives.
+// A failed accept (or a client whose connection died mid-session — the
+// session just sees EOF and summarizes) is logged and the daemon keeps
+// accepting; nothing a client does can take the listener down.
 int ServeSocket(int listen_fd, const SwitchSpec& sw,
                 const ServeOptions& options) {
-  std::fprintf(stderr, "flowsched_serve: waiting for a client...\n");
-  const int client = ::accept(listen_fd, nullptr, nullptr);
-  if (client < 0) {
-    std::perror("accept");
-    return 1;
+  int status = 0;
+  while (g_stop == 0) {
+    std::fprintf(stderr, "flowsched_serve: waiting for a client...\n");
+    const int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client < 0) {
+      if (g_stop != 0 || errno == EINTR) break;
+      std::perror("flowsched_serve: accept (continuing)");
+      continue;
+    }
+    FdStreamBuf buf(client);
+    std::istream in(&buf);
+    std::ostream out(&buf);
+    const StreamingSummary summary = RunWireSession(sw, in, out, options);
+    if (summary.source_error) {
+      std::fprintf(stderr, "flowsched_serve: session error: %s (continuing)\n",
+                   summary.error.c_str());
+      status = 1;
+    }
+    ::close(client);
   }
-  FdStreamBuf buf(client);
-  std::istream in(&buf);
-  std::ostream out(&buf);
-  const StreamingSummary summary = RunWireSession(sw, in, out, options);
-  ::close(client);
   ::close(listen_fd);
-  return summary.source_error ? 1 : 0;
+  return status;
 }
 
 int ServeTcp(int port, const SwitchSpec& sw, const ServeOptions& options) {
@@ -448,6 +500,17 @@ int Main(int argc, char** argv) {
     return 2;
   }
   if (cli.smoke) return RunSmoke(cli);
+
+  InstallStopHandlers();
+  cli.serve.stop = &g_stop;
+  ScenarioScript scenario;
+  if (!cli.scenario.empty()) {
+    if (!LoadScenarioParam(cli.scenario, &scenario, &error)) {
+      std::cerr << "flowsched_serve: scenario: " << error << '\n';
+      return 2;
+    }
+    cli.serve.scenario = &scenario;
+  }
 
   if (!cli.spec.empty() || !cli.trace.empty()) {
     std::unique_ptr<StreamingFlowSource> source;

@@ -78,8 +78,13 @@ void PrintUsage(std::ostream& out) {
          "spec overrides (same syntax as spec keys):\n"
          "  --name=S --solvers=LIST --instances=LIST(';'-sep) --loads=AXIS\n"
          "  --ports=AXIS --rounds=AXIS --shards=AXIS --seeds=AXIS\n"
+         "  --scenarios=LIST('|'-sep: none, a path, or inline:<script>)\n"
          "  --trials=N --base-seed=N --max-rounds=N --param KEY=VALUE\n"
          "axes: comma lists; a:b:step (doubles) or a..b (ints) ranges.\n"
+         "a scenarios axis reruns every cell under each fault script and\n"
+         "adds robustness columns (downtime, backlog surge, drain time,\n"
+         "response inflation), e.g.\n"
+         "  --scenarios='none|inline:PORT_DOWN 20 3;PORT_UP 60 3'\n"
          "{shards} in a fabric template sweeps the pod count, e.g.\n"
          "  --solvers='fabric.sebf' --shards=1,2,4,8 \\\n"
          "  --instances='fabric:shards={shards},partition=block,"
@@ -143,7 +148,7 @@ int Run(int argc, char** argv) {
       bool matched = false;
       for (const char* key : {"name", "solvers", "instances", "instance",
                               "loads", "ports", "rounds", "shards", "seeds",
-                              "trials"}) {
+                              "scenarios", "trials"}) {
         if ((v = value(key))) {
           overrides += std::string(key) + "=" + v + "\n";
           matched = true;
