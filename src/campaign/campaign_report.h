@@ -1,0 +1,55 @@
+// Collect + report for campaign runs (campaign/campaign_runner.h).
+//
+// Collect merges whatever the runs/ tree holds: every task's outcome.json
+// is read back from disk — never taken from in-process memory — and fed to
+// the exp/aggregator.h Aggregator in task order. Reading from disk is what
+// makes a resumed campaign's report byte-identical to an uninterrupted
+// one: both paths see the same %.9g-serialized numbers, so there is no
+// "fresh doubles vs JSON readback" divergence to chase. Aggregates land in
+// <out_root>/aggregate/<grid>.json and .csv with include_timing=false
+// (wall-clock fields are schedule-dependent and would break the byte
+// comparison).
+//
+// Report renders <out_root>/report/index.html: a self-contained static
+// page (inline CSS, inline SVG via campaign/svg_plot.h, zero external
+// dependencies, no timestamps) with per-grid response-vs-axis and
+// CCT-vs-axis curves carrying 95% CI whiskers, speedup tables against the
+// grid's first solver, robustness columns for scenario cells, and the
+// failed/missing task list.
+#ifndef FLOWSCHED_CAMPAIGN_CAMPAIGN_REPORT_H_
+#define FLOWSCHED_CAMPAIGN_CAMPAIGN_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "campaign/campaign_plan.h"
+#include "campaign/campaign_spec.h"
+
+namespace flowsched {
+
+struct CampaignCollectSummary {
+  int total = 0;
+  int ok = 0;
+  int failed = 0;        // outcome.json present with ok=false.
+  int missing = 0;       // No readable outcome.json (never ran / crashed).
+  std::vector<std::string> failed_tasks;   // Task ids, plan order.
+  std::vector<std::string> missing_tasks;
+};
+
+// Reads every task outcome under <out_root>/runs/ and writes
+// aggregate/<grid>.json and aggregate/<grid>.csv per grid. Partial
+// campaigns collect fine — missing tasks are counted, not fatal. Returns
+// false + *error only on filesystem failures.
+bool CollectCampaign(const CampaignSpec& spec, const CampaignPlan& plan,
+                     const std::string& out_root,
+                     CampaignCollectSummary& summary, std::string* error);
+
+// Writes <out_root>/report/index.html from the same disk readback.
+// Byte-deterministic for identical runs/ contents. Returns false + *error
+// on filesystem failures.
+bool WriteCampaignReport(const CampaignSpec& spec, const CampaignPlan& plan,
+                         const std::string& out_root, std::string* error);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_CAMPAIGN_CAMPAIGN_REPORT_H_

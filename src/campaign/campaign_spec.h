@@ -1,0 +1,70 @@
+// CampaignSpec: a durable, resumable experiment campaign — an output root
+// plus a list of named sweep grids (exp/sweep_spec.h SweepSpec), each the
+// unit the Aggregator reports on and the HTML report charts.
+//
+// A campaign is what a sweep is not: *durable*. flowsched_sweep runs one
+// grid in one process and loses everything on a crash; flowsched_campaign
+// gives every task its own directory under <out_root>/runs/ with a
+// meta.json (spec hash, provenance, exit code) so a killed campaign
+// resumes exactly where it stopped (campaign/campaign_runner.h) and a
+// collect/report step can merge whatever has completed so far
+// (campaign/campaign_report.h). The pattern follows the cascade bench
+// runner (SNIPPETS.md 2/3): per-run meta.json, --resume, --dry-run,
+// aggregate -> static report.
+//
+// Two source formats, like sweep specs:
+//
+// key=value with [grid] sections ('#' comments, blank lines ignored):
+//
+//   name=paper-figs
+//   title=Paper figure reproductions
+//   out_root=campaign_runs/paper-figs
+//   [grid]
+//   name=fig6-art
+//   solvers=online.maxcard,online.minrtime,online.maxweight
+//   instances=poisson:ports={ports},load={load},rounds={rounds},seed={seed}
+//   ... any sweep spec key ...
+//   [grid]
+//   name=...
+//
+// JSON: one object with "name", optional "title"/"out_root", and "grids",
+// an array of flat sweep-spec objects (the exact format
+// ParseSweepSpec accepts):
+//
+//   {"name": "paper-figs",
+//    "grids": [{"name": "fig6-art", "solvers": [...], ...}, ...]}
+//
+// Grid names become directory-name prefixes, so they are restricted to
+// [A-Za-z0-9._-] and must be unique within the campaign; the campaign
+// name is restricted the same way (it defaults the out_root).
+#ifndef FLOWSCHED_CAMPAIGN_CAMPAIGN_SPEC_H_
+#define FLOWSCHED_CAMPAIGN_CAMPAIGN_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "exp/sweep_spec.h"
+
+namespace flowsched {
+
+struct CampaignSpec {
+  std::string name = "campaign";  // [A-Za-z0-9._-]+.
+  std::string title;              // Report heading; defaults to `name`.
+  std::string out_root;           // Defaults to "campaign_runs/<name>".
+  std::vector<SweepSpec> grids;   // Each named, names unique.
+};
+
+// Parses a campaign from text: JSON when the first non-space character is
+// '{', otherwise the [grid]-sectioned key=value format. Returns false and
+// fills *error on malformed input, bad names, duplicate/missing grids.
+// Expansion-time validation (solver globs, axis/placeholder matching)
+// happens later in ExpandCampaign.
+bool ParseCampaignSpec(const std::string& text, CampaignSpec& spec,
+                       std::string* error);
+
+// The output root actually used: spec.out_root, or its default.
+std::string CampaignOutRoot(const CampaignSpec& spec);
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_CAMPAIGN_CAMPAIGN_SPEC_H_

@@ -1,0 +1,200 @@
+#include "campaign/svg_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace flowsched {
+namespace {
+
+// Fixed formatting => byte-stable reports.
+std::string Num(double v) {
+  if (std::abs(v) < 1e-12) v = 0.0;  // Avoid "-0".
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// "Nice" tick step: 1/2/5 * 10^k covering `span` in ~`target` steps.
+double NiceStep(double span, int target) {
+  if (span <= 0.0) return 1.0;
+  const double raw = span / target;
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  const double norm = raw / mag;
+  double nice = 10.0;
+  if (norm <= 1.0) nice = 1.0;
+  else if (norm <= 2.0) nice = 2.0;
+  else if (norm <= 5.0) nice = 5.0;
+  return nice * mag;
+}
+
+}  // namespace
+
+const std::vector<std::string>& SvgPalette() {
+  // 8 distinguishable hues on white; repeats after 8 series.
+  static const std::vector<std::string> kPalette = {
+      "#2563eb", "#dc2626", "#059669", "#d97706",
+      "#7c3aed", "#0891b2", "#be185d", "#4d7c0f"};
+  return kPalette;
+}
+
+void WriteSvgLinePlot(std::ostream& out, const std::vector<SvgSeries>& series,
+                      const SvgPlotOptions& options) {
+  const int W = options.width;
+  const int H = options.height;
+  // Margins: left for y tick labels, bottom for x labels, top for the
+  // title, right for breathing room; legend renders below the plot.
+  const double ml = 64, mr = 16, mt = 28, mb = 44;
+  const double pw = W - ml - mr;  // Plot area.
+  const double ph = H - mt - mb;
+
+  // Data ranges across all non-empty series (CI whiskers included so they
+  // never clip).
+  bool any = false;
+  double x_min = 0, x_max = 0, y_min = 0, y_max = 0;
+  for (const SvgSeries& s : series) {
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      const double ci = i < s.ci.size() ? s.ci[i] : 0.0;
+      if (!any) {
+        x_min = x_max = s.x[i];
+        y_min = s.y[i] - ci;
+        y_max = s.y[i] + ci;
+        any = true;
+      } else {
+        x_min = std::min(x_min, s.x[i]);
+        x_max = std::max(x_max, s.x[i]);
+        y_min = std::min(y_min, s.y[i] - ci);
+        y_max = std::max(y_max, s.y[i] + ci);
+      }
+    }
+  }
+  if (any) {
+    if (x_max == x_min) {
+      x_min -= 0.5;
+      x_max += 0.5;
+    }
+    if (y_max == y_min) {
+      y_min -= (y_min == 0.0 ? 1.0 : std::abs(y_min) * 0.1);
+      y_max += (y_max == 0.0 ? 1.0 : std::abs(y_max) * 0.1);
+    }
+    // Anchor response/CCT charts at zero when the data is non-negative:
+    // magnitudes compare honestly across panels.
+    if (y_min > 0.0 && y_min < 0.5 * y_max) y_min = 0.0;
+  }
+
+  const int legend_rows =
+      static_cast<int>((series.size() + 2) / 3);  // 3 entries per row.
+  const int total_h = H + (any ? legend_rows * 18 + 6 : 0);
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << W
+      << "\" height=\"" << total_h << "\" viewBox=\"0 0 " << W << " "
+      << total_h << "\" role=\"img\">\n";
+  out << "<rect width=\"" << W << "\" height=\"" << total_h
+      << "\" fill=\"#ffffff\"/>\n";
+  out << "<text x=\"" << Num(ml + pw / 2) << "\" y=\"18\" fill=\"#111827\" "
+         "font-size=\"14\" font-family=\"sans-serif\" text-anchor=\"middle\" "
+         "font-weight=\"bold\">"
+      << options.title << "</text>\n";
+
+  if (!any) {
+    out << "<text x=\"" << Num(ml + pw / 2) << "\" y=\"" << Num(mt + ph / 2)
+        << "\" fill=\"#6b7280\" font-size=\"13\" font-family=\"sans-serif\" "
+           "text-anchor=\"middle\">no data</text>\n";
+    out << "</svg>\n";
+    return;
+  }
+
+  auto sx = [&](double x) { return ml + (x - x_min) / (x_max - x_min) * pw; };
+  auto sy = [&](double y) {
+    return mt + ph - (y - y_min) / (y_max - y_min) * ph;
+  };
+
+  // Grid + ticks.
+  const double x_step = NiceStep(x_max - x_min, 5);
+  const double y_step = NiceStep(y_max - y_min, 5);
+  for (double ty = std::ceil(y_min / y_step) * y_step; ty <= y_max + 1e-9;
+       ty += y_step) {
+    out << "<line x1=\"" << Num(ml) << "\" y1=\"" << Num(sy(ty)) << "\" x2=\""
+        << Num(ml + pw) << "\" y2=\"" << Num(sy(ty))
+        << "\" stroke=\"#e5e7eb\" stroke-width=\"1\"/>\n";
+    out << "<text x=\"" << Num(ml - 6) << "\" y=\"" << Num(sy(ty) + 4)
+        << "\" fill=\"#374151\" font-size=\"11\" font-family=\"sans-serif\" "
+           "text-anchor=\"end\">"
+        << Num(ty) << "</text>\n";
+  }
+  for (double tx = std::ceil(x_min / x_step) * x_step; tx <= x_max + 1e-9;
+       tx += x_step) {
+    out << "<line x1=\"" << Num(sx(tx)) << "\" y1=\"" << Num(mt) << "\" x2=\""
+        << Num(sx(tx)) << "\" y2=\"" << Num(mt + ph)
+        << "\" stroke=\"#f3f4f6\" stroke-width=\"1\"/>\n";
+    out << "<text x=\"" << Num(sx(tx)) << "\" y=\"" << Num(mt + ph + 16)
+        << "\" fill=\"#374151\" font-size=\"11\" font-family=\"sans-serif\" "
+           "text-anchor=\"middle\">"
+        << Num(tx) << "</text>\n";
+  }
+  // Axes frame + labels.
+  out << "<rect x=\"" << Num(ml) << "\" y=\"" << Num(mt) << "\" width=\""
+      << Num(pw) << "\" height=\"" << Num(ph)
+      << "\" fill=\"none\" stroke=\"#9ca3af\" stroke-width=\"1\"/>\n";
+  out << "<text x=\"" << Num(ml + pw / 2) << "\" y=\"" << Num(H - 8)
+      << "\" fill=\"#111827\" font-size=\"12\" font-family=\"sans-serif\" "
+         "text-anchor=\"middle\">"
+      << options.x_label << "</text>\n";
+  out << "<text x=\"14\" y=\"" << Num(mt + ph / 2)
+      << "\" fill=\"#111827\" font-size=\"12\" font-family=\"sans-serif\" "
+         "text-anchor=\"middle\" transform=\"rotate(-90 14 "
+      << Num(mt + ph / 2) << ")\">" << options.y_label << "</text>\n";
+
+  // Series.
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const SvgSeries& s = series[si];
+    const std::string& color = SvgPalette()[si % SvgPalette().size()];
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    if (n == 0) continue;
+    // CI whiskers beneath the line.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ci = i < s.ci.size() ? s.ci[i] : 0.0;
+      if (ci <= 0.0) continue;
+      const double cx = sx(s.x[i]);
+      out << "<line x1=\"" << Num(cx) << "\" y1=\"" << Num(sy(s.y[i] - ci))
+          << "\" x2=\"" << Num(cx) << "\" y2=\"" << Num(sy(s.y[i] + ci))
+          << "\" stroke=\"" << color
+          << "\" stroke-width=\"1\" opacity=\"0.55\"/>\n";
+      for (const double yv : {s.y[i] - ci, s.y[i] + ci}) {
+        out << "<line x1=\"" << Num(cx - 3) << "\" y1=\"" << Num(sy(yv))
+            << "\" x2=\"" << Num(cx + 3) << "\" y2=\"" << Num(sy(yv))
+            << "\" stroke=\"" << color
+            << "\" stroke-width=\"1\" opacity=\"0.55\"/>\n";
+      }
+    }
+    if (n > 1) {
+      out << "<polyline fill=\"none\" stroke=\"" << color
+          << "\" stroke-width=\"1.8\" points=\"";
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i > 0) out << " ";
+        out << Num(sx(s.x[i])) << "," << Num(sy(s.y[i]));
+      }
+      out << "\"/>\n";
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      out << "<circle cx=\"" << Num(sx(s.x[i])) << "\" cy=\""
+          << Num(sy(s.y[i])) << "\" r=\"2.8\" fill=\"" << color << "\"/>\n";
+    }
+  }
+
+  // Legend: rows of up to 3 entries below the plot.
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const std::string& color = SvgPalette()[si % SvgPalette().size()];
+    const double lx = ml + static_cast<double>(si % 3) * (pw / 3);
+    const double ly = H + 12 + static_cast<double>(si / 3) * 18;
+    out << "<line x1=\"" << Num(lx) << "\" y1=\"" << Num(ly - 4) << "\" x2=\""
+        << Num(lx + 18) << "\" y2=\"" << Num(ly - 4) << "\" stroke=\"" << color
+        << "\" stroke-width=\"2\"/>\n";
+    out << "<text x=\"" << Num(lx + 24) << "\" y=\"" << Num(ly)
+        << "\" fill=\"#111827\" font-size=\"11\" "
+           "font-family=\"sans-serif\">"
+        << series[si].label << "</text>\n";
+  }
+  out << "</svg>\n";
+}
+
+}  // namespace flowsched

@@ -1,0 +1,48 @@
+// Minimal inline-SVG chart writer for the campaign HTML report
+// (campaign/html_report.h). Self-contained by design: the report's
+// acceptance contract is "zero external dependencies", so charts are SVG
+// elements embedded straight into the page — no JS plotting library, no
+// image files, no fonts beyond the browser defaults.
+//
+// Output is byte-deterministic for identical inputs (fixed %.6g number
+// formatting, fixed palette, no timestamps/randomness): campaign reports
+// are byte-compared across resumed and uninterrupted runs in CI.
+#ifndef FLOWSCHED_CAMPAIGN_SVG_PLOT_H_
+#define FLOWSCHED_CAMPAIGN_SVG_PLOT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace flowsched {
+
+struct SvgSeries {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+  // 95% CI half-widths per point (empty = no error bars).
+  std::vector<double> ci;
+};
+
+struct SvgPlotOptions {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  int width = 640;
+  int height = 360;
+};
+
+// Writes one <svg> element: axes with ~5 ticks each, light grid lines,
+// one polyline + point markers + optional CI whiskers per series, and a
+// legend. Series with no points are skipped; an all-empty chart renders
+// the frame with a "no data" note instead of failing.
+void WriteSvgLinePlot(std::ostream& out, const std::vector<SvgSeries>& series,
+                      const SvgPlotOptions& options);
+
+// The categorical palette used for series strokes, exposed so tables can
+// color-key rows consistently with the charts.
+const std::vector<std::string>& SvgPalette();
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_CAMPAIGN_SVG_PLOT_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/csv.h"
 #include "util/json.h"
 #include "util/provenance.h"
 
@@ -219,8 +220,11 @@ void Aggregator::WriteCsv(std::ostream& out, bool include_timing) const {
   out << "\n";
   for (const CellAggregate& c : cells_) {
     const SweepCell& key = plan_.cells[c.cell];
-    // Instance specs contain commas; quote the field.
-    out << key.solver << ",\"" << key.instance_family << "\",";
+    // Instance specs and inline scenario scripts contain commas, semicolons,
+    // and potentially quotes; CsvEscapeField quotes and doubles as needed —
+    // bare surrounding quotes used to shear columns on embedded '"'.
+    out << CsvEscapeField(key.solver) << ","
+        << CsvEscapeField(key.instance_family) << ",";
     if (key.load) out << JsonNum(*key.load);
     out << ",";
     if (key.ports) out << *key.ports;
@@ -229,8 +233,7 @@ void Aggregator::WriteCsv(std::ostream& out, bool include_timing) const {
     out << ",";
     if (key.shards) out << *key.shards;
     out << ",";
-    // Scenario values may hold commas (inline scripts); quote like instance.
-    if (key.scenario) out << "\"" << *key.scenario << "\"";
+    if (key.scenario) out << CsvEscapeField(*key.scenario);
     out << "," << c.n << "," << c.failures << "," << c.num_flows << ","
         << c.num_coflows << "," << c.shards << "," << c.scenario_events;
     const RunningStats* stats[] = {

@@ -11,9 +11,8 @@
 #include "util/stopwatch.h"
 
 namespace flowsched {
-namespace {
 
-TaskOutcome OutcomeFromReport(const SolveReport& report) {
+TaskOutcome OutcomeFromSolveReport(const SolveReport& report) {
   TaskOutcome o;
   o.ok = report.ok;
   o.error = report.error;
@@ -78,8 +77,6 @@ TaskOutcome OutcomeFromReport(const SolveReport& report) {
   }
   return o;
 }
-
-}  // namespace
 
 void WriteTaskJsonLine(std::ostream& out, const SweepCell& cell,
                        const SweepTask& task, const TaskOutcome& outcome) {
@@ -181,7 +178,7 @@ bool RunSweep(const SweepSpec& spec, const RunnerOptions& options,
         if (cell.scenario && *cell.scenario != "none") {
           solve.params["scenario"] = *cell.scenario;
         }
-        outcome = OutcomeFromReport(
+        outcome = OutcomeFromSolveReport(
             registry.Solve(cell.solver, *instance, solve));
       }
       if (options.jsonl != nullptr || options.progress) {

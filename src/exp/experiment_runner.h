@@ -98,9 +98,16 @@ bool RunSweep(const SweepSpec& spec, const RunnerOptions& options,
               SweepRun& run, std::string* error);
 
 // Writes the incremental JSONL line for one finished task (exposed for
-// tests; RunSweep calls it when RunnerOptions::jsonl is set).
+// tests; RunSweep calls it when RunnerOptions::jsonl is set). The campaign
+// runner writes the same object as each task's durable outcome.json, so
+// the two records share one schema.
 void WriteTaskJsonLine(std::ostream& out, const SweepCell& cell,
                        const SweepTask& task, const TaskOutcome& outcome);
+
+// Converts one SolveReport into the TaskOutcome the Aggregator consumes.
+// Shared by RunSweep and the durable campaign runner
+// (campaign/campaign_runner.h).
+TaskOutcome OutcomeFromSolveReport(const SolveReport& report);
 
 }  // namespace flowsched
 

@@ -150,12 +150,11 @@ bool ParseAxis(const std::string& text, std::vector<std::uint64_t>& out,
                            error);
 }
 
-namespace {
-
-// Applies one key=value pair to the spec; both the text and JSON front
-// ends funnel through here so the key set cannot drift between formats.
-bool ApplyKey(SweepSpec& spec, const std::string& key,
-              const std::string& value, std::string* error) {
+// Applies one key=value pair to the spec; the text and JSON front ends and
+// the campaign spec parser (campaign/campaign_spec.cc) funnel through here
+// so the key set cannot drift between formats.
+bool ApplySweepSpecKey(SweepSpec& spec, const std::string& key,
+                       const std::string& value, std::string* error) {
   std::string axis_error;
   if (key == "name") {
     spec.name = value;
@@ -223,6 +222,8 @@ bool ApplyKey(SweepSpec& spec, const std::string& key,
   return true;
 }
 
+namespace {
+
 bool ParseTextSpec(const std::string& text, SweepSpec& spec,
                    std::string* error) {
   int line_no = 0;
@@ -247,8 +248,8 @@ bool ParseTextSpec(const std::string& text, SweepSpec& spec,
                              ": expected key=value, got \"" + trimmed + "\"");
     }
     std::string perr;
-    if (!ApplyKey(spec, trimmed.substr(0, eq), trimmed.substr(eq + 1),
-                  &perr)) {
+    if (!ApplySweepSpecKey(spec, trimmed.substr(0, eq), trimmed.substr(eq + 1),
+                           &perr)) {
       return Fail(error, "line " + std::to_string(line_no) + ": " + perr);
     }
   }
@@ -375,7 +376,8 @@ bool ParseJsonSpec(const std::string& text, SweepSpec& spec,
     std::string value;
     if (cur.Peek() == '[') {
       cur.Eat('[');
-      // Arrays join into the list syntax ApplyKey already speaks; instance
+      // Arrays join into the list syntax ApplySweepSpecKey already speaks;
+      // instance
       // specs contain commas, so that key joins with ';'.
       const char sep = (key == "instances" || key == "instance") ? ';'
                        : key == "scenarios"                      ? '|'
@@ -397,7 +399,9 @@ bool ParseJsonSpec(const std::string& text, SweepSpec& spec,
       return false;
     }
     std::string perr;
-    if (!ApplyKey(spec, key, value, &perr)) return Fail(error, perr);
+    if (!ApplySweepSpecKey(spec, key, value, &perr)) {
+      return Fail(error, perr);
+    }
   } while (cur.Eat(','));
   if (!cur.Eat('}')) return Fail(error, cur.JsonWhere() + ": expected '}'");
   if (!cur.AtEnd()) return Fail(error, "json: trailing data after '}'");

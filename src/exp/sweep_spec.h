@@ -126,6 +126,13 @@ bool ParseAxis(const std::string& text, std::vector<long long>& out,
 bool ParseAxis(const std::string& text, std::vector<std::uint64_t>& out,
                std::string* error);
 
+// Applies one key=value pair (the spec-file line grammar) to `spec`.
+// Both front ends below and the campaign spec parser
+// (campaign/campaign_spec.h) funnel through this, so the key set cannot
+// drift between sweep files, sweep JSON, CLI flags, and campaign grids.
+bool ApplySweepSpecKey(SweepSpec& spec, const std::string& key,
+                       const std::string& value, std::string* error);
+
 // Parses a spec from text: a flat JSON object when the first non-space
 // character is '{', otherwise key=value lines ('#' comments, blank lines
 // ignored). Keys: name, solvers, instances (';'-separated — specs contain

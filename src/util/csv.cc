@@ -6,7 +6,7 @@ namespace flowsched {
 namespace {
 
 bool NeedsQuoting(std::string_view field) {
-  return field.find_first_of(",\"\n") != std::string_view::npos;
+  return field.find_first_of(",\"\n\r;") != std::string_view::npos;
 }
 
 std::string Quote(std::string_view field) {
@@ -21,10 +21,14 @@ std::string Quote(std::string_view field) {
 
 }  // namespace
 
+std::string CsvEscapeField(std::string_view field) {
+  return NeedsQuoting(field) ? Quote(field) : std::string(field);
+}
+
 void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
   for (std::size_t i = 0; i < fields.size(); ++i) {
     if (i > 0) out_ << ',';
-    out_ << (NeedsQuoting(fields[i]) ? Quote(fields[i]) : fields[i]);
+    out_ << CsvEscapeField(fields[i]);
   }
   out_ << '\n';
 }

@@ -14,6 +14,16 @@
 
 namespace flowsched {
 
+// Escapes one field for emission into a CSV row: returns the field quoted
+// (embedded quotes doubled) when it contains a comma, quote, newline,
+// carriage return, or semicolon, unchanged otherwise. Semicolons force
+// quoting because several of our own values use ';' as an internal
+// separator (instance-spec lists, inline scenario scripts) and common
+// spreadsheet importers treat bare ';' as a delimiter; report CSV columns
+// must not shear on them. Shared by CsvWriter and the hand-rolled report
+// writers (exp/aggregator.cc).
+std::string CsvEscapeField(std::string_view field);
+
 // Streams rows to an std::ostream. Not thread-safe.
 class CsvWriter {
  public:

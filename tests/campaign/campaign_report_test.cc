@@ -1,0 +1,141 @@
+#include "campaign/campaign_report.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/campaign_runner.h"
+#include "campaign/campaign_spec.h"
+
+namespace flowsched {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class CampaignReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("flowsched_report_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()));
+    fs::remove_all(root_);
+    const std::string text =
+        "name=reptest\n"
+        "title=Report test campaign\n"
+        "[grid]\n"
+        "name=flow\n"
+        "solvers=online.fifo,online.srpt\n"
+        "instances=poisson:ports=4,load={load},rounds=20,seed={seed}\n"
+        "loads=0.7,1.0\n"
+        "seeds=1..2\n"
+        "[grid]\n"
+        "name=coflow\n"
+        "solvers=coflow.sebf\n"
+        "instances=coflow:ports=8,load=1.0,rounds=30,width=4,seed={seed}\n"
+        "seeds=1..2\n";
+    std::string error;
+    ASSERT_TRUE(ParseCampaignSpec(text, spec_, &error)) << error;
+    ASSERT_TRUE(ExpandCampaign(spec_, SolverRegistry::Global(), plan_, &error))
+        << error;
+    CampaignRunOptions options;
+    options.jobs = 2;
+    CampaignRunSummary summary;
+    ASSERT_TRUE(
+        RunCampaign(spec_, plan_, root_.string(), options, summary, &error))
+        << error;
+    ASSERT_EQ(summary.ok, plan_.total_tasks);
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  fs::path root_;
+  CampaignSpec spec_;
+  CampaignPlan plan_;
+};
+
+TEST_F(CampaignReportTest, CollectWritesPerGridAggregates) {
+  CampaignCollectSummary summary;
+  std::string error;
+  ASSERT_TRUE(CollectCampaign(spec_, plan_, root_.string(), summary, &error))
+      << error;
+  EXPECT_EQ(summary.total, 10);
+  EXPECT_EQ(summary.ok, 10);
+  EXPECT_EQ(summary.failed, 0);
+  EXPECT_EQ(summary.missing, 0);
+  const std::string flow_json = ReadFile(root_ / "aggregate" / "flow.json");
+  EXPECT_NE(flow_json.find("\"sweep\": \"flow\""), std::string::npos);
+  EXPECT_NE(flow_json.find("\"avg_response\""), std::string::npos);
+  // Timing never lands in campaign aggregates: they are byte-compared.
+  EXPECT_EQ(flow_json.find("\"wall_seconds\""), std::string::npos);
+  const std::string coflow_csv = ReadFile(root_ / "aggregate" / "coflow.csv");
+  EXPECT_NE(coflow_csv.find("avg_cct_mean"), std::string::npos);
+  EXPECT_EQ(coflow_csv.find("wall_seconds_mean"), std::string::npos);
+}
+
+TEST_F(CampaignReportTest, CollectIsByteDeterministic) {
+  CampaignCollectSummary summary;
+  std::string error;
+  ASSERT_TRUE(CollectCampaign(spec_, plan_, root_.string(), summary, &error));
+  const std::string first = ReadFile(root_ / "aggregate" / "flow.json");
+  ASSERT_TRUE(CollectCampaign(spec_, plan_, root_.string(), summary, &error));
+  EXPECT_EQ(ReadFile(root_ / "aggregate" / "flow.json"), first);
+}
+
+TEST_F(CampaignReportTest, HtmlReportIsSelfContainedAndDeterministic) {
+  std::string error;
+  ASSERT_TRUE(WriteCampaignReport(spec_, plan_, root_.string(), &error))
+      << error;
+  const std::string html = ReadFile(root_ / "report" / "index.html");
+  // Self-contained: inline SVG, no external fetches of any kind.
+  EXPECT_NE(html.find("<svg xmlns"), std::string::npos);
+  EXPECT_EQ(html.find("<script"), std::string::npos);
+  // The only URL anywhere is the SVG namespace declaration — nothing the
+  // browser would actually fetch.
+  EXPECT_EQ(html.find("href="), std::string::npos);
+  EXPECT_EQ(html.find("src="), std::string::npos);
+  EXPECT_EQ(html.find("<link"), std::string::npos);
+  EXPECT_EQ(html.find("<img"), std::string::npos);
+  // Content: title, both grids, solver names, the CI whisker tables.
+  EXPECT_NE(html.find("Report test campaign"), std::string::npos);
+  EXPECT_NE(html.find("<h2>flow</h2>"), std::string::npos);
+  EXPECT_NE(html.find("<h2>coflow</h2>"), std::string::npos);
+  EXPECT_NE(html.find("online.srpt"), std::string::npos);
+  EXPECT_NE(html.find("avg CCT"), std::string::npos);
+  EXPECT_NE(html.find("speedup"), std::string::npos);
+  EXPECT_NE(html.find("10 tasks: <b>10 ok</b>"), std::string::npos);
+  // Deterministic: regenerating produces identical bytes.
+  ASSERT_TRUE(WriteCampaignReport(spec_, plan_, root_.string(), &error));
+  EXPECT_EQ(ReadFile(root_ / "report" / "index.html"), html);
+}
+
+TEST_F(CampaignReportTest, PartialCampaignCollectsAndReportsMissing) {
+  // Drop one task's outcome: collect counts it missing, report lists it.
+  const std::string victim = plan_.grids[0].task_ids[3];
+  fs::remove_all(CampaignTaskDir(root_.string(), victim));
+  CampaignCollectSummary summary;
+  std::string error;
+  ASSERT_TRUE(CollectCampaign(spec_, plan_, root_.string(), summary, &error))
+      << error;
+  EXPECT_EQ(summary.ok, 9);
+  EXPECT_EQ(summary.missing, 1);
+  ASSERT_EQ(summary.missing_tasks.size(), 1u);
+  EXPECT_EQ(summary.missing_tasks[0], victim);
+  ASSERT_TRUE(WriteCampaignReport(spec_, plan_, root_.string(), &error));
+  const std::string html = ReadFile(root_ / "report" / "index.html");
+  EXPECT_NE(html.find("Incomplete tasks"), std::string::npos);
+  EXPECT_NE(html.find(victim + " (missing)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flowsched

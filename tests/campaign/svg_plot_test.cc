@@ -1,0 +1,93 @@
+#include "campaign/svg_plot.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace flowsched {
+namespace {
+
+std::vector<SvgSeries> TwoSeries() {
+  SvgSeries a;
+  a.label = "online.srpt";
+  a.x = {0.5, 1.0, 2.0};
+  a.y = {3.0, 5.5, 9.0};
+  a.ci = {0.2, 0.4, 0.8};
+  SvgSeries b;
+  b.label = "online.fifo";
+  b.x = {0.5, 1.0, 2.0};
+  b.y = {4.0, 8.0, 15.0};
+  return {a, b};
+}
+
+TEST(SvgPlotTest, RendersSeriesWhiskersAndLegend) {
+  std::ostringstream out;
+  SvgPlotOptions opts;
+  opts.title = "avg response";
+  opts.x_label = "load";
+  opts.y_label = "rounds";
+  WriteSvgLinePlot(out, TwoSeries(), opts);
+  const std::string svg = out.str();
+  EXPECT_NE(svg.find("<svg xmlns=\"http://www.w3.org/2000/svg\""),
+            std::string::npos);
+  EXPECT_NE(svg.find("avg response"), std::string::npos);
+  EXPECT_NE(svg.find(">load</text>"), std::string::npos);
+  // One polyline per multi-point series, point markers, legend entries.
+  std::size_t polylines = 0;
+  for (std::size_t at = svg.find("<polyline"); at != std::string::npos;
+       at = svg.find("<polyline", at + 1)) {
+    ++polylines;
+  }
+  EXPECT_EQ(polylines, 2u);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  EXPECT_NE(svg.find("online.srpt"), std::string::npos);
+  EXPECT_NE(svg.find("online.fifo"), std::string::npos);
+  // CI whiskers render with reduced opacity; series b (no ci) adds none.
+  EXPECT_NE(svg.find("opacity=\"0.55\""), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgPlotTest, ByteDeterministic) {
+  std::ostringstream a, b;
+  SvgPlotOptions opts;
+  opts.title = "t";
+  WriteSvgLinePlot(a, TwoSeries(), opts);
+  WriteSvgLinePlot(b, TwoSeries(), opts);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_FALSE(a.str().empty());
+}
+
+TEST(SvgPlotTest, EmptyInputRendersNoDataFallback) {
+  std::ostringstream out;
+  WriteSvgLinePlot(out, {}, SvgPlotOptions{});
+  EXPECT_NE(out.str().find("no data"), std::string::npos);
+  std::ostringstream empty_series;
+  WriteSvgLinePlot(empty_series, {SvgSeries{}}, SvgPlotOptions{});
+  EXPECT_NE(empty_series.str().find("no data"), std::string::npos);
+}
+
+TEST(SvgPlotTest, DegenerateRangesDoNotDivideByZero) {
+  // Single point, zero span on both axes.
+  SvgSeries s;
+  s.label = "p";
+  s.x = {1.0};
+  s.y = {0.0};
+  std::ostringstream out;
+  WriteSvgLinePlot(out, {s}, SvgPlotOptions{});
+  const std::string svg = out.str();
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+  EXPECT_EQ(svg.find("inf"), std::string::npos);
+}
+
+TEST(SvgPlotTest, PaletteCyclesStably) {
+  const auto& palette = SvgPalette();
+  ASSERT_FALSE(palette.empty());
+  for (const std::string& color : palette) {
+    EXPECT_EQ(color.size(), 7u);
+    EXPECT_EQ(color[0], '#');
+  }
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -6,6 +6,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/csv.h"
+
 namespace flowsched {
 namespace {
 
@@ -141,6 +143,38 @@ TEST(AggregatorTest, JsonLineRoundTripsTaskIdentity) {
   failed.error = "no such \"solver\"";
   WriteTaskJsonLine(fail_out, plan.cells[1], plan.tasks[3], failed);
   EXPECT_NE(fail_out.str().find("\\\"solver\\\""), std::string::npos);
+}
+
+// Instance specs contain commas ("poisson:ports=8,load=1.0") and inline
+// scenario scripts contain both commas and semicolons; unquoted they shear
+// the CSV report's columns. The regression: every row must round-trip
+// through ParseCsv with the same column count as the header.
+TEST(AggregatorTest, CsvQuotesCommaAndSemicolonBearingFields) {
+  SweepPlan plan;
+  SweepCell cell;
+  cell.index = 0;
+  cell.solver = "online.srpt";
+  cell.instance_family = "poisson:ports=8,load=1.0,rounds=40,seed={seed}";
+  cell.load = 1.0;
+  cell.scenario = "inline:PORT_DOWN 10 2;PORT_UP 20 2";
+  plan.cells.push_back(cell);
+  SweepTask task;
+  task.index = 0;
+  task.cell = 0;
+  plan.tasks.push_back(task);
+
+  Aggregator agg(plan);
+  agg.Add(plan.tasks[0], Outcome(4.0));
+  std::ostringstream csv;
+  agg.WriteCsv(csv, /*include_timing=*/false);
+
+  const auto rows = ParseCsv(csv.str());
+  ASSERT_EQ(rows.size(), 2u);  // Header + one cell.
+  EXPECT_EQ(rows[0].size(), rows[1].size())
+      << "data row sheared against the header";
+  // The multi-separator fields come back intact, quotes stripped.
+  EXPECT_EQ(rows[1][1], cell.instance_family);
+  EXPECT_EQ(rows[1][6], *cell.scenario);
 }
 
 }  // namespace

@@ -34,6 +34,29 @@ TEST(CsvTest, RoundTripsQuotedContent) {
   EXPECT_EQ(rows[0][2], "q\"q");
 }
 
+TEST(CsvTest, EscapeFieldQuotesAllSeparators) {
+  // Plain fields pass through untouched.
+  EXPECT_EQ(CsvEscapeField("plain"), "plain");
+  EXPECT_EQ(CsvEscapeField(""), "");
+  EXPECT_EQ(CsvEscapeField("online.srpt"), "online.srpt");
+  // Commas, quotes, newlines — and semicolons, because instance-spec lists
+  // and inline scenario scripts use ';' internally and common spreadsheet
+  // dialects treat it as a separator.
+  EXPECT_EQ(CsvEscapeField("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscapeField("a;b"), "\"a;b\"");
+  EXPECT_EQ(CsvEscapeField("a\"b"), "\"a\"\"b\"");
+  EXPECT_EQ(CsvEscapeField("a\nb"), "\"a\nb\"");
+  EXPECT_EQ(CsvEscapeField("inline:PORT_DOWN 10 2;PORT_UP 20 2"),
+            "\"inline:PORT_DOWN 10 2;PORT_UP 20 2\"");
+  // Escaped fields parse back to the original.
+  const auto rows =
+      ParseCsv(CsvEscapeField("x;y,\"z\"") + "," + CsvEscapeField("w") + "\n");
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 2u);
+  EXPECT_EQ(rows[0][0], "x;y,\"z\"");
+  EXPECT_EQ(rows[0][1], "w");
+}
+
 TEST(CsvTest, ParsesMultipleRowsAndEmptyFields) {
   const auto rows = ParseCsv("a,,c\r\n1,2,3\n");
   ASSERT_EQ(rows.size(), 2u);

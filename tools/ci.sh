@@ -36,6 +36,29 @@ for build_type in Debug Release; do
     cmp "${build_dir}/SWEEP_smoke_j1.json" "${build_dir}/SWEEP_smoke_j2.json"
     cmp "${build_dir}/SWEEP_smoke_j1.csv" "${build_dir}/SWEEP_smoke_j2.csv"
     echo "sweep smoke written to ${build_dir}/SWEEP_smoke.json (jobs=1/2 reports identical)"
+    # Campaign smoke: run the checked-in smoke campaign twice. The second
+    # run resumes from the durable task records and must skip every task
+    # yet still regenerate the merged aggregates and the HTML report
+    # byte-identically — the interrupted-campaign recovery guarantee.
+    rm -rf "${build_dir}/CAMPAIGN_smoke"
+    "./${build_dir}/tools/flowsched_campaign" run \
+        --spec=campaigns/ci-smoke.json --out="${build_dir}/CAMPAIGN_smoke" \
+        --jobs=2 --quiet
+    cp "${build_dir}/CAMPAIGN_smoke/report/index.html" \
+        "${build_dir}/CAMPAIGN_first.html"
+    cp "${build_dir}/CAMPAIGN_smoke/aggregate/flow.json" \
+        "${build_dir}/CAMPAIGN_first_flow.json"
+    "./${build_dir}/tools/flowsched_campaign" run \
+        --spec=campaigns/ci-smoke.json --out="${build_dir}/CAMPAIGN_smoke" \
+        --jobs=2 --resume --quiet | tee "${build_dir}/campaign_resume.out"
+    grep -q '0 ok, 0 failed, 10 skipped (resume), 0 not run, of 10 tasks' \
+        "${build_dir}/campaign_resume.out" \
+      || { echo "error: campaign resume reran tasks" >&2; exit 1; }
+    cmp "${build_dir}/CAMPAIGN_first.html" \
+        "${build_dir}/CAMPAIGN_smoke/report/index.html"
+    cmp "${build_dir}/CAMPAIGN_first_flow.json" \
+        "${build_dir}/CAMPAIGN_smoke/aggregate/flow.json"
+    echo "campaign smoke ok: resume skipped 10/10, report byte-identical"
     # Streaming service: the daemon's self-check replays a ~6k-flow
     # instance through the trace and wire paths and requires schedules and
     # aggregates bit-identical to batch Simulate.

@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "campaign/campaign_plan.h"
 #include "exp/aggregator.h"
 #include "exp/experiment_runner.h"
 #include "exp/sweep_spec.h"
@@ -74,6 +75,8 @@ void PrintUsage(std::ostream& out) {
          "  --json=PATH --csv=PATH --jsonl=PATH   per-artifact overrides\n"
          "  --no-timing         omit wall-clock fields from json/csv\n"
          "                      (reports become byte-identical across --jobs)\n"
+         "  --dry-run           print the expanded task list and exit without\n"
+         "                      running anything or touching output files\n"
          "  --quiet             suppress the progress line\n"
          "spec overrides (same syntax as spec keys):\n"
          "  --name=S --solvers=LIST --instances=LIST(';'-sep) --loads=AXIS\n"
@@ -95,6 +98,7 @@ int Run(int argc, char** argv) {
   std::string spec_path;
   bool smoke = false;
   bool no_timing = false;
+  bool dry_run = false;
   bool quiet = false;
   int jobs = static_cast<int>(std::thread::hardware_concurrency());
   if (jobs < 1) jobs = 1;
@@ -117,6 +121,8 @@ int Run(int argc, char** argv) {
       smoke = true;
     } else if (arg == "--no-timing") {
       no_timing = true;
+    } else if (arg == "--dry-run") {
+      dry_run = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if ((v = value("spec"))) {
@@ -211,6 +217,14 @@ int Run(int argc, char** argv) {
     if (!ExpandSweep(spec, SolverRegistry::Global(), probe, &error)) {
       std::cerr << "error: " << error << "\n";
       return 2;
+    }
+    if (dry_run) {
+      // Same printer as flowsched_campaign plan/--dry-run, so the two
+      // tools' expansions can be diffed directly.
+      WriteTaskListText(std::cout, probe, /*ids=*/nullptr);
+      std::cout << "dry run: " << probe.tasks.size() << " tasks over "
+                << probe.cells.size() << " cells (nothing executed)\n";
+      return 0;
     }
   }
 
