@@ -4,8 +4,10 @@
 #include <sstream>
 
 #include "api/spec_parser.h"
+#include "api/traffic_spec.h"
 #include "fabric/fabric_spec.h"
 #include "model/trace_io.h"
+#include "traffic/traffic_gen.h"
 #include "workload/adversarial.h"
 #include "workload/coflow_gen.h"
 #include "workload/patterns.h"
@@ -58,6 +60,28 @@ std::optional<Instance> Generate(const Spec& spec, std::string* error,
           load * cfg.num_inputs / MeanCoflowWidth(cfg);
       result = GenerateCoflows(cfg);
     }
+  } else if (spec.generator == "cdf") {
+    // Realistic traffic: empirical flow sizes from a builtin datacenter
+    // CDF (dist=websearch|fbhdp|alistorage) or an HPCC-format file=,
+    // segmented into unit demands (traffic/traffic_gen.h). The CDF is
+    // parsed even when only validating, so bad files fail fast.
+    TrafficConfig cfg;
+    std::string traffic_error;
+    const bool traffic_ok =
+        api_spec::ReadTrafficSpec(r, &cfg, &traffic_error);
+    cfg.num_rounds = static_cast<int>(r.GetInt("rounds", 10));
+    if (!traffic_ok) {
+      r.CheckUnknown();
+      Fail(error, r.ok() ? traffic_error
+                         : traffic_error + "; " + r.error());
+      return std::nullopt;
+    }
+    if (cfg.num_rounds < 1) {
+      Fail(error, "rounds must be >= 1, got " +
+                      std::to_string(cfg.num_rounds));
+      return std::nullopt;
+    }
+    if (generate && r.ok()) result = GenerateTraffic(cfg);
   } else if (spec.generator == "shuffle") {
     const int ports = static_cast<int>(r.GetInt("ports", 16));
     const int wave = static_cast<int>(r.GetInt("wave", 4));
@@ -100,9 +124,9 @@ std::optional<Instance> Generate(const Spec& spec, std::string* error,
 
 bool IsGeneratorSpec(const std::string& source) {
   const std::string name = source.substr(0, source.find(':'));
-  return name == "poisson" || name == "coflow" || name == "shuffle" ||
-         name == "incast" || name == "fig4a" || name == "fig4b" ||
-         name == "fabric";
+  return name == "poisson" || name == "coflow" || name == "cdf" ||
+         name == "shuffle" || name == "incast" || name == "fig4a" ||
+         name == "fig4b" || name == "fabric";
 }
 
 bool ValidateInstanceSpec(const std::string& source, std::string* error) {

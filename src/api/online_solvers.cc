@@ -101,7 +101,14 @@ class OnlinePolicySolver : public Solver {
     report.schedule = MapRealizedSchedule(instance, r.schedule);
 
     report.ok = true;
-    report.allowance = CapacityAllowance::Exact();
+    // MIGRATE re-homes arrivals onto other hosts, but the facade audits
+    // the schedule against the *original* instance's ports — grant the
+    // destinations' capacity as additive slack (scenario/scenario.h).
+    report.allowance =
+        has_scenario && script.has_migrations()
+            ? CapacityAllowance::Additive(
+                  MigrationCapacityAllowance(script, instance.sw()))
+            : CapacityAllowance::Exact();
     report.diagnostics["rounds_simulated"] = r.rounds;
     report.diagnostics["avg_port_utilization"] = r.avg_port_utilization;
     report.diagnostics["peak_backlog"] = r.peak_backlog;
@@ -120,7 +127,7 @@ class OnlinePolicySolver : public Solver {
       AddScenarioDiagnostics(script, r.rounds, r.downtime_rounds,
                              r.peak_backlog, r.metrics.total_response,
                              base.peak_backlog, base.metrics.total_response,
-                             &report);
+                             r.migrated_flows, &report);
     }
     return report;
   }

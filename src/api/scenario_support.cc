@@ -36,12 +36,16 @@ void AppendScenarioDiagnosticDocs(std::vector<SolverKeyDoc>* docs) {
                    "(post-recovery drain time)"});
   docs->push_back({"response_inflation",
                    "scenario total response / fault-free total response"});
+  docs->push_back({"migrated_flows",
+                   "arrivals re-homed by MIGRATE rules (0 for scripts "
+                   "without MIGRATE; nothing is ever dropped)"});
 }
 
 void AddScenarioDiagnostics(const ScenarioScript& script, Round rounds,
                             Round downtime_rounds, int peak_backlog,
                             double total_response, int base_peak_backlog,
-                            double base_total_response, SolveReport* report) {
+                            double base_total_response,
+                            long long migrated_flows, SolveReport* report) {
   report->diagnostics["scenario_events"] =
       static_cast<double>(script.events().size());
   report->diagnostics["downtime_rounds"] =
@@ -53,6 +57,8 @@ void AddScenarioDiagnostics(const ScenarioScript& script, Round rounds,
       static_cast<double>(rounds > last ? rounds - last : 0);
   report->diagnostics["response_inflation"] =
       base_total_response > 0.0 ? total_response / base_total_response : 1.0;
+  report->diagnostics["migrated_flows"] =
+      static_cast<double>(migrated_flows);
 }
 
 }  // namespace internal

@@ -26,11 +26,13 @@ SolverKeyDoc ScenarioParamDoc();
 void AppendScenarioDiagnosticDocs(std::vector<SolverKeyDoc>* docs);
 
 // Emits the robustness diagnostics: the scenario run (rounds, downtime,
-// peak backlog, total response) against its fault-free baseline.
+// peak backlog, total response, MIGRATE re-homings) against its fault-free
+// baseline.
 void AddScenarioDiagnostics(const ScenarioScript& script, Round rounds,
                             Round downtime_rounds, int peak_backlog,
                             double total_response, int base_peak_backlog,
-                            double base_total_response, SolveReport* report);
+                            double base_total_response,
+                            long long migrated_flows, SolveReport* report);
 
 }  // namespace internal
 }  // namespace flowsched

@@ -75,6 +75,12 @@ class SpecReader {
     return v;
   }
 
+  std::string GetString(const std::string& key, const std::string& fallback) {
+    used_.push_back(key);
+    const auto it = spec_.kv.find(key);
+    return it == spec_.kv.end() ? fallback : it->second;
+  }
+
   // Call after all Get*(): flags keys the generator does not understand.
   void CheckUnknown() {
     for (const auto& [key, value] : spec_.kv) {

@@ -5,6 +5,7 @@
 
 #include "api/instance_source.h"
 #include "api/spec_parser.h"
+#include "api/traffic_spec.h"
 #include "serve/stream_sources.h"
 #include "workload/coflow_gen.h"
 #include "workload/poisson.h"
@@ -76,7 +77,8 @@ std::unique_ptr<StreamingFlowSource> MakeStreamSource(
   }
   Spec spec;
   if (!SplitSpec(source, spec, error)) return nullptr;
-  if (spec.generator != "poisson" && spec.generator != "coflow") {
+  if (spec.generator != "poisson" && spec.generator != "coflow" &&
+      spec.generator != "cdf") {
     Fail(error, "generator \"" + spec.generator +
                     "\" is batch-only; load it with LoadInstance and replay "
                     "through InstanceStreamSource");
@@ -109,7 +111,7 @@ std::unique_ptr<StreamingFlowSource> MakeStreamSource(
                   "load>=0, dmax>=1)");
       return nullptr;
     }
-  } else {
+  } else if (spec.generator == "coflow") {
     CoflowGenConfig cfg;
     cfg.num_inputs = cfg.num_outputs = static_cast<int>(r.GetInt("ports", 16));
     cfg.port_capacity = r.GetInt("cap", 1);
@@ -138,6 +140,28 @@ std::unique_ptr<StreamingFlowSource> MakeStreamSource(
       Fail(error, "spec values out of range (need ports>0, cap>=1, "
                   "load>=0, dmax>=1, 1<=minwidth<=width, 0<skew<=1)");
       return nullptr;
+    }
+  } else {
+    // cdf: shares key reading with the batch loader (api/traffic_spec.h),
+    // so the two paths draw byte-identical finite workloads.
+    TrafficConfig cfg;
+    std::string traffic_error;
+    const bool traffic_ok = api_spec::ReadTrafficSpec(r, &cfg, &traffic_error);
+    const Round horizon =
+        taken != 0 ? taken : static_cast<Round>(r.GetInt("rounds", 10));
+    r.CheckUnknown();
+    if (!traffic_ok) {
+      Fail(error, r.ok() ? traffic_error
+                         : traffic_error + "; " + r.error());
+      return nullptr;
+    }
+    if (r.ok() && horizon < 0 && cfg.load <= 0.0) {
+      Fail(error, "rounds=inf needs load > 0");
+      return nullptr;
+    }
+    if (r.ok()) {
+      cfg.num_rounds = 1;  // Unused on the streaming path.
+      result = std::make_unique<TrafficStreamSource>(cfg, horizon);
     }
   }
   if (!r.ok()) {

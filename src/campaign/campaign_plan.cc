@@ -70,6 +70,7 @@ std::string CanonicalSweepSpecText(const SweepSpec& spec) {
   AppendList(out, "ports", spec.ports);
   AppendList(out, "rounds", spec.rounds);
   AppendList(out, "shards", spec.shards);
+  AppendList(out, "dists", spec.dists);
   AppendList(out, "seeds", spec.seeds);
   out += "scenarios=";
   for (std::size_t i = 0; i < spec.scenarios.size(); ++i) {

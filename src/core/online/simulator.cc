@@ -116,6 +116,10 @@ SimulationResult Simulate(const SwitchSpec& sw, ArrivalProcess& arrivals,
     arrivals.ArrivalsInto(t, ctx.backlog, &ctx.arrivals);
     for (Flow f : ctx.arrivals) {
       f.release = t;
+      // MIGRATE rules re-home the arrival before it is recorded: the
+      // realized instance carries the migrated ports (coins are a pure
+      // function of admission order; see scenario/scenario.h).
+      if (has_scenario) scen.RemapArrival(t, &f.src, &f.dst);
       f.id = result.realized.AddFlow(f.src, f.dst, f.demand, f.release,
                                      f.coflow);
       ctx.assigned_round.push_back(kUnassigned);
@@ -198,6 +202,7 @@ SimulationResult Simulate(const SwitchSpec& sw, ArrivalProcess& arrivals,
     }
   }
   if (has_scenario) {
+    result.migrated_flows = scen.migrated_flows();
     // A daemon-facing scenario run must degrade gracefully: hitting the
     // round cap truncates instead of aborting.
     if (!ctx.backlog.empty() && !result.truncated) {

@@ -57,6 +57,9 @@ struct SimulationResult {
   std::string error;
   // Simulated (non-idle) rounds during which >= 1 port side was down.
   Round downtime_rounds = 0;
+  // Arrivals re-homed by MIGRATE rules (scenario runs only). The realized
+  // instance carries the migrated ports; nothing is ever dropped.
+  long long migrated_flows = 0;
 };
 
 // Replays a fixed instance (the "online" policy still only sees released

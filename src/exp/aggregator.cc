@@ -78,6 +78,7 @@ void Aggregator::Add(const SweepTask& task, const TaskOutcome& outcome) {
     cell.recovery_drain_rounds.Add(
         static_cast<double>(outcome.recovery_drain_rounds));
     cell.response_inflation.Add(outcome.response_inflation);
+    cell.migrated_flows.Add(static_cast<double>(outcome.migrated_flows));
   }
   cell.wall_seconds.Add(outcome.wall_seconds);
   cell.rounds_per_sec.Add(outcome.rounds_per_sec);
@@ -126,6 +127,7 @@ void Aggregator::WriteJson(std::ostream& out, const SweepSpec& spec, int jobs,
     if (key.ports) out << ", \"ports\": " << *key.ports;
     if (key.rounds) out << ", \"rounds\": " << *key.rounds;
     if (key.shards) out << ", \"shards\": " << *key.shards;
+    if (key.dist) out << ", " << JsonStr("dist", *key.dist);
     if (key.scenario) out << ", " << JsonStr("scenario", *key.scenario);
     out << ", \"n\": " << c.n << ", \"failures\": " << c.failures
         << ", \"num_flows\": " << c.num_flows;
@@ -176,6 +178,8 @@ void Aggregator::WriteJson(std::ostream& out, const SweepSpec& spec, int jobs,
         WriteStatsObject(out, c.recovery_drain_rounds);
         out << ",\n     \"response_inflation\": ";
         WriteStatsObject(out, c.response_inflation);
+        out << ",\n     \"migrated_flows\": ";
+        WriteStatsObject(out, c.migrated_flows);
       }
       if (include_timing) {
         out << ",\n     \"wall_seconds\": ";
@@ -194,7 +198,7 @@ void Aggregator::WriteJson(std::ostream& out, const SweepSpec& spec, int jobs,
 }
 
 void Aggregator::WriteCsv(std::ostream& out, bool include_timing) const {
-  out << "solver,instance,load,ports,rounds,shards,scenario,n,failures,"
+  out << "solver,instance,load,ports,rounds,shards,dist,scenario,n,failures,"
          "num_flows";
   // Coflow, fabric, and robustness columns are always present (zeros for
   // solvers/cells that emit none) so the header is independent of which
@@ -208,7 +212,7 @@ void Aggregator::WriteCsv(std::ostream& out, bool include_timing) const {
                            "load_imbalance",        "cross_shard_flows",
                            "split_coflows",         "downtime_rounds",
                            "backlog_surge",         "recovery_drain_rounds",
-                           "response_inflation"};
+                           "response_inflation",    "migrated_flows"};
   out << ",num_coflows,fabric_shards,scenario_events";
   for (const char* m : metrics) {
     out << "," << m << "_mean," << m << "_stddev," << m << "_min," << m
@@ -233,6 +237,8 @@ void Aggregator::WriteCsv(std::ostream& out, bool include_timing) const {
     out << ",";
     if (key.shards) out << *key.shards;
     out << ",";
+    if (key.dist) out << CsvEscapeField(*key.dist);
+    out << ",";
     if (key.scenario) out << CsvEscapeField(*key.scenario);
     out << "," << c.n << "," << c.failures << "," << c.num_flows << ","
         << c.num_coflows << "," << c.shards << "," << c.scenario_events;
@@ -242,7 +248,7 @@ void Aggregator::WriteCsv(std::ostream& out, bool include_timing) const {
         &c.avg_cct,        &c.p95_cct,      &c.max_cct,      &c.avg_slowdown,
         &c.load_imbalance, &c.cross_shard_flows, &c.split_coflows,
         &c.downtime_rounds, &c.backlog_surge, &c.recovery_drain_rounds,
-        &c.response_inflation};
+        &c.response_inflation, &c.migrated_flows};
     for (const RunningStats* s : stats) {
       out << ",";
       WriteCsvStats(out, *s);

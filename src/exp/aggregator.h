@@ -68,6 +68,7 @@ struct CellAggregate {
   RunningStats backlog_surge;
   RunningStats recovery_drain_rounds;
   RunningStats response_inflation;
+  RunningStats migrated_flows;
   // Timing (schedule-dependent).
   RunningStats wall_seconds;
   RunningStats rounds_per_sec;

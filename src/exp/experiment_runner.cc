@@ -71,6 +71,7 @@ TaskOutcome OutcomeFromSolveReport(const SolveReport& report) {
     o.recovery_drain_rounds =
         static_cast<long long>(get("recovery_drain_rounds"));
     o.response_inflation = get("response_inflation");
+    o.migrated_flows = static_cast<long long>(get("migrated_flows"));
   }
   if (o.rounds > 0 && o.wall_seconds > 0.0) {
     o.rounds_per_sec = static_cast<double>(o.rounds) / o.wall_seconds;
@@ -83,6 +84,7 @@ void WriteTaskJsonLine(std::ostream& out, const SweepCell& cell,
   out << "{\"task\": " << task.index << ", \"cell\": " << cell.index << ", "
       << JsonStr("solver", cell.solver) << ", "
       << JsonStr("instance", task.instance_spec);
+  if (cell.dist) out << ", " << JsonStr("dist", *cell.dist);
   if (cell.scenario) out << ", " << JsonStr("scenario", *cell.scenario);
   out << ", \"instance_seed\": " << task.instance_seed
       << ", \"trial\": " << task.trial
@@ -119,7 +121,8 @@ void WriteTaskJsonLine(std::ostream& out, const SweepCell& cell,
           << ", \"backlog_surge\": " << JsonNum(outcome.backlog_surge)
           << ", \"recovery_drain_rounds\": " << outcome.recovery_drain_rounds
           << ", \"response_inflation\": "
-          << JsonNum(outcome.response_inflation);
+          << JsonNum(outcome.response_inflation)
+          << ", \"migrated_flows\": " << outcome.migrated_flows;
     }
     out << ", \"wall_seconds\": " << JsonNum(outcome.wall_seconds)
         << ", \"rounds_per_sec\": " << JsonNum(outcome.rounds_per_sec);

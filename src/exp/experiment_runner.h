@@ -66,6 +66,7 @@ struct TaskOutcome {
   double backlog_surge = 0.0;
   long long recovery_drain_rounds = 0;
   double response_inflation = 0.0;
+  long long migrated_flows = 0;  // MIGRATE re-homings (0 without MIGRATE).
   double wall_seconds = 0.0;   // Timing — excluded from determinism checks.
   double rounds_per_sec = 0.0;
 };

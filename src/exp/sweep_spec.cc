@@ -184,6 +184,9 @@ bool ApplySweepSpecKey(SweepSpec& spec, const std::string& key,
     if (!ParseAxis(value, spec.shards, &axis_error)) {
       return Fail(error, "shards: " + axis_error);
     }
+  } else if (key == "dists") {
+    spec.dists = Split(value, ',');
+    if (spec.dists.empty()) return Fail(error, "dists: empty list");
   } else if (key == "seeds") {
     spec.seeds.clear();
     if (!ParseAxis(value, spec.seeds, &axis_error)) {
@@ -466,6 +469,7 @@ bool ExpandSweep(const SweepSpec& spec, const SolverRegistry& registry,
         {"{ports}", !spec.ports.empty()},
         {"{rounds}", !spec.rounds.empty()},
         {"{shards}", !spec.shards.empty()},
+        {"{dist}", !spec.dists.empty()},
     };
     for (const auto& [placeholder, axis_set] : axes) {
       if (References(tmpl, placeholder) && !axis_set) {
@@ -503,6 +507,9 @@ bool ExpandSweep(const SweepSpec& spec, const SolverRegistry& registry,
   std::vector<std::optional<long long>> shards(spec.shards.begin(),
                                                spec.shards.end());
   if (shards.empty()) shards.push_back(std::nullopt);
+  std::vector<std::optional<std::string>> dists(spec.dists.begin(),
+                                                spec.dists.end());
+  if (dists.empty()) dists.push_back(std::nullopt);
 
   // The scenario axis is a solver-param axis (no template placeholder): a
   // malformed script is an expansion error, not per-task noise. "none" is
@@ -525,28 +532,32 @@ bool ExpandSweep(const SweepSpec& spec, const SolverRegistry& registry,
       for (const auto& port : ports) {
         for (const auto& round : rounds) {
           for (const auto& shard : shards) {
-            std::string family = tmpl;
-            if (load) family = ReplaceAll(family, "{load}",
-                                          FormatAxisValue(*load));
-            if (port) family = ReplaceAll(family, "{ports}",
-                                          std::to_string(*port));
-            if (round) family = ReplaceAll(family, "{rounds}",
-                                           std::to_string(*round));
-            if (shard) family = ReplaceAll(family, "{shards}",
-                                           std::to_string(*shard));
-            for (const auto& scenario : scenarios) {
-              for (const std::string& solver : solvers) {
-                SweepCell cell;
-                cell.index = static_cast<int>(plan.cells.size());
-                cell.solver = solver;
-                cell.instance_template = tmpl;
-                cell.load = load;
-                cell.ports = port;
-                cell.rounds = round;
-                cell.shards = shard;
-                cell.scenario = scenario;
-                cell.instance_family = family;
-                plan.cells.push_back(std::move(cell));
+            for (const auto& dist : dists) {
+              std::string family = tmpl;
+              if (load) family = ReplaceAll(family, "{load}",
+                                            FormatAxisValue(*load));
+              if (port) family = ReplaceAll(family, "{ports}",
+                                            std::to_string(*port));
+              if (round) family = ReplaceAll(family, "{rounds}",
+                                             std::to_string(*round));
+              if (shard) family = ReplaceAll(family, "{shards}",
+                                             std::to_string(*shard));
+              if (dist) family = ReplaceAll(family, "{dist}", *dist);
+              for (const auto& scenario : scenarios) {
+                for (const std::string& solver : solvers) {
+                  SweepCell cell;
+                  cell.index = static_cast<int>(plan.cells.size());
+                  cell.solver = solver;
+                  cell.instance_template = tmpl;
+                  cell.load = load;
+                  cell.ports = port;
+                  cell.rounds = round;
+                  cell.shards = shard;
+                  cell.dist = dist;
+                  cell.scenario = scenario;
+                  cell.instance_family = family;
+                  plan.cells.push_back(std::move(cell));
+                }
               }
             }
           }

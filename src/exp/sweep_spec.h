@@ -18,6 +18,10 @@
 //               `{shards}` drives fabric campaigns: a template like
 //               "fabric:shards={shards},partition=block,<inner>" sweeps the
 //               pod count across fabric.* solvers (src/fabric/)
+//   dists       `{dist}` axis for realistic-traffic templates: CDF names
+//               substituted verbatim, e.g. "cdf:dist={dist},..." with
+//               dists=websearch,fbhdp,alistorage compares the same grid
+//               point across size distributions (src/traffic/)
 //   solvers     registry names or '*' globs ("online.*")
 //   seeds       instance seeds substituted into `{seed}`
 //   trials      repeat count per (cell, seed) with distinct solver seeds
@@ -70,6 +74,7 @@ struct SweepSpec {
   std::vector<long long> ports;          // {ports} axis.
   std::vector<long long> rounds;         // {rounds} axis.
   std::vector<long long> shards;         // {shards} axis (fabric pod count).
+  std::vector<std::string> dists;        // {dist} axis (CDF names, verbatim).
   std::vector<std::uint64_t> seeds;      // {seed} axis; defaults to {1} when
                                          // a template uses {seed}.
   std::vector<std::string> scenarios;    // Scenario axis (empty = unused);
@@ -90,6 +95,7 @@ struct SweepCell {
   std::optional<long long> ports;        // when the axis is unused).
   std::optional<long long> rounds;
   std::optional<long long> shards;
+  std::optional<std::string> dist;       // CDF name at this point.
   std::optional<std::string> scenario;   // "none" = explicit fault-free cell.
   // Template with axes substituted but `{seed}` / `{trial}` left in place —
   // the repetition-independent identity of the cell's instance family.
@@ -136,8 +142,9 @@ bool ApplySweepSpecKey(SweepSpec& spec, const std::string& key,
 // Parses a spec from text: a flat JSON object when the first non-space
 // character is '{', otherwise key=value lines ('#' comments, blank lines
 // ignored). Keys: name, solvers, instances (';'-separated — specs contain
-// commas), loads, ports, rounds, shards, seeds, scenarios ('|'-separated),
-// trials, base_seed, max_rounds, param (repeatable "key=value"). JSON uses
+// commas), loads, ports, rounds, shards, dists, seeds, scenarios
+// ('|'-separated), trials, base_seed, max_rounds, param (repeatable
+// "key=value"). JSON uses
 // the same keys with
 // arrays for lists and an object for "params". Unknown keys are errors.
 bool ParseSweepSpec(const std::string& text, SweepSpec& spec,

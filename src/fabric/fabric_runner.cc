@@ -100,6 +100,10 @@ bool ProjectScenarioOps(const ScenarioScript& script,
       case ScenarioEvent::Kind::kSetCapacity:
         cap = e.capacity;
         break;
+      case ScenarioEvent::Kind::kMigrate:
+        // Consumed before partitioning (ApplyScenarioMigrations); there is
+        // no per-shard capacity op to project.
+        continue;
     }
     const bool pod_event = e.kind == ScenarioEvent::Kind::kPodDown ||
                            e.kind == ScenarioEvent::Kind::kPodUp;

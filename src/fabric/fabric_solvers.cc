@@ -170,9 +170,22 @@ class FabricPolicySolver : public Solver {
     }
     if (has_scenario) run_options.scenario = &script;
 
+    // MIGRATE rules re-home arrivals *before* partitioning — a migrated
+    // flow lands in (and is simulated by) its destination's pod. Flow ids
+    // are preserved, so the merged schedule still lines up with the
+    // original instance for metrics. The remaining timed events project
+    // into each pod as usual (fabric_runner.h).
+    long long migrated_flows = 0;
+    Instance migrated;
+    const Instance* run_instance = &instance;
+    if (has_scenario && script.has_migrations()) {
+      migrated = ApplyScenarioMigrations(instance, script, &migrated_flows);
+      run_instance = &migrated;
+    }
+
     const FabricAssignment fa =
-        PartitionInstance(instance, shards, partition);
-    const FabricResult r = RunFabric(instance, fa, run_options);
+        PartitionInstance(*run_instance, shards, partition);
+    const FabricResult r = RunFabric(*run_instance, fa, run_options);
     if (r.truncated) {
       report.error = r.error;
       return report;
@@ -183,8 +196,15 @@ class FabricPolicySolver : public Solver {
     // Pods own their input ports but replicate remote egress, so the
     // merged schedule is feasible with K x output capacity — sharding as
     // resource augmentation (docs/architecture.md "The fabric layer").
+    // MIGRATE additionally shifts load onto destination hosts while the
+    // facade audits against the original ports, so the destinations'
+    // capacity rides along as additive slack (scenario/scenario.h).
     report.allowance = shards == 1 ? CapacityAllowance::Exact()
                                    : CapacityAllowance::Factor(shards);
+    if (has_scenario && script.has_migrations()) {
+      report.allowance.additive =
+          MigrationCapacityAllowance(script, instance.sw());
+    }
     report.diagnostics["shards"] = shards;
     report.diagnostics["rounds_simulated"] = r.rounds;
     report.diagnostics["avg_port_utilization"] = r.avg_port_utilization;
@@ -208,19 +228,25 @@ class FabricPolicySolver : public Solver {
     report.diagnostics["avg_slowdown"] = cm.avg_slowdown;
     report.diagnostics["max_slowdown"] = cm.max_slowdown;
     if (has_scenario) {
-      // Fault-free baseline: the same partition and seeds with no overlay
-      // (scenario off is the only difference, so the surge/inflation
-      // deltas isolate the faults).
+      // Fault-free baseline: the same seeds with no overlay and no
+      // migrations — it partitions the ORIGINAL instance, so the
+      // surge/inflation deltas isolate the scenario's full effect
+      // (including MIGRATE re-homing flows into other pods).
       FabricRunOptions base_options = run_options;
       base_options.scenario = nullptr;
-      const FabricResult base = RunFabric(instance, fa, base_options);
+      const FabricAssignment base_fa =
+          script.has_migrations() ? PartitionInstance(instance, shards,
+                                                      partition)
+                                  : fa;
+      const FabricResult base = RunFabric(instance, base_fa, base_options);
       const double faulty_response =
           ComputeMetrics(instance, report.schedule).total_response;
       const double base_response =
           ComputeMetrics(instance, base.schedule).total_response;
       AddScenarioDiagnostics(script, r.rounds, r.downtime_rounds,
                              r.peak_backlog, faulty_response,
-                             base.peak_backlog, base_response, &report);
+                             base.peak_backlog, base_response,
+                             migrated_flows, &report);
     }
     return report;
   }

@@ -47,6 +47,17 @@ bool ParseLiteral(const std::string& s, std::int64_t* out) {
   return ec == std::errc() && ptr == last;
 }
 
+// MIGRATE's <frac> is the one real-valued script argument.
+bool ParseFraction(const std::string& s, double* out) {
+  std::size_t used = 0;
+  try {
+    *out = std::stod(s, &used);
+  } catch (...) {
+    return false;
+  }
+  return used == s.size() && *out >= 0.0 && *out <= 1.0;
+}
+
 struct VerbSpec {
   const char* name;
   ScenarioEvent::Kind kind;
@@ -99,6 +110,42 @@ bool ScenarioScript::Parse(std::istream& in, ScenarioScript* script,
       script->pods_ = static_cast<int>(k);
       continue;
     }
+    if (verb == "MIGRATE") {
+      // Its own branch, like PODS: the frac argument is a real number, not
+      // an integer literal.
+      if (tokens.size() != 5) {
+        return Fail(error, LineTag(line_no) +
+                               "MIGRATE wants: MIGRATE <t> <src> <dst> <frac>");
+      }
+      std::int64_t t = 0, src = 0, dst = 0;
+      if (!ParseLiteral(tokens[1], &t) || !ParseLiteral(tokens[2], &src) ||
+          !ParseLiteral(tokens[3], &dst)) {
+        return Fail(error, LineTag(line_no) +
+                               "MIGRATE round and hosts must be decimal "
+                               "integers");
+      }
+      if (t < 0 || t > kMaxLiteral || src < 0 || src > kMaxLiteral ||
+          dst < 0 || dst > kMaxLiteral) {
+        return Fail(error, LineTag(line_no) +
+                               "MIGRATE round and hosts must be in [0, 2^30]");
+      }
+      double frac = 0.0;
+      if (!ParseFraction(tokens[4], &frac)) {
+        return Fail(error, LineTag(line_no) +
+                               "MIGRATE fraction must be a real in [0, 1], "
+                               "got \"" +
+                               tokens[4] + "\"");
+      }
+      ScenarioEvent event;
+      event.kind = ScenarioEvent::Kind::kMigrate;
+      event.t = static_cast<Round>(t);
+      event.target = static_cast<int>(src);
+      event.dst = static_cast<int>(dst);
+      event.frac = frac;
+      event.line = line_no;
+      script->events_.push_back(event);
+      continue;
+    }
     const VerbSpec* spec = nullptr;
     for (const VerbSpec& v : kVerbs) {
       if (verb == v.name) {
@@ -109,7 +156,7 @@ bool ScenarioScript::Parse(std::istream& in, ScenarioScript* script,
     if (spec == nullptr) {
       return Fail(error, LineTag(line_no) + "unknown scenario verb \"" + verb +
                              "\" (want PORT_DOWN, PORT_UP, SET_CAPACITY, "
-                             "POD_DOWN, POD_UP, or PODS)");
+                             "POD_DOWN, POD_UP, MIGRATE, or PODS)");
     }
     if (static_cast<int>(tokens.size()) != spec->args + 1) {
       std::string usage = std::string(spec->name) + " <t> <" +
@@ -176,10 +223,18 @@ bool ScenarioScript::ParseFile(const std::string& path, ScenarioScript* script,
   return Parse(in, script, error);
 }
 
+bool ScenarioScript::has_migrations() const {
+  for (const ScenarioEvent& e : events_) {
+    if (e.kind == ScenarioEvent::Kind::kMigrate) return true;
+  }
+  return false;
+}
+
 bool ScenarioRuntime::Bind(const ScenarioScript& script, const SwitchSpec& base,
                            std::string* error) {
   base_ = base;
   ops_.clear();
+  migrations_.clear();
   const int num_hosts = std::max(base.num_inputs(), base.num_outputs());
   auto push_host = [&](Round t, PortId host, Capacity cap) {
     if (host < base.num_inputs()) ops_.push_back({t, true, host, cap});
@@ -213,6 +268,20 @@ bool ScenarioRuntime::Bind(const ScenarioScript& script, const SwitchSpec& base,
         }
         continue;
       }
+      case ScenarioEvent::Kind::kMigrate: {
+        // Load movement, not a capacity op: collected as a rule the admit
+        // loops consult. Events are already stable-sorted by round.
+        for (const int host : {e.target, e.dst}) {
+          if (host >= num_hosts) {
+            return Fail(error, LineTag(e.line) + "port " +
+                                   std::to_string(host) +
+                                   " out of range (switch has " +
+                                   std::to_string(num_hosts) + " hosts)");
+          }
+        }
+        migrations_.push_back({e.t, e.target, e.dst, e.frac});
+        continue;
+      }
     }
     if (e.target >= num_hosts) {
       return Fail(error, LineTag(e.line) + "port " + std::to_string(e.target) +
@@ -228,6 +297,9 @@ bool ScenarioRuntime::BindOps(std::vector<ScenarioOp> ops,
                               const SwitchSpec& base, std::string* error) {
   base_ = base;
   ops_ = std::move(ops);
+  // Pre-projected ops never carry migrations: the fabric runner applies
+  // MIGRATE to the materialized instance before partitioning.
+  migrations_.clear();
   std::stable_sort(ops_.begin(), ops_.end(),
                    [](const ScenarioOp& a, const ScenarioOp& b) {
                      return a.t < b.t;
@@ -251,6 +323,8 @@ bool ScenarioRuntime::FinishBind(std::string* /*error*/) {
   next_op_ = 0;
   diff_sides_ = 0;
   down_sides_ = 0;
+  migration_rng_ = Rng(kMigrationSeed);
+  migrated_flows_ = 0;
   view_dirty_ = true;
   bound_ = true;
   return true;
@@ -300,6 +374,59 @@ bool ScenarioRuntime::HasOpAfter(Round t) const {
   return false;
 }
 
+namespace {
+
+// The one rule walk both RemapArrival and ApplyScenarioMigrations use:
+// identical branch structure means identical coin consumption, which is
+// what keeps batch / streaming / fabric migrations byte-identical. A coin
+// is drawn whenever a side matches a rule's src, whether or not the
+// destination exists on that side — consumption depends only on the
+// arrival sequence, never on switch shape quirks.
+bool ApplyMigrationRules(const std::vector<MigrationRule>& rules, Round t,
+                         Rng& rng, int num_inputs, int num_outputs,
+                         PortId* src, PortId* dst) {
+  bool changed = false;
+  for (const MigrationRule& rule : rules) {
+    if (rule.t > t) break;  // Rules are sorted by round.
+    if (*src == rule.src) {
+      const bool hit = rng.UniformReal() < rule.frac;
+      if (hit && rule.dst < num_inputs) {
+        *src = rule.dst;
+        changed = true;
+      }
+    }
+    if (*dst == rule.src) {
+      const bool hit = rng.UniformReal() < rule.frac;
+      if (hit && rule.dst < num_outputs) {
+        *dst = rule.dst;
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+std::vector<MigrationRule> RulesOf(const ScenarioScript& script) {
+  std::vector<MigrationRule> rules;
+  for (const ScenarioEvent& e : script.events()) {
+    if (e.kind == ScenarioEvent::Kind::kMigrate) {
+      rules.push_back({e.t, e.target, e.dst, e.frac});
+    }
+  }
+  return rules;  // Events are stable-sorted by round already.
+}
+
+}  // namespace
+
+bool ScenarioRuntime::RemapArrival(Round t, PortId* src, PortId* dst) {
+  if (migrations_.empty()) return false;
+  const bool changed =
+      ApplyMigrationRules(migrations_, t, migration_rng_, base_.num_inputs(),
+                          base_.num_outputs(), src, dst);
+  if (changed) ++migrated_flows_;
+  return changed;
+}
+
 bool ScenarioRuntime::ForceHostDown(PortId h, std::string* error) {
   FS_CHECK(bound_);
   const int num_hosts = std::max(base_.num_inputs(), base_.num_outputs());
@@ -339,6 +466,57 @@ bool LoadScenarioParam(const std::string& value, ScenarioScript* script,
     return ScenarioScript::ParseText(text, script, error);
   }
   return ScenarioScript::ParseFile(value, script, error);
+}
+
+Capacity MigrationCapacityAllowance(const ScenarioScript& script,
+                                    const SwitchSpec& base) {
+  std::vector<int> dsts;
+  for (const ScenarioEvent& e : script.events()) {
+    if (e.kind == ScenarioEvent::Kind::kMigrate) dsts.push_back(e.dst);
+  }
+  std::sort(dsts.begin(), dsts.end());
+  dsts.erase(std::unique(dsts.begin(), dsts.end()), dsts.end());
+  Capacity total = 0;
+  for (const int d : dsts) {
+    const Capacity in = d < base.num_inputs() ? base.input_capacity(d) : 0;
+    const Capacity out = d < base.num_outputs() ? base.output_capacity(d) : 0;
+    total += std::max(in, out);
+  }
+  return total;
+}
+
+Instance ApplyScenarioMigrations(const Instance& instance,
+                                 const ScenarioScript& script,
+                                 long long* migrated_flows) {
+  const std::vector<MigrationRule> rules = RulesOf(script);
+  std::vector<Flow> flows = instance.flows();
+  // Admission order: (release, id). A stable sort of ids by release is
+  // exactly what the simulators' admit loops walk.
+  std::vector<int> order(flows.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return flows[a].release < flows[b].release;
+  });
+  Rng rng(kMigrationSeed);
+  long long migrated = 0;
+  const SwitchSpec& sw = instance.sw();
+  for (const int idx : order) {
+    Flow& f = flows[idx];
+    if (ApplyMigrationRules(rules, f.release, rng, sw.num_inputs(),
+                            sw.num_outputs(), &f.src, &f.dst)) {
+      ++migrated;
+    }
+  }
+  Instance out(sw, {});
+  out.Reserve(instance.num_flows());
+  for (const Flow& f : flows) {
+    out.AddFlow(f.src, f.dst, f.demand, f.release, f.coflow);
+  }
+  out.set_source(instance.source());
+  if (migrated_flows != nullptr) *migrated_flows = migrated;
+  return out;
 }
 
 }  // namespace flowsched

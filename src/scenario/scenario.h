@@ -11,6 +11,9 @@
 //   SET_CAPACITY <t> <p> <c>  at round t, host p's sides become min(c, base)
 //   POD_DOWN <t> <s>          at round t, every host in pod s goes down
 //   POD_UP <t> <s>            at round t, every host in pod s recovers
+//   MIGRATE <t> <src> <dst> <frac>  from round t on, each future arrival
+//                             touching host src re-homes to dst with
+//                             probability frac (per side, per flow)
 //
 // Blank lines and '#' comments are ignored; parse errors carry 1-based line
 // numbers ("line N: ...", the trace_io convention). "Host p" addresses the
@@ -25,6 +28,15 @@
 // backlog just truncates that round's allowance. No event sequence —
 // double PORT_DOWN, shrink-below-backlog, recovery of a live port — is an
 // error at runtime; only out-of-range ports/pods are (at bind time).
+//
+// MIGRATE is the one verb that moves *load* rather than capacity: it
+// prospectively re-homes a fraction of a host's future arrivals (flows
+// already released keep their ports; nothing is ever dropped). Each
+// arriving flow draws one coin per matching rule and side from a
+// fixed-seed migration stream, a pure function of admission order — so
+// batch, streaming, and fabric runs (which apply the rules to the
+// materialized instance in the same (release, id) order) migrate the
+// identical flow set at any parallelism.
 #ifndef FLOWSCHED_SCENARIO_SCENARIO_H_
 #define FLOWSCHED_SCENARIO_SCENARIO_H_
 
@@ -32,17 +44,28 @@
 #include <string>
 #include <vector>
 
+#include "model/instance.h"
 #include "model/switch_spec.h"
+#include "util/rng.h"
 
 namespace flowsched {
 
 // One parsed script line (host/pod addressed; not yet bound to a switch).
 struct ScenarioEvent {
-  enum class Kind { kPortDown, kPortUp, kSetCapacity, kPodDown, kPodUp };
+  enum class Kind {
+    kPortDown,
+    kPortUp,
+    kSetCapacity,
+    kPodDown,
+    kPodUp,
+    kMigrate
+  };
   Kind kind = Kind::kPortDown;
   Round t = 0;          // Round the event takes effect (applied pre-policy).
-  int target = 0;       // Host index, or pod index for kPod*.
+  int target = 0;       // Host index (src for kMigrate), or pod for kPod*.
   Capacity capacity = 0;  // kSetCapacity only.
+  int dst = 0;          // kMigrate only: destination host.
+  double frac = 0.0;    // kMigrate only: re-home probability in [0, 1].
   int line = 0;         // 1-based source line (for bind-time errors).
 };
 
@@ -59,6 +82,8 @@ class ScenarioScript {
 
   bool empty() const { return events_.empty(); }
   const std::vector<ScenarioEvent>& events() const { return events_; }
+  // True when the script carries at least one MIGRATE event.
+  bool has_migrations() const;
   // Declared pod count (PODS header); 0 when the script declared none.
   int pods() const { return pods_; }
   // Round of the last event (0 for an empty script).
@@ -82,6 +107,20 @@ struct ScenarioOp {
   PortId port = 0;
   Capacity cap = 0;  // kScenarioRestore, 0 (down), or a shrink target.
 };
+
+// One bound MIGRATE rule (host-addressed; applies to both port sides).
+struct MigrationRule {
+  Round t = 0;
+  PortId src = 0;
+  PortId dst = 0;
+  double frac = 0.0;
+};
+
+// Seed of the migration coin stream. A fixed constant, NOT derived from the
+// solver seed: every execution path (batch admit loop, streaming admit
+// loop, fabric pre-partition rewrite) must draw the identical coins for the
+// identical arrival sequence, or their schedules diverge.
+inline constexpr std::uint64_t kMigrationSeed = 0x6d69677261746573ULL;
 
 // A script bound to a concrete switch: the per-round cursor the simulators
 // drive. AdvanceTo() is monotone; the effective capacities it maintains are
@@ -137,6 +176,18 @@ class ScenarioRuntime {
   bool ForceHostDown(PortId h, std::string* error);
   bool ForceHostUp(PortId h, std::string* error);
 
+  // True when the bound script carries MIGRATE rules (the admit loops skip
+  // all migration work otherwise).
+  bool has_migrations() const { return !migrations_.empty(); }
+  // Applies every rule with rule.t <= t to an arriving flow's ports,
+  // drawing one coin per matching side from the migration stream; rules
+  // apply in script order and see already-rewritten ports. Call exactly
+  // once per admitted flow, in admission order. Returns true (and counts
+  // the flow as migrated) when either side was re-homed.
+  bool RemapArrival(Round t, PortId* src, PortId* dst);
+  // Flows RemapArrival re-homed since Bind.
+  long long migrated_flows() const { return migrated_flows_; }
+
  private:
   bool FinishBind(std::string* error);
   void ApplySide(bool input_side, PortId p, Capacity cap);
@@ -144,6 +195,9 @@ class ScenarioRuntime {
   bool bound_ = false;
   SwitchSpec base_;
   std::vector<ScenarioOp> ops_;  // Stable-sorted by round.
+  std::vector<MigrationRule> migrations_;  // Stable-sorted by round.
+  Rng migration_rng_{kMigrationSeed};
+  long long migrated_flows_ = 0;
   std::size_t next_op_ = 0;
   // True effective capacities (0 = down), maintained by AdvanceTo/Force*.
   std::vector<Capacity> eff_in_;
@@ -159,6 +213,26 @@ class ScenarioRuntime {
 // sweeps — no temp file). Empty value leaves *script empty and succeeds.
 bool LoadScenarioParam(const std::string& value, ScenarioScript* script,
                        std::string* error);
+
+// Additive capacity slack for facade validation of migrated runs: the
+// realized schedule is validated against the *original* instance, which
+// attributes a migrated flow's transmissions to its original ports — so a
+// port's audited usage can exceed its capacity by at most the total
+// capacity of the migration destinations serving on its behalf. Returns
+// the sum over distinct MIGRATE destination hosts of
+// max(input capacity, output capacity); 0 for scripts without MIGRATE.
+Capacity MigrationCapacityAllowance(const ScenarioScript& script,
+                                    const SwitchSpec& base);
+
+// Applies the script's MIGRATE rules to a copy of `instance`, walking
+// flows in (release, id) stable order — the admission order of the batch
+// and streaming simulators — with the same fixed-seed coin stream, so the
+// returned instance is exactly the traffic a scenario run admits. Flow
+// ids, order, demands, releases, and coflow tags are preserved; the source
+// stamp is kept. *migrated_flows (optional) receives the re-homed count.
+Instance ApplyScenarioMigrations(const Instance& instance,
+                                 const ScenarioScript& script,
+                                 long long* migrated_flows);
 
 }  // namespace flowsched
 

@@ -68,6 +68,19 @@ void CoflowStreamSource::DrawRound(Round t, std::vector<Flow>* out) {
   AppendCoflowRound(config_, t, rng_, &next_coflow_, out);
 }
 
+TrafficStreamSource::TrafficStreamSource(const TrafficConfig& config,
+                                         Round horizon)
+    : RoundGeneratorSource(
+          SwitchSpec::Uniform(config.num_inputs, config.num_outputs,
+                              config.port_capacity),
+          horizon),
+      config_(config),
+      rng_(config.seed) {}
+
+void TrafficStreamSource::DrawRound(Round t, std::vector<Flow>* out) {
+  AppendTrafficRound(config_, t, rng_, &next_coflow_, out);
+}
+
 InstanceStreamSource::InstanceStreamSource(const Instance& instance)
     : instance_(&instance) {
   order_.reserve(instance.num_flows());

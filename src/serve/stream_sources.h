@@ -6,6 +6,8 @@
 //   PoissonStreamSource    draws workload/poisson.h rounds on demand; with
 //                          a negative horizon the stream never ends.
 //   CoflowStreamSource     likewise for workload/coflow_gen.h.
+//   TrafficStreamSource    likewise for traffic/traffic_gen.h (CDF-driven
+//                          realistic workloads).
 //   TraceStreamSource      reads instance-CSV rows line by line through
 //                          model/trace_io.h's InstanceCsvReader; rows must
 //                          be sorted by release (generator-written traces
@@ -22,6 +24,7 @@
 
 #include "model/trace_io.h"
 #include "serve/flow_source.h"
+#include "traffic/traffic_gen.h"
 #include "util/rng.h"
 #include "workload/coflow_gen.h"
 #include "workload/poisson.h"
@@ -80,6 +83,21 @@ class CoflowStreamSource : public RoundGeneratorSource {
 
  private:
   CoflowGenConfig config_;
+  Rng rng_;
+  CoflowId next_coflow_ = 0;
+};
+
+class TrafficStreamSource : public RoundGeneratorSource {
+ public:
+  // `config` must pass GenerateTraffic's validation; config.num_rounds is
+  // ignored (the horizon rules).
+  TrafficStreamSource(const TrafficConfig& config, Round horizon);
+
+ protected:
+  void DrawRound(Round t, std::vector<Flow>* out) override;
+
+ private:
+  TrafficConfig config_;
   Rng rng_;
   CoflowId next_coflow_ = 0;
 };

@@ -52,6 +52,7 @@ std::string StreamingSummary::ToJson() const {
   AppendField(out, "mean_cct", mean_cct);
   AppendField(out, "max_cct", max_cct);
   AppendField(out, "downtime_rounds", static_cast<double>(downtime_rounds));
+  AppendField(out, "migrated_flows", static_cast<double>(migrated_flows));
   AppendBool(out, "truncated", truncated);
   AppendBool(out, "source_error", source_error);
   if (!error.empty()) {
@@ -215,6 +216,9 @@ StreamingSummary StreamingSimulator::Run(StreamingFlowSource& source) {
         break;
       }
       f.release = round_;
+      // Same remap point as the batch admit loop — identical arrival
+      // sequence means identical migration coins (scenario/scenario.h).
+      scenario_.RemapArrival(round_, &f.src, &f.dst);
       f.id = next_id_++;
       Admit(f);
     }
@@ -275,6 +279,7 @@ bool StreamingSimulator::Inject(const Flow& flow, std::string* error) {
   }
   Flow f = flow;
   f.release = round_;
+  scenario_.RemapArrival(round_, &f.src, &f.dst);
   Admit(f);
   return true;
 }
@@ -329,6 +334,7 @@ StreamingSummary StreamingSimulator::Summarize() const {
   s.mean_cct = c.mean();
   s.max_cct = c.max();
   s.downtime_rounds = downtime_rounds_;
+  s.migrated_flows = scenario_.migrated_flows();
   s.truncated = truncated_ || !ctx_.backlog.empty();
   s.source_error = source_error_;
   s.error = error_;

@@ -78,6 +78,8 @@ struct StreamingSummary {
   double max_cct = 0.0;
   // Simulated rounds with >= 1 port side down (scenario / FAULT sessions).
   long long downtime_rounds = 0;
+  // Arrivals re-homed by MIGRATE rules (scenario sessions only).
+  long long migrated_flows = 0;
   bool truncated = false;     // Hit max_rounds with flows still pending.
   bool source_error = false;  // The source failed mid-stream (see error).
   std::string error;

@@ -1,0 +1,82 @@
+#include "traffic/builtin_cdfs.h"
+
+namespace flowsched {
+namespace {
+
+// Keep these byte-identical to traffic/cdf/<name>.cdf — the sync test in
+// tests/traffic/builtin_cdfs_test.cc compares them against the files.
+constexpr char kWebSearch[] =
+    "# Web-search flow-size CDF (DCTCP-style query/response traffic), "
+    "bytes.\n"
+    "# Approximation of the published distribution shipped with HPCC's\n"
+    "# traffic_gen; piecewise-linear between points, last percent is 100.\n"
+    "0 0\n"
+    "10000 15\n"
+    "20000 20\n"
+    "30000 30\n"
+    "50000 40\n"
+    "80000 53\n"
+    "200000 60\n"
+    "1000000 70\n"
+    "2000000 80\n"
+    "5000000 90\n"
+    "10000000 97\n"
+    "30000000 100\n";
+
+constexpr char kFbHdp[] =
+    "# Facebook Hadoop flow-size CDF, bytes. Mostly tiny control/shuffle "
+    "flows\n"
+    "# with a long heavy tail. Approximation of the published distribution\n"
+    "# shipped with HPCC's traffic_gen.\n"
+    "0 0\n"
+    "100 3\n"
+    "200 8\n"
+    "300 15\n"
+    "400 20\n"
+    "500 25\n"
+    "1000 40\n"
+    "2000 52\n"
+    "5000 60\n"
+    "10000 65\n"
+    "20000 70\n"
+    "50000 77\n"
+    "100000 82\n"
+    "500000 90\n"
+    "1000000 93\n"
+    "5000000 97\n"
+    "10000000 99\n"
+    "30000000 100\n";
+
+constexpr char kAliStorage[] =
+    "# Alibaba storage-service flow-size CDF, bytes. Approximation of the\n"
+    "# published distribution shipped with HPCC's traffic_gen.\n"
+    "0 0\n"
+    "1000 25\n"
+    "2000 35\n"
+    "5000 50\n"
+    "10000 60\n"
+    "20000 68\n"
+    "50000 75\n"
+    "100000 80\n"
+    "200000 85\n"
+    "500000 90\n"
+    "1000000 93\n"
+    "2000000 96\n"
+    "5000000 98\n"
+    "10000000 99\n"
+    "50000000 100\n";
+
+}  // namespace
+
+const char* BuiltinCdfText(const std::string& name) {
+  if (name == "websearch") return kWebSearch;
+  if (name == "fbhdp") return kFbHdp;
+  if (name == "alistorage") return kAliStorage;
+  return nullptr;
+}
+
+std::vector<std::string> BuiltinCdfNames() {
+  return {"websearch", "fbhdp", "alistorage"};
+}
+
+}  // namespace flowsched

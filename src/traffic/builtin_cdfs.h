@@ -1,0 +1,22 @@
+// The three published datacenter flow-size distributions, embedded so
+// `cdf:dist=...` specs work without any file on disk (sweep tasks, the
+// streaming daemon, CI). The text is byte-identical to the checked-in
+// `traffic/cdf/<name>.cdf` files; tests/traffic keeps the two in sync.
+#ifndef FLOWSCHED_TRAFFIC_BUILTIN_CDFS_H_
+#define FLOWSCHED_TRAFFIC_BUILTIN_CDFS_H_
+
+#include <string>
+#include <vector>
+
+namespace flowsched {
+
+// CDF text for `name` ("websearch", "fbhdp", "alistorage"), nullptr when
+// unknown.
+const char* BuiltinCdfText(const std::string& name);
+
+// The embedded distribution names, in a stable order.
+std::vector<std::string> BuiltinCdfNames();
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_TRAFFIC_BUILTIN_CDFS_H_

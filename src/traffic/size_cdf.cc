@@ -1,0 +1,177 @@
+#include "traffic/size_cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace flowsched {
+namespace {
+
+bool Fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+std::string LineMsg(int line_no, const std::string& msg) {
+  return "line " + std::to_string(line_no) + ": " + msg;
+}
+
+// Integral of ceil(x) over [0, T] for T >= 0: with n = ceil(T) - 1,
+// F(T) = n(n+1)/2 + (T - n)(n + 1). Closed form, so MeanSegments never
+// iterates segment by segment (unit=1 against multi-MB tails is fine).
+double CeilIntegral(double t) {
+  if (t <= 0.0) return 0.0;
+  const double n = std::ceil(t) - 1.0;
+  return n * (n + 1.0) / 2.0 + (t - n) * (n + 1.0);
+}
+
+// E[ceil(X)] for X uniform on [a, b] (0 <= a <= b).
+double MeanCeilUniform(double a, double b) {
+  if (b <= a) return std::max(1.0, std::ceil(b));
+  return (CeilIntegral(b) - CeilIntegral(a)) / (b - a);
+}
+
+}  // namespace
+
+bool SizeCdf::ParseText(const std::string& text, SizeCdf* cdf,
+                        std::string* error) {
+  // Parse into a local vector so *cdf stays empty on ANY failure path,
+  // including errors after valid leading lines.
+  cdf->points_.clear();
+  std::vector<CdfPoint> points;
+  int line_no = 0;
+  std::string line;
+  std::istringstream in(text);
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string size_tok, pct_tok, extra;
+    if (!(fields >> size_tok)) continue;  // Blank / comment-only line.
+    if (!(fields >> pct_tok)) {
+      return Fail(error, LineMsg(line_no, "expected \"<size> <percent>\""));
+    }
+    if (fields >> extra) {
+      return Fail(error, LineMsg(line_no, "trailing token \"" + extra +
+                                              "\" after \"<size> <percent>\""));
+    }
+    CdfPoint p;
+    std::size_t used = 0;
+    try {
+      p.size = std::stod(size_tok, &used);
+    } catch (...) {
+      used = 0;
+    }
+    if (used != size_tok.size()) {
+      return Fail(error,
+                  LineMsg(line_no, "bad size \"" + size_tok + "\""));
+    }
+    try {
+      p.percent = std::stod(pct_tok, &used);
+    } catch (...) {
+      used = 0;
+    }
+    if (used != pct_tok.size()) {
+      return Fail(error,
+                  LineMsg(line_no, "bad percent \"" + pct_tok + "\""));
+    }
+    if (!(p.size >= 0.0) || !std::isfinite(p.size)) {
+      return Fail(error, LineMsg(line_no, "size must be >= 0 and finite"));
+    }
+    if (!(p.percent >= 0.0 && p.percent <= 100.0)) {
+      return Fail(error, LineMsg(line_no, "percent must be in [0, 100]"));
+    }
+    if (!points.empty()) {
+      if (p.size < points.back().size) {
+        return Fail(error,
+                    LineMsg(line_no, "sizes must be non-decreasing"));
+      }
+      if (p.percent < points.back().percent) {
+        return Fail(error,
+                    LineMsg(line_no, "percents must be non-decreasing"));
+      }
+    }
+    points.push_back(p);
+  }
+  if (points.empty()) {
+    return Fail(error, "empty CDF: no \"<size> <percent>\" data lines");
+  }
+  if (points.back().percent != 100.0) {
+    return Fail(error, "last percent must be 100 (got " +
+                           std::to_string(points.back().percent) + ")");
+  }
+  cdf->points_ = std::move(points);
+  return true;
+}
+
+bool SizeCdf::ParseFile(const std::string& path, SizeCdf* cdf,
+                        std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    cdf->points_.clear();
+    return Fail(error, "cannot open CDF file \"" + path + "\"");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::string err;
+  if (!ParseText(text.str(), cdf, &err)) {
+    return Fail(error, path + ": " + err);
+  }
+  return true;
+}
+
+double SizeCdf::MinSize() const {
+  FS_CHECK(!points_.empty());
+  return points_.front().size;
+}
+
+double SizeCdf::MaxSize() const {
+  FS_CHECK(!points_.empty());
+  return points_.back().size;
+}
+
+double SizeCdf::Mean() const {
+  FS_CHECK(!points_.empty());
+  // Mass below the first point is a point mass at the first size.
+  double mean = points_.front().percent / 100.0 * points_.front().size;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double mass = (points_[i].percent - points_[i - 1].percent) / 100.0;
+    mean += mass * 0.5 * (points_[i - 1].size + points_[i].size);
+  }
+  return mean;
+}
+
+double SizeCdf::MeanSegments(double unit) const {
+  FS_CHECK(!points_.empty());
+  FS_CHECK_GT(unit, 0.0);
+  double mean = points_.front().percent / 100.0 *
+                std::max(1.0, std::ceil(points_.front().size / unit));
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double mass = (points_[i].percent - points_[i - 1].percent) / 100.0;
+    if (mass <= 0.0) continue;
+    mean += mass * std::max(1.0, MeanCeilUniform(points_[i - 1].size / unit,
+                                                 points_[i].size / unit));
+  }
+  return mean;
+}
+
+double SizeCdf::Sample(double u) const {
+  FS_CHECK(!points_.empty());
+  const double target = u * 100.0;
+  if (target <= points_.front().percent) return points_.front().size;
+  // First point with percent >= target; its predecessor exists and has a
+  // strictly smaller percent, so the interpolation below never divides by 0.
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), target,
+      [](const CdfPoint& p, double t) { return p.percent < t; });
+  const CdfPoint& hi = *it;
+  const CdfPoint& lo = *(it - 1);
+  const double frac = (target - lo.percent) / (hi.percent - lo.percent);
+  return lo.size + frac * (hi.size - lo.size);
+}
+
+}  // namespace flowsched

@@ -1,0 +1,60 @@
+// Empirical flow-size distributions in the HPCC traffic_gen format.
+//
+// A CDF file is a sequence of "<size> <cumulative-percent>" lines (bytes,
+// percent in [0, 100]), '#' comments and blank lines ignored. Sizes and
+// percents must both be non-decreasing and the last percent must be exactly
+// 100. Between consecutive points the CDF is piecewise linear (a uniform
+// size density); a repeated size with a percent jump is a point mass.
+// Probability mass below the first point is a point mass at the first size.
+//
+// Sampling is by inverse transform on a uniform [0, 1) draw, so generators
+// consume exactly one RNG draw per size — the property the batch/streaming
+// byte-identity contract (src/serve/) relies on.
+#ifndef FLOWSCHED_TRAFFIC_SIZE_CDF_H_
+#define FLOWSCHED_TRAFFIC_SIZE_CDF_H_
+
+#include <string>
+#include <vector>
+
+namespace flowsched {
+
+struct CdfPoint {
+  double size = 0.0;     // Flow size (bytes).
+  double percent = 0.0;  // P(S <= size) * 100.
+};
+
+class SizeCdf {
+ public:
+  // Parses CDF text / a CDF file. On failure returns false and sets *error
+  // to a message with a 1-based line number ("line 3: ..."). *cdf is left
+  // empty on failure.
+  static bool ParseText(const std::string& text, SizeCdf* cdf,
+                        std::string* error);
+  static bool ParseFile(const std::string& path, SizeCdf* cdf,
+                        std::string* error);
+
+  bool empty() const { return points_.empty(); }
+  const std::vector<CdfPoint>& points() const { return points_; }
+
+  double MinSize() const;
+  double MaxSize() const;
+
+  // Exact E[S] of the piecewise-linear distribution.
+  double Mean() const;
+
+  // Exact E[max(1, ceil(S / unit))]: the expected number of unit-demand
+  // segments a sampled flow expands into. Closed form per linear piece
+  // (integral of ceil over a uniform interval), so it stays O(points) even
+  // when max_size/unit is in the millions. Requires unit > 0.
+  double MeanSegments(double unit) const;
+
+  // Inverse transform: the size at quantile u in [0, 1).
+  double Sample(double u) const;
+
+ private:
+  std::vector<CdfPoint> points_;
+};
+
+}  // namespace flowsched
+
+#endif  // FLOWSCHED_TRAFFIC_SIZE_CDF_H_

@@ -7,6 +7,8 @@
 #include <sstream>
 
 #include "model/trace_io.h"
+#include "traffic/builtin_cdfs.h"
+#include "traffic/traffic_gen.h"
 #include "workload/adversarial.h"
 #include "workload/coflow_gen.h"
 #include "workload/poisson.h"
@@ -18,6 +20,7 @@ TEST(InstanceSourceTest, RecognizesGeneratorSpecs) {
   EXPECT_TRUE(IsGeneratorSpec("poisson"));
   EXPECT_TRUE(IsGeneratorSpec("poisson:ports=4,load=1.0"));
   EXPECT_TRUE(IsGeneratorSpec("coflow:ports=8,load=0.9,width=4"));
+  EXPECT_TRUE(IsGeneratorSpec("cdf:dist=websearch,ports=64,load=0.9"));
   EXPECT_TRUE(IsGeneratorSpec("fig4b"));
   EXPECT_FALSE(IsGeneratorSpec("trace.csv"));
   EXPECT_FALSE(IsGeneratorSpec("/tmp/poisson.csv"));
@@ -111,6 +114,79 @@ TEST(InstanceSourceTest, LoadsCoflowTraceFilesBySniffingTheHeader) {
   std::remove(path.c_str());
 }
 
+TEST(InstanceSourceTest, CdfSpecMatchesGenerateTraffic) {
+  const std::string spec =
+      "cdf:dist=websearch,ports=16,load=0.6,rounds=12,seed=7";
+  std::string error;
+  const auto loaded = LoadInstance(spec, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->source(), spec);
+
+  TrafficConfig cfg;
+  cfg.num_inputs = cfg.num_outputs = 16;
+  cfg.load = 0.6;
+  EXPECT_TRUE(SizeCdf::ParseText(BuiltinCdfText("websearch"), &cfg.cdf,
+                                 &error))
+      << error;
+  cfg.num_rounds = 12;
+  cfg.seed = 7;
+  const Instance direct = GenerateTraffic(cfg);
+  ASSERT_EQ(loaded->num_flows(), direct.num_flows());
+  for (FlowId e = 0; e < direct.num_flows(); ++e) {
+    EXPECT_EQ(loaded->flow(e), direct.flow(e));
+  }
+}
+
+TEST(InstanceSourceTest, CdfSpecLoadsCdfFiles) {
+  char path[] = "/tmp/flowsched_cdf_XXXXXX";
+  const int fd = mkstemp(path);
+  ASSERT_GE(fd, 0);
+  close(fd);
+  {
+    std::ofstream out(path);
+    out << "0 0\n1000 100\n";
+  }
+  std::string error;
+  const auto loaded = LoadInstance(
+      std::string("cdf:file=") + path + ",ports=8,load=0.5,rounds=10,seed=2",
+      &error);
+  std::remove(path);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_GT(loaded->num_flows(), 0);
+
+  // A missing file names the path.
+  EXPECT_FALSE(LoadInstance("cdf:file=/no/such.cdf,ports=8,load=0.5", &error)
+                   .has_value());
+  EXPECT_NE(error.find("/no/such.cdf"), std::string::npos) << error;
+}
+
+TEST(InstanceSourceTest, CdfSpecErrorsNameTheOffender) {
+  std::string error;
+  // Unknown key, like every other generator.
+  EXPECT_FALSE(
+      LoadInstance("cdf:dist=websearch,portz=8", &error).has_value());
+  EXPECT_NE(error.find("portz"), std::string::npos) << error;
+  // Unknown distribution names the builtins.
+  EXPECT_FALSE(LoadInstance("cdf:dist=dctcp,ports=8", &error).has_value());
+  EXPECT_NE(error.find("dctcp"), std::string::npos) << error;
+  EXPECT_NE(error.find("websearch"), std::string::npos) << error;
+  // dist= and file= are mutually exclusive; neither defaults to websearch.
+  EXPECT_FALSE(
+      LoadInstance("cdf:dist=websearch,file=x.cdf", &error).has_value());
+  EXPECT_NE(error.find("not both"), std::string::npos) << error;
+  EXPECT_TRUE(LoadInstance("cdf:ports=8,load=0.5,rounds=5", &error)
+                  .has_value())
+      << error;
+  // Out-of-range values fail like the other generators.
+  EXPECT_FALSE(
+      LoadInstance("cdf:dist=websearch,ports=0", &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+  EXPECT_FALSE(
+      LoadInstance("cdf:dist=websearch,ports=8,rounds=0", &error)
+          .has_value());
+  EXPECT_NE(error.find("rounds"), std::string::npos) << error;
+}
+
 TEST(InstanceSourceTest, MissingFileNamesThePath) {
   std::string error;
   EXPECT_FALSE(LoadInstance("/no/such/file.csv", &error).has_value());
@@ -188,10 +264,19 @@ TEST(InstanceSourceTest, ValidateInstanceSpecChecksKeysWithoutGenerating) {
       << error;
   // File paths are load-time concerns.
   EXPECT_TRUE(ValidateInstanceSpec("no/such/file.csv", &error)) << error;
+  // cdf: specs validate without generating — a huge horizon is fine.
+  EXPECT_TRUE(ValidateInstanceSpec(
+      "cdf:dist=alistorage,ports=4096,load=0.9,rounds=10000000,seed=1",
+      &error))
+      << error;
 
   // Offenders are named, at either nesting level.
   EXPECT_FALSE(ValidateInstanceSpec("poisson:portz=4", &error));
   EXPECT_NE(error.find("portz"), std::string::npos) << error;
+  EXPECT_FALSE(ValidateInstanceSpec("cdf:dist=websearch,portz=8", &error));
+  EXPECT_NE(error.find("portz"), std::string::npos) << error;
+  EXPECT_FALSE(ValidateInstanceSpec("cdf:dist=nope,ports=8", &error));
+  EXPECT_NE(error.find("nope"), std::string::npos) << error;
   // A typo'd generator NAME on a generator-shaped source is caught too —
   // it is not a plausible file path.
   EXPECT_FALSE(ValidateInstanceSpec("possion:ports=8,load=1.0", &error));

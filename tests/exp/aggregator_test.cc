@@ -174,7 +174,7 @@ TEST(AggregatorTest, CsvQuotesCommaAndSemicolonBearingFields) {
       << "data row sheared against the header";
   // The multi-separator fields come back intact, quotes stripped.
   EXPECT_EQ(rows[1][1], cell.instance_family);
-  EXPECT_EQ(rows[1][6], *cell.scenario);
+  EXPECT_EQ(rows[1][7], *cell.scenario);  // After the dist column.
 }
 
 }  // namespace

@@ -72,6 +72,32 @@ TEST(ExperimentRunnerTest, ResultsAreIdenticalAcrossJobCounts) {
   EXPECT_EQ(AggregateReport(run1, spec), AggregateReport(run8, spec));
 }
 
+// Same guarantee for the realistic-traffic axis: a {dist} grid over the
+// builtin CDFs is byte-identical at any parallelism.
+TEST(ExperimentRunnerTest, DistGridIsIdenticalAcrossJobCounts) {
+  SweepSpec spec;
+  spec.name = "dist-test";
+  spec.solvers = {"online.srpt", "online.random"};
+  spec.instances = {"cdf:dist={dist},ports=16,load=0.9,rounds=30,seed={seed}"};
+  spec.dists = {"websearch", "fbhdp", "alistorage"};
+  spec.seeds = {1, 2};
+  spec.base_seed = 3;
+  SweepRun run1, run8;
+  std::string error;
+  RunnerOptions opt1;
+  opt1.jobs = 1;
+  ASSERT_TRUE(RunSweep(spec, opt1, run1, &error)) << error;
+  RunnerOptions opt8;
+  opt8.jobs = 8;
+  ASSERT_TRUE(RunSweep(spec, opt8, run8, &error)) << error;
+  EXPECT_EQ(run1.failures, 0);
+  EXPECT_EQ(run8.failures, 0);
+  EXPECT_EQ(AggregateReport(run1, spec), AggregateReport(run8, spec));
+  // The aggregate echoes each cell's dist coordinate.
+  EXPECT_NE(AggregateReport(run1, spec).find("\"dist\": \"fbhdp\""),
+            std::string::npos);
+}
+
 TEST(ExperimentRunnerTest, RepeatedRunsAreIdentical) {
   const SweepSpec spec = SmallGrid();
   SweepRun a, b;

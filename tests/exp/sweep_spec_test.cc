@@ -305,6 +305,59 @@ TEST(ExpandSweepTest, ShardsAxisSubstitutesIntoFabricTemplates) {
   EXPECT_NE(error.find("{shards}"), std::string::npos) << error;
 }
 
+TEST(ExpandSweepTest, DistAxisSubstitutesIntoCdfTemplates) {
+  SweepSpec spec;
+  spec.solvers = {"online.srpt"};
+  spec.instances = {"cdf:dist={dist},ports=16,load=0.9,rounds=10,seed={seed}"};
+  spec.dists = {"websearch", "fbhdp", "alistorage"};
+  spec.seeds = {1};
+  SweepPlan plan;
+  std::string error;
+  ASSERT_TRUE(ExpandSweep(spec, SolverRegistry::Global(), plan, &error))
+      << error;
+  ASSERT_EQ(plan.cells.size(), 3u);
+  for (std::size_t i = 0; i < plan.cells.size(); ++i) {
+    ASSERT_TRUE(plan.cells[i].dist.has_value());
+    EXPECT_EQ(*plan.cells[i].dist, spec.dists[i]);
+    EXPECT_NE(
+        plan.cells[i].instance_family.find("dist=" + spec.dists[i]),
+        std::string::npos);
+  }
+
+  // The axis obeys the same agreement rule as the others, both directions.
+  spec.instances = {"cdf:dist=websearch,ports=16,load=0.9,seed={seed}"};
+  EXPECT_FALSE(ExpandSweep(spec, SolverRegistry::Global(), plan, &error));
+  EXPECT_NE(error.find("{dist}"), std::string::npos) << error;
+  spec.instances = {"cdf:dist={dist},ports=16,load=0.9,seed={seed}"};
+  spec.dists.clear();
+  EXPECT_FALSE(ExpandSweep(spec, SolverRegistry::Global(), plan, &error));
+  EXPECT_NE(error.find("{dist}"), std::string::npos) << error;
+}
+
+TEST(ParseSweepSpecTest, DistsParseInBothFrontEnds) {
+  SweepSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseSweepSpec(
+      "solvers=online.srpt\n"
+      "instances=cdf:dist={dist},ports=16,load=0.9,seed={seed}\n"
+      "dists=websearch,fbhdp\n",
+      spec, &error))
+      << error;
+  ASSERT_EQ(spec.dists.size(), 2u);
+  EXPECT_EQ(spec.dists[0], "websearch");
+  EXPECT_EQ(spec.dists[1], "fbhdp");
+
+  spec = SweepSpec{};
+  ASSERT_TRUE(ParseSweepSpec(
+      R"({"solvers": ["online.srpt"],)"
+      R"( "instances": ["cdf:dist={dist},ports=16,seed={seed}"],)"
+      R"( "dists": ["alistorage"]})",
+      spec, &error))
+      << error;
+  ASSERT_EQ(spec.dists.size(), 1u);
+  EXPECT_EQ(spec.dists[0], "alistorage");
+}
+
 // The silent-typo regression (ISSUE 5): unknown keys inside a generator
 // template — the fabric wrapper and the inner spec included — fail the
 // expansion with the key named, before any runner side effects.

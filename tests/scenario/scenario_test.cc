@@ -5,6 +5,7 @@
 // onto shard-local ports.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -381,6 +382,161 @@ TEST(ScenarioFabricTest, FabricRunDegradesAndRecoversUnderPodOutage) {
   EXPECT_TRUE(dead.truncated);
   EXPECT_NE(dead.error.find("no recovery event"), std::string::npos)
       << dead.error;
+}
+
+// --- MIGRATE --------------------------------------------------------------
+
+TEST(ScenarioParseTest, MigrateParsesAndErrors) {
+  const ScenarioScript script = MustParse("MIGRATE 5 2 6 0.5\n");
+  EXPECT_TRUE(script.has_migrations());
+  ASSERT_EQ(script.events().size(), 1u);
+  const ScenarioEvent& e = script.events()[0];
+  EXPECT_EQ(e.kind, ScenarioEvent::Kind::kMigrate);
+  EXPECT_EQ(e.t, 5);
+  EXPECT_EQ(e.target, 2);
+  EXPECT_EQ(e.dst, 6);
+  EXPECT_DOUBLE_EQ(e.frac, 0.5);
+  EXPECT_FALSE(MustParse("PORT_DOWN 1 0\n").has_migrations());
+
+  EXPECT_NE(ParseError("MIGRATE 5 2 6\n")
+                .find("line 1: MIGRATE wants: MIGRATE <t> <src> <dst> <frac>"),
+            std::string::npos);
+  EXPECT_NE(ParseError("\nMIGRATE 5 2 6 1.5\n")
+                .find("line 2: MIGRATE fraction must be a real in [0, 1]"),
+            std::string::npos);
+  EXPECT_NE(ParseError("MIGRATE 5 2 six 0.5\n").find("line 1:"),
+            std::string::npos);
+}
+
+TEST(ScenarioRuntimeTest, MigrateBindRejectsOutOfRangeHosts) {
+  const SwitchSpec base = SwitchSpec::Uniform(4, 4, 1);
+  ScenarioRuntime runtime;
+  std::string error;
+  EXPECT_FALSE(runtime.Bind(MustParse("MIGRATE 5 9 1 0.5"), base, &error));
+  EXPECT_NE(error.find("port 9 out of range"), std::string::npos) << error;
+  EXPECT_FALSE(runtime.Bind(MustParse("MIGRATE 5 1 9 0.5"), base, &error));
+  EXPECT_NE(error.find("port 9 out of range"), std::string::npos) << error;
+  ASSERT_TRUE(runtime.Bind(MustParse("MIGRATE 5 1 3 0.5"), base, &error))
+      << error;
+  EXPECT_TRUE(runtime.has_migrations());
+  EXPECT_FALSE(runtime.degraded());  // Load movement, not a capacity op.
+}
+
+TEST(ScenarioMigrateTest, RewriteIsProspectiveAndDropsNothing) {
+  const Instance instance = MustLoad(kSpec);
+  // frac=1 with an in-range destination: every arrival touching host 3
+  // from round 30 on re-homes to host 5, deterministically.
+  const ScenarioScript script = MustParse("MIGRATE 30 3 5 1.0");
+  long long migrated = 0;
+  const Instance after = ApplyScenarioMigrations(instance, script, &migrated);
+  ASSERT_EQ(after.num_flows(), instance.num_flows());
+  EXPECT_GT(migrated, 0);
+  long long changed = 0;
+  for (int i = 0; i < instance.num_flows(); ++i) {
+    const Flow& before = instance.flow(i);
+    const Flow& flow = after.flow(i);
+    // Identity, demand, release, and coflow tag are preserved.
+    EXPECT_EQ(flow.demand, before.demand);
+    EXPECT_EQ(flow.release, before.release);
+    EXPECT_EQ(flow.coflow, before.coflow);
+    if (before.release < 30) {
+      // Prospective: flows released before the rule keep their ports.
+      EXPECT_EQ(flow.src, before.src);
+      EXPECT_EQ(flow.dst, before.dst);
+    } else {
+      EXPECT_NE(flow.src, 3);
+      EXPECT_NE(flow.dst, 3);
+      EXPECT_EQ(flow.src, before.src == 3 ? 5 : before.src);
+      EXPECT_EQ(flow.dst, before.dst == 3 ? 5 : before.dst);
+    }
+    if (flow.src != before.src || flow.dst != before.dst) ++changed;
+  }
+  EXPECT_EQ(migrated, changed);
+}
+
+TEST(ScenarioMigrateTest, BatchSimulationMatchesRewrittenInstance) {
+  const Instance instance = MustLoad(kSpec);
+  const ScenarioScript script = MustParse("MIGRATE 20 1 6 0.6\n"
+                                          "MIGRATE 35 2 6 0.4");
+  long long migrated = 0;
+  const Instance after = ApplyScenarioMigrations(instance, script, &migrated);
+  ASSERT_GT(migrated, 0);
+  // A MIGRATE-only scenario never degrades capacity, so simulating the
+  // original instance under the script must replay the rewritten instance's
+  // fault-free run byte-identically — the cross-path determinism contract.
+  const SimulationResult scenario_run = RunBatch(instance, &script);
+  const SimulationResult rewritten_run = RunBatch(after, nullptr);
+  ASSERT_FALSE(scenario_run.truncated) << scenario_run.error;
+  EXPECT_EQ(scenario_run.migrated_flows, migrated);
+  EXPECT_EQ(rewritten_run.migrated_flows, 0);
+  EXPECT_EQ(scenario_run.realized.num_flows(), instance.num_flows());
+  EXPECT_EQ(scenario_run.rounds, rewritten_run.rounds);
+  EXPECT_EQ(ScheduleBytes(scenario_run.schedule),
+            ScheduleBytes(rewritten_run.schedule));
+  // Replays of the same scenario run are identical (fixed migration seed).
+  const SimulationResult again = RunBatch(instance, &script);
+  EXPECT_EQ(again.migrated_flows, migrated);
+  EXPECT_EQ(ScheduleBytes(again.schedule),
+            ScheduleBytes(scenario_run.schedule));
+}
+
+TEST(ScenarioMigrateTest, RemapArrivalMatchesInstanceRewrite) {
+  const Instance instance = MustLoad(kSpec);
+  const ScenarioScript script = MustParse("MIGRATE 10 0 7 0.5");
+  long long migrated = 0;
+  const Instance after = ApplyScenarioMigrations(instance, script, &migrated);
+  // Feeding the same flows through the runtime in (release, id) admission
+  // order must reproduce the rewrite exactly: both draw from the identical
+  // fixed-seed coin stream.
+  ScenarioRuntime runtime;
+  std::string error;
+  ASSERT_TRUE(runtime.Bind(script, instance.sw(), &error)) << error;
+  std::vector<int> order(instance.num_flows());
+  for (int i = 0; i < instance.num_flows(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return instance.flow(a).release < instance.flow(b).release;
+  });
+  for (const int id : order) {
+    PortId src = instance.flow(id).src;
+    PortId dst = instance.flow(id).dst;
+    runtime.RemapArrival(instance.flow(id).release, &src, &dst);
+    EXPECT_EQ(src, after.flow(id).src) << "flow " << id;
+    EXPECT_EQ(dst, after.flow(id).dst) << "flow " << id;
+  }
+  EXPECT_EQ(runtime.migrated_flows(), migrated);
+}
+
+TEST(ScenarioMigrateTest, FabricProjectionSkipsMigrateOps) {
+  const Instance instance = MustLoad(kSpec);
+  const FabricAssignment fa =
+      PartitionInstance(instance, 2, FabricPartition::kBlock);
+  // MIGRATE is consumed before partitioning (ApplyScenarioMigrations); the
+  // per-shard projection must ignore it and still project capacity events.
+  const ScenarioScript script =
+      MustParse("MIGRATE 5 2 6 0.5\nPORT_DOWN 10 3\nPORT_UP 20 3");
+  for (int shard = 0; shard < fa.shards; ++shard) {
+    std::vector<ScenarioOp> ops;
+    std::string error;
+    ASSERT_TRUE(ProjectScenarioOps(script, fa, shard, &ops, &error)) << error;
+    for (const ScenarioOp& op : ops) EXPECT_GE(op.t, 10);
+  }
+  // A MIGRATE-only script projects to zero ops on every shard.
+  const ScenarioScript only = MustParse("MIGRATE 5 2 6 0.5");
+  std::vector<ScenarioOp> ops;
+  std::string error;
+  ASSERT_TRUE(ProjectScenarioOps(only, fa, 0, &ops, &error)) << error;
+  EXPECT_TRUE(ops.empty());
+}
+
+TEST(ScenarioMigrateTest, AllowanceSumsDistinctDestinationHosts) {
+  const SwitchSpec base = SwitchSpec::Uniform(8, 8, 3);
+  EXPECT_EQ(MigrationCapacityAllowance(MustParse("PORT_DOWN 1 0"), base), 0);
+  // Two rules into host 5, one into host 6: distinct destinations 5 and 6,
+  // max(cap_in, cap_out) = 3 each.
+  const ScenarioScript script = MustParse("MIGRATE 5 1 5 0.5\n"
+                                          "MIGRATE 9 2 5 0.5\n"
+                                          "MIGRATE 9 3 6 1.0");
+  EXPECT_EQ(MigrationCapacityAllowance(script, base), 6);
 }
 
 }  // namespace

@@ -201,6 +201,35 @@ TEST(StreamingEquivalenceTest, CoflowGeneratorSourceMatchesBatch) {
   ExpectStreamingMatchesBatch(instance, "coflow.sebf", run);
 }
 
+// The realistic-traffic generator rides the same contract: one shared
+// AppendTrafficRound, one RNG stream, so the cdf: streaming source must
+// reproduce the cdf: batch instance exactly — the ISSUE 9 golden.
+TEST(StreamingEquivalenceTest, CdfGeneratorSourceMatchesBatch) {
+  constexpr char kCdf[] =
+      "cdf:dist=websearch,ports=12,load=0.8,rounds=80,seed=21";
+  const Instance instance = MustLoad(kCdf);
+  ASSERT_GT(instance.num_flows(), 0);
+  std::string error;
+  const auto source = MakeStreamSource(kCdf, &error);
+  ASSERT_NE(source, nullptr) << error;
+  const StreamRun run =
+      RunStreaming(*source, "online.srpt", instance.num_flows());
+  ExpectStreamingMatchesBatch(instance, "online.srpt", run);
+}
+
+TEST(StreamingEquivalenceTest, CdfCoflowGeneratorSourceMatchesBatch) {
+  constexpr char kCdfCoflows[] =
+      "cdf:dist=fbhdp,ports=10,load=0.7,rounds=60,width=4,skew=0.6,seed=33";
+  const Instance instance = MustLoad(kCdfCoflows);
+  ASSERT_GT(instance.num_flows(), 0);
+  std::string error;
+  const auto source = MakeStreamSource(kCdfCoflows, &error);
+  ASSERT_NE(source, nullptr) << error;
+  const StreamRun run =
+      RunStreaming(*source, "coflow.sebf", instance.num_flows());
+  ExpectStreamingMatchesBatch(instance, "coflow.sebf", run);
+}
+
 TEST(StreamingEquivalenceTest, TruncationReportsHonestly) {
   const Instance instance = MustLoad(kPoissonHeavy);
   InstanceStreamSource source(instance);

@@ -1,0 +1,58 @@
+#include "traffic/builtin_cdfs.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "traffic/size_cdf.h"
+
+namespace flowsched {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+TEST(BuiltinCdfsTest, NamesAreStableAndUnknownIsNull) {
+  const auto names = BuiltinCdfNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "websearch");
+  EXPECT_EQ(names[1], "fbhdp");
+  EXPECT_EQ(names[2], "alistorage");
+  EXPECT_EQ(BuiltinCdfText("dctcp"), nullptr);
+  EXPECT_EQ(BuiltinCdfText(""), nullptr);
+}
+
+// The embedded copies exist so `cdf:dist=...` works without files on disk;
+// the checked-in traffic/cdf/ files are the documented source of truth. The
+// regression: the two drifting apart silently.
+TEST(BuiltinCdfsTest, EmbeddedTextMatchesCheckedInFiles) {
+  for (const std::string& name : BuiltinCdfNames()) {
+    const char* text = BuiltinCdfText(name);
+    ASSERT_NE(text, nullptr) << name;
+    const std::string path =
+        std::string(FLOWSCHED_SOURCE_DIR) + "/traffic/cdf/" + name + ".cdf";
+    EXPECT_EQ(std::string(text), ReadFileOrDie(path)) << name;
+  }
+}
+
+TEST(BuiltinCdfsTest, EveryBuiltinParsesWithSaneMoments) {
+  for (const std::string& name : BuiltinCdfNames()) {
+    SizeCdf cdf;
+    std::string error;
+    ASSERT_TRUE(SizeCdf::ParseText(BuiltinCdfText(name), &cdf, &error))
+        << name << ": " << error;
+    EXPECT_GT(cdf.Mean(), 0.0) << name;
+    EXPECT_GT(cdf.MaxSize(), cdf.MinSize()) << name;
+    EXPECT_GE(cdf.MeanSegments(1.0), 1.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -1,0 +1,145 @@
+#include "traffic/size_cdf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+namespace flowsched {
+namespace {
+
+// Two-point CDF: uniform sizes on [0, 100].
+const char kUniform[] = "0 0\n100 100\n";
+
+TEST(SizeCdfTest, ParsesCommentsAndBlankLines) {
+  SizeCdf cdf;
+  std::string error;
+  const std::string text =
+      "# HPCC-style comment\n"
+      "\n"
+      "100 50  # inline comment\n"
+      "200 100\n";
+  ASSERT_TRUE(SizeCdf::ParseText(text, &cdf, &error)) << error;
+  ASSERT_EQ(cdf.points().size(), 2u);
+  EXPECT_DOUBLE_EQ(cdf.points()[0].size, 100.0);
+  EXPECT_DOUBLE_EQ(cdf.points()[0].percent, 50.0);
+  EXPECT_DOUBLE_EQ(cdf.MinSize(), 100.0);
+  EXPECT_DOUBLE_EQ(cdf.MaxSize(), 200.0);
+}
+
+TEST(SizeCdfTest, ErrorsCarryOneBasedLineNumbers) {
+  SizeCdf cdf;
+  std::string error;
+
+  EXPECT_FALSE(SizeCdf::ParseText("100 50\n200\n", &cdf, &error));
+  EXPECT_NE(error.find("line 2:"), std::string::npos) << error;
+  EXPECT_TRUE(cdf.empty());
+
+  EXPECT_FALSE(SizeCdf::ParseText("# c\n100 50 extra\n", &cdf, &error));
+  EXPECT_NE(error.find("line 2:"), std::string::npos) << error;
+  EXPECT_NE(error.find("trailing token"), std::string::npos) << error;
+
+  EXPECT_FALSE(SizeCdf::ParseText("abc 50\n", &cdf, &error));
+  EXPECT_NE(error.find("line 1:"), std::string::npos) << error;
+  EXPECT_NE(error.find("bad size"), std::string::npos) << error;
+
+  EXPECT_FALSE(SizeCdf::ParseText("100 5x\n", &cdf, &error));
+  EXPECT_NE(error.find("bad percent"), std::string::npos) << error;
+}
+
+TEST(SizeCdfTest, RejectsOutOfRangeAndNonMonotone) {
+  SizeCdf cdf;
+  std::string error;
+
+  EXPECT_FALSE(SizeCdf::ParseText("-1 0\n10 100\n", &cdf, &error));
+  EXPECT_NE(error.find("line 1:"), std::string::npos) << error;
+
+  EXPECT_FALSE(SizeCdf::ParseText("10 101\n", &cdf, &error));
+  EXPECT_NE(error.find("percent must be in [0, 100]"), std::string::npos)
+      << error;
+
+  EXPECT_FALSE(SizeCdf::ParseText("100 50\n50 100\n", &cdf, &error));
+  EXPECT_NE(error.find("line 2: sizes must be non-decreasing"),
+            std::string::npos)
+      << error;
+
+  EXPECT_FALSE(SizeCdf::ParseText("100 50\n200 40\n300 100\n", &cdf, &error));
+  EXPECT_NE(error.find("line 2: percents must be non-decreasing"),
+            std::string::npos)
+      << error;
+}
+
+TEST(SizeCdfTest, RejectsEmptyAndUnterminated) {
+  SizeCdf cdf;
+  std::string error;
+
+  EXPECT_FALSE(SizeCdf::ParseText("# only comments\n\n", &cdf, &error));
+  EXPECT_NE(error.find("empty CDF"), std::string::npos) << error;
+
+  EXPECT_FALSE(SizeCdf::ParseText("100 50\n200 99\n", &cdf, &error));
+  EXPECT_NE(error.find("last percent must be 100"), std::string::npos)
+      << error;
+  EXPECT_TRUE(cdf.empty());
+}
+
+TEST(SizeCdfTest, ParseFileReportsMissingPath) {
+  SizeCdf cdf;
+  std::string error;
+  EXPECT_FALSE(SizeCdf::ParseFile("/nonexistent/x.cdf", &cdf, &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+}
+
+TEST(SizeCdfTest, MeanMatchesClosedForms) {
+  SizeCdf cdf;
+  std::string error;
+  ASSERT_TRUE(SizeCdf::ParseText(kUniform, &cdf, &error)) << error;
+  EXPECT_DOUBLE_EQ(cdf.Mean(), 50.0);
+
+  // 40% point mass at 10, then uniform on [10, 110] for the rest:
+  // E = 0.4*10 + 0.6*60 = 40.
+  ASSERT_TRUE(SizeCdf::ParseText("10 40\n110 100\n", &cdf, &error)) << error;
+  EXPECT_DOUBLE_EQ(cdf.Mean(), 40.0);
+}
+
+TEST(SizeCdfTest, SampleIsMonotoneInverseTransform) {
+  SizeCdf cdf;
+  std::string error;
+  ASSERT_TRUE(SizeCdf::ParseText(kUniform, &cdf, &error)) << error;
+  EXPECT_DOUBLE_EQ(cdf.Sample(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.Sample(0.25), 25.0);
+  EXPECT_DOUBLE_EQ(cdf.Sample(0.999), 99.9);
+
+  // Point mass below the first point: u <= 40% returns the first size.
+  ASSERT_TRUE(SizeCdf::ParseText("10 40\n110 100\n", &cdf, &error)) << error;
+  EXPECT_DOUBLE_EQ(cdf.Sample(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.Sample(0.4), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.Sample(0.7), 60.0);
+  double prev = -1.0;
+  for (double u = 0.0; u < 1.0; u += 0.01) {
+    const double s = cdf.Sample(u);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+TEST(SizeCdfTest, MeanSegmentsMatchesBruteForce) {
+  SizeCdf cdf;
+  std::string error;
+  ASSERT_TRUE(SizeCdf::ParseText(kUniform, &cdf, &error)) << error;
+  for (const double unit : {1.0, 3.0, 7.5, 40.0, 1000.0}) {
+    // Brute-force E[max(1, ceil(S/unit))] by fine quadrature on the inverse
+    // transform (midpoint rule over the quantile axis).
+    const int n = 200000;
+    double brute = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double u = (i + 0.5) / n;
+      brute += std::max(1.0, std::ceil(cdf.Sample(u) / unit));
+    }
+    brute /= n;
+    EXPECT_NEAR(cdf.MeanSegments(unit), brute, 0.01)
+        << "unit=" << unit;
+  }
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -1,0 +1,189 @@
+#include "traffic/traffic_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "traffic/builtin_cdfs.h"
+
+namespace flowsched {
+namespace {
+
+SizeCdf MustParse(const std::string& text) {
+  SizeCdf cdf;
+  std::string error;
+  EXPECT_TRUE(SizeCdf::ParseText(text, &cdf, &error)) << error;
+  return cdf;
+}
+
+TEST(TrafficGenTest, DeterministicForSeedAndSeedSensitive) {
+  TrafficConfig cfg;
+  cfg.cdf = MustParse("0 0\n100 100\n");
+  cfg.num_rounds = 20;
+  cfg.seed = 42;
+  const Instance a = GenerateTraffic(cfg);
+  const Instance b = GenerateTraffic(cfg);
+  ASSERT_EQ(a.num_flows(), b.num_flows());
+  for (int i = 0; i < a.num_flows(); ++i) EXPECT_EQ(a.flow(i), b.flow(i));
+  cfg.seed = 43;
+  const Instance c = GenerateTraffic(cfg);
+  EXPECT_NE(a.num_flows(), c.num_flows());
+}
+
+TEST(TrafficGenTest, AllFlowsAreUnitDemandWithinSwitchAndHorizon) {
+  TrafficConfig cfg;
+  cfg.num_inputs = 6;
+  cfg.num_outputs = 9;
+  cfg.cdf = MustParse("0 0\n5000 100\n");
+  cfg.num_rounds = 15;
+  cfg.seed = 5;
+  const Instance instance = GenerateTraffic(cfg);
+  EXPECT_FALSE(instance.ValidationError().has_value());
+  EXPECT_GT(instance.num_flows(), 0);
+  for (const Flow& e : instance.flows()) {
+    EXPECT_EQ(e.demand, 1);  // Segmented: matching policies need unit demand.
+    EXPECT_GE(e.release, 0);
+    EXPECT_LT(e.release, 15);
+    EXPECT_LT(e.src, 6);
+    EXPECT_LT(e.dst, 9);
+    EXPECT_EQ(e.coflow, kNoCoflow);
+  }
+}
+
+TEST(TrafficGenTest, AutoUnitBoundsSegmentsAtSixtyFour) {
+  TrafficConfig cfg;
+  // Heavy tail: max is 64k times the typical size.
+  cfg.cdf = MustParse("1000 90\n64000000 100\n");
+  EXPECT_DOUBLE_EQ(TrafficUnit(cfg), 64000000.0 / 64.0);
+  cfg.unit = 500.0;  // Explicit unit wins.
+  EXPECT_DOUBLE_EQ(TrafficUnit(cfg), 500.0);
+}
+
+TEST(TrafficGenTest, SegmentsOfOneRequestShareEndpointsAndRelease) {
+  TrafficConfig cfg;
+  cfg.cdf = MustParse("10 100\n");  // Every flow exactly 10 bytes.
+  cfg.unit = 3.0;                   // ceil(10/3) = 4 segments each.
+  cfg.load = 0.5;
+  cfg.num_rounds = 8;
+  cfg.seed = 9;
+  const Instance instance = GenerateTraffic(cfg);
+  ASSERT_GT(instance.num_flows(), 0);
+  ASSERT_EQ(instance.num_flows() % 4, 0);
+  for (int i = 0; i < instance.num_flows(); i += 4) {
+    for (int s = 1; s < 4; ++s) {
+      EXPECT_EQ(instance.flow(i + s).src, instance.flow(i).src);
+      EXPECT_EQ(instance.flow(i + s).dst, instance.flow(i).dst);
+      EXPECT_EQ(instance.flow(i + s).release, instance.flow(i).release);
+    }
+  }
+}
+
+TEST(TrafficGenTest, CoflowTaggingRespectsWidthBoundsAndFreshIds) {
+  TrafficConfig cfg;
+  cfg.cdf = MustParse("10 100\n");
+  cfg.unit = 10.0;  // One segment per member: member count == width.
+  cfg.min_width = 2;
+  cfg.max_width = 5;
+  cfg.width_skew = 0.6;
+  cfg.load = 2.0;
+  cfg.num_rounds = 40;
+  cfg.seed = 17;
+  const Instance instance = GenerateTraffic(cfg);
+  ASSERT_GT(instance.num_flows(), 0);
+  std::map<CoflowId, int> members;
+  for (const Flow& e : instance.flows()) {
+    ASSERT_NE(e.coflow, kNoCoflow);
+    ++members[e.coflow];
+  }
+  ASSERT_GT(members.size(), 1u);
+  for (const auto& [id, m] : members) {
+    EXPECT_GE(m, 2) << "coflow " << id;
+    EXPECT_LE(m, 5) << "coflow " << id;
+  }
+}
+
+// The calibration contract from the header: expected unit-demand arrivals
+// per round = load * inputs * port_capacity, exactly the criterion ISSUE 9
+// fixes at 2% over 10k rounds at 256 ports for each shipped distribution.
+TEST(TrafficGenTest, OfferedLoadWithinTwoPercentForAllBuiltins) {
+  for (const std::string& name : BuiltinCdfNames()) {
+    TrafficConfig cfg;
+    cfg.num_inputs = cfg.num_outputs = 256;
+    cfg.load = 0.9;
+    cfg.cdf = MustParse(BuiltinCdfText(name));
+    cfg.seed = 1;
+    const int rounds = 10000;
+    Rng rng(cfg.seed);
+    CoflowId next_coflow = 0;
+    std::vector<Flow> round;
+    long long flows = 0;
+    for (Round t = 0; t < rounds; ++t) {
+      round.clear();
+      AppendTrafficRound(cfg, t, rng, &next_coflow, &round);
+      flows += static_cast<long long>(round.size());
+    }
+    const double target = cfg.load * cfg.num_inputs * rounds;  // 2,304,000.
+    EXPECT_NEAR(static_cast<double>(flows) / target, 1.0, 0.02) << name;
+  }
+}
+
+TEST(TrafficGenTest, CalibrationHoldsWithCoflowTaggingAndExplicitUnit) {
+  TrafficConfig cfg;
+  cfg.num_inputs = cfg.num_outputs = 64;
+  cfg.load = 0.7;
+  cfg.cdf = MustParse(BuiltinCdfText("websearch"));
+  // Explicit unit chosen so segment counts stay two-digit: a much smaller
+  // unit against the multi-MB tail inflates per-request variance and 20k
+  // rounds would not be enough for a 2% criterion.
+  cfg.unit = 500000.0;
+  cfg.min_width = 1;
+  cfg.max_width = 4;
+  cfg.width_skew = 0.5;
+  cfg.seed = 3;
+  const int rounds = 20000;
+  Rng rng(cfg.seed);
+  CoflowId next_coflow = 0;
+  std::vector<Flow> round;
+  long long flows = 0;
+  for (Round t = 0; t < rounds; ++t) {
+    round.clear();
+    AppendTrafficRound(cfg, t, rng, &next_coflow, &round);
+    flows += static_cast<long long>(round.size());
+  }
+  const double target = cfg.load * cfg.num_inputs * rounds;
+  EXPECT_NEAR(static_cast<double>(flows) / target, 1.0, 0.02);
+}
+
+TEST(TrafficGenTest, BatchEqualsRoundByRoundReplay) {
+  TrafficConfig cfg;
+  cfg.cdf = MustParse(BuiltinCdfText("fbhdp"));
+  cfg.min_width = 1;
+  cfg.max_width = 3;
+  cfg.width_skew = 0.8;
+  cfg.num_rounds = 30;
+  cfg.seed = 77;
+  const Instance batch = GenerateTraffic(cfg);
+
+  // One RNG stream consumed in round order — the streaming source contract.
+  Rng rng(cfg.seed);
+  CoflowId next_coflow = 0;
+  std::vector<Flow> all, round;
+  for (Round t = 0; t < cfg.num_rounds; ++t) {
+    round.clear();
+    AppendTrafficRound(cfg, t, rng, &next_coflow, &round);
+    all.insert(all.end(), round.begin(), round.end());
+  }
+  ASSERT_EQ(batch.num_flows(), static_cast<int>(all.size()));
+  for (int i = 0; i < batch.num_flows(); ++i) {
+    EXPECT_EQ(batch.flow(i).src, all[i].src);
+    EXPECT_EQ(batch.flow(i).dst, all[i].dst);
+    EXPECT_EQ(batch.flow(i).release, all[i].release);
+    EXPECT_EQ(batch.flow(i).coflow, all[i].coflow);
+  }
+}
+
+}  // namespace
+}  // namespace flowsched

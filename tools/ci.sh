@@ -2,7 +2,8 @@
 # Local mirror of .github/workflows/ci.yml: the tier-1 verify sequence in
 # Debug and Release, a CLI smoke test, the docs checks (generated
 # docs/solvers.md freshness + markdown link resolution), and the Debug
-# ASan/UBSan leg over the coflow + workload + model + scenario suites.
+# ASan/UBSan leg over the coflow + fabric + workload + model + serve +
+# scenario + traffic suites.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,6 +36,10 @@ for build_type in Debug Release; do
         --no-timing --out="${build_dir}/SWEEP_smoke_j2"
     cmp "${build_dir}/SWEEP_smoke_j1.json" "${build_dir}/SWEEP_smoke_j2.json"
     cmp "${build_dir}/SWEEP_smoke_j1.csv" "${build_dir}/SWEEP_smoke_j2.csv"
+    # The built-in grid must exercise the realistic-traffic generator.
+    grep -q '"instance": "fabric:shards=2,partition=block,cdf:' \
+        "${build_dir}/SWEEP_smoke.json" \
+      || { echo "error: smoke grid lost its cdf: template" >&2; exit 1; }
     echo "sweep smoke written to ${build_dir}/SWEEP_smoke.json (jobs=1/2 reports identical)"
     # Campaign smoke: run the checked-in smoke campaign twice. The second
     # run resumes from the durable task records and must skip every task
@@ -83,6 +88,17 @@ for build_type in Debug Release; do
       | grep -q '^DONE {"flows":5000,"arrived":5000,' \
       || { echo "error: flowsched_serve stdin summary wrong" >&2; exit 1; }
     echo "serve smoke ok: streaming == batch, stdin trace served cleanly"
+    # Realistic-traffic stream: a short cdf: generator run must drain and
+    # summarize cleanly (flows arrive segmented; everything completes).
+    "./${build_dir}/tools/flowsched_serve" \
+        --spec=cdf:dist=websearch,ports=32,load=0.9,rounds=120,seed=1 \
+        > "${build_dir}/serve_cdf.out"
+    tail -n 1 "${build_dir}/serve_cdf.out" | grep -q '^DONE {"flows":' \
+      || { echo "error: cdf stream produced no DONE summary" >&2; exit 1; }
+    tail -n 1 "${build_dir}/serve_cdf.out" \
+      | grep -q '"migrated_flows":0,"truncated":false' \
+      || { echo "error: cdf stream summary wrong" >&2; exit 1; }
+    echo "serve cdf smoke ok: realistic stream drained with clean summary"
     # Scenario smoke: a two-event outage script through flowsched_cli must
     # degrade gracefully and report the robustness diagnostics.
     "./${build_dir}/tools/flowsched_cli" \
@@ -100,11 +116,11 @@ for build_type in Debug Release; do
   fi
 done
 
-echo "=== Debug ASan/UBSan (coflow + fabric + workload + model + serve + scenario) ==="
+echo "=== Debug ASan/UBSan (coflow + fabric + workload + model + serve + scenario + traffic) ==="
 cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DFLOWSCHED_SANITIZE=address,undefined \
     -DFLOWSCHED_BUILD_BENCHES=OFF -DFLOWSCHED_BUILD_EXAMPLES=OFF
 cmake --build build-ci-asan -j "$(nproc)"
 (cd build-ci-asan && ctest --output-on-failure -j "$(nproc)" \
-    -R 'coflow|fabric|workload|model|serve|scenario')
+    -R 'coflow|fabric|workload|model|serve|scenario|traffic')
 echo "CI OK"

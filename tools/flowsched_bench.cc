@@ -143,10 +143,17 @@ SuiteSpec MakeSuite(const std::string& name) {
             "incast:ports=256,fanin=255",
             "fig4a:phase=128,total=1024",
             "fig4b",
+            // Realistic traffic (src/traffic/): one cell per checked-in
+            // datacenter CDF at the paper's 256-port scale, load 0.9.
+            "cdf:dist=websearch,ports=256,load=0.9,rounds=195,seed=1",
+            "cdf:dist=fbhdp,ports=256,load=0.9,rounds=195,seed=1",
+            "cdf:dist=alistorage,ports=256,load=0.9,rounds=195,seed=1",
         },
         {
             "poisson:ports=256,load=1.0,rounds=195,seed=1",
             "poisson:ports=64,load=0.9,rounds=100000,seed=1",
+            "cdf:dist=websearch,ports=256,load=0.9,rounds=195,seed=1",
+            "cdf:dist=alistorage,ports=64,load=0.9,rounds=20000,seed=1",
         },
         {
             // Mid-run loss of a quarter of the fabric (pod 0 of 4) under
@@ -168,9 +175,11 @@ SuiteSpec MakeSuite(const std::string& name) {
             "coflow:ports=32,load=1.0,rounds=40,width=6,skew=0.7,seed=1",
             "incast:ports=32,fanin=31",
             "fig4b",
+            "cdf:dist=websearch,ports=32,load=0.9,rounds=40,seed=1",
         },
         {
             "poisson:ports=32,load=1.0,rounds=40,seed=1",
+            "cdf:dist=websearch,ports=32,load=0.9,rounds=40,seed=1",
         },
         {
             {"poisson:ports=32,load=0.9,rounds=40,seed=1",

@@ -7,8 +7,8 @@
 //                    the trace path and the wire protocol and require the
 //                    realized schedule and aggregates to be bit-identical
 //                    to the batch simulator; exit nonzero on any mismatch
-//   --spec=SPEC      pull arrivals from a generator spec (poisson|coflow,
-//                    same keys as flowsched_cli --instance, plus
+//   --spec=SPEC      pull arrivals from a generator spec (poisson|coflow|
+//                    cdf, same keys as flowsched_cli --instance, plus
 //                    rounds=inf for an endless stream)
 //   --trace=PATH     stream an instance CSV row by row ("-" = stdin)
 //   --tcp=PORT       wire protocol over TCP, one client (POSIX only)
@@ -97,7 +97,7 @@ struct ServeCli {
 
 void PrintUsage(std::ostream& out) {
   out << "flowsched_serve: streaming scheduler daemon.\n"
-         "  --spec=SPEC        generator stream (poisson|coflow:k=v,...;\n"
+         "  --spec=SPEC        generator stream (poisson|coflow|cdf:k=v,...;\n"
          "                     rounds=inf for an endless stream)\n"
          "  --trace=PATH       stream an instance CSV; \"-\" reads stdin\n"
          "  --tcp=PORT         wire protocol over TCP (clients served one "

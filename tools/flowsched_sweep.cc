@@ -46,13 +46,15 @@
 namespace flowsched {
 namespace {
 
-// The built-in CI/quick-start grid: 5 policies x 2 instance families x
-// 2 loads x 2 port counts x 2 seeds = 80 tasks over 40 cells; finishes in
+// The built-in CI/quick-start grid: 5 policies x 3 instance families x
+// 2 loads x 2 port counts x 2 seeds = 120 tasks over 60 cells; finishes in
 // seconds. The coflow family exercises the coflow.* solvers' CCT reporting
-// (and the flow-level solvers on grouped traffic); both templates are
-// fabric-wrapped so fabric.sebf shards them 2 ways while every other
-// solver runs the identical inner traffic unsharded (the fabric: stamp is
-// inert for non-fabric solvers).
+// (and the flow-level solvers on grouped traffic); the cdf family runs the
+// realistic-traffic generator (src/traffic/, dist fixed to websearch — the
+// smoke grid has no {dist} axis); every template is fabric-wrapped so
+// fabric.sebf shards them 2 ways while every other solver runs the
+// identical inner traffic unsharded (the fabric: stamp is inert for
+// non-fabric solvers).
 const char kSmokeSpec[] =
     "name=smoke\n"
     "solvers=online.fifo,online.srpt,online.maxweight,coflow.sebf,"
@@ -60,7 +62,9 @@ const char kSmokeSpec[] =
     "instances=fabric:shards=2,partition=block,"
     "poisson:ports={ports},load={load},rounds=60,seed={seed};"
     "fabric:shards=2,partition=block,"
-    "coflow:ports={ports},load={load},rounds=60,width=6,skew=0.7,seed={seed}\n"
+    "coflow:ports={ports},load={load},rounds=60,width=6,skew=0.7,seed={seed};"
+    "fabric:shards=2,partition=block,"
+    "cdf:dist=websearch,ports={ports},load={load},rounds=60,seed={seed}\n"
     "loads=0.7,1.0\n"
     "ports=16,32\n"
     "seeds=1..2\n"
@@ -80,7 +84,8 @@ void PrintUsage(std::ostream& out) {
          "  --quiet             suppress the progress line\n"
          "spec overrides (same syntax as spec keys):\n"
          "  --name=S --solvers=LIST --instances=LIST(';'-sep) --loads=AXIS\n"
-         "  --ports=AXIS --rounds=AXIS --shards=AXIS --seeds=AXIS\n"
+         "  --ports=AXIS --rounds=AXIS --shards=AXIS --dists=LIST\n"
+         "  --seeds=AXIS\n"
          "  --scenarios=LIST('|'-sep: none, a path, or inline:<script>)\n"
          "  --trials=N --base-seed=N --max-rounds=N --param KEY=VALUE\n"
          "axes: comma lists; a:b:step (doubles) or a..b (ints) ranges.\n"
@@ -91,7 +96,11 @@ void PrintUsage(std::ostream& out) {
          "{shards} in a fabric template sweeps the pod count, e.g.\n"
          "  --solvers='fabric.sebf' --shards=1,2,4,8 \\\n"
          "  --instances='fabric:shards={shards},partition=block,"
-         "coflow:ports=64,load=1.0,rounds=100,seed={seed}'\n";
+         "coflow:ports=64,load=1.0,rounds=100,seed={seed}'\n"
+         "{dist} in a cdf template sweeps the size distribution, e.g.\n"
+         "  --dists=websearch,fbhdp,alistorage \\\n"
+         "  --instances='cdf:dist={dist},ports=256,load={load},rounds=200,"
+         "seed={seed}'\n";
 }
 
 int Run(int argc, char** argv) {
@@ -153,8 +162,8 @@ int Run(int argc, char** argv) {
       // Spec-keyed flags: --name, --solvers, --instances, --loads, ...
       bool matched = false;
       for (const char* key : {"name", "solvers", "instances", "instance",
-                              "loads", "ports", "rounds", "shards", "seeds",
-                              "scenarios", "trials"}) {
+                              "loads", "ports", "rounds", "shards", "dists",
+                              "seeds", "scenarios", "trials"}) {
         if ((v = value(key))) {
           overrides += std::string(key) + "=" + v + "\n";
           matched = true;

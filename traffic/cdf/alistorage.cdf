@@ -1,0 +1,17 @@
+# Alibaba storage-service flow-size CDF, bytes. Approximation of the
+# published distribution shipped with HPCC's traffic_gen.
+0 0
+1000 25
+2000 35
+5000 50
+10000 60
+20000 68
+50000 75
+100000 80
+200000 85
+500000 90
+1000000 93
+2000000 96
+5000000 98
+10000000 99
+50000000 100

@@ -1,0 +1,21 @@
+# Facebook Hadoop flow-size CDF, bytes. Mostly tiny control/shuffle flows
+# with a long heavy tail. Approximation of the published distribution
+# shipped with HPCC's traffic_gen.
+0 0
+100 3
+200 8
+300 15
+400 20
+500 25
+1000 40
+2000 52
+5000 60
+10000 65
+20000 70
+50000 77
+100000 82
+500000 90
+1000000 93
+5000000 97
+10000000 99
+30000000 100

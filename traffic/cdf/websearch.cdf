@@ -1,0 +1,15 @@
+# Web-search flow-size CDF (DCTCP-style query/response traffic), bytes.
+# Approximation of the published distribution shipped with HPCC's
+# traffic_gen; piecewise-linear between points, last percent is 100.
+0 0
+10000 15
+20000 20
+30000 30
+50000 40
+80000 53
+200000 60
+1000000 70
+2000000 80
+5000000 90
+10000000 97
+30000000 100
