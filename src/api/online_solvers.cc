@@ -42,7 +42,15 @@ class OnlinePolicySolver : public Solver {
             ScenarioParamDoc(),
             {"validate",
              "0/1 (default 1): audit every policy selection for duplicates "
-             "and port overloads (benchmarks turn this off)"}};
+             "and port overloads (benchmarks turn this off)"},
+            {"warmstart",
+             "0/1 (default 1, maxweight only): reuse the previous round's "
+             "Hungarian work via the incremental matcher; bit-exact, so the "
+             "schedule is identical either way"},
+            {"approx",
+             "eps > 0 (default 0 = exact, maxweight only): eps-approximate "
+             "auction matcher; each round's matched weight is within "
+             "backlog*eps of optimal, schedules may differ"}};
   }
   std::vector<SolverKeyDoc> DiagnosticDocs() const override {
     std::vector<SolverKeyDoc> docs = {
@@ -52,7 +60,19 @@ class OnlinePolicySolver : public Solver {
          "every port saturated every round)"},
         {"peak_backlog", "largest backlog at any policy round"},
         {"max_backlog",
-         "largest recorded backlog (only with record_backlog=1)"}};
+         "largest recorded backlog (only with record_backlog=1)"},
+        {"matcher_cache_hits",
+         "rounds whose matching problem was identical to the previous "
+         "round's (maxweight with warmstart=1)"},
+        {"matcher_prefix_resumes",
+         "rounds resumed from a per-row Hungarian checkpoint"},
+        {"matcher_full_solves", "rounds solved from scratch"},
+        {"matcher_reused_rows",
+         "Hungarian row insertions skipped via cache hits and resumes"},
+        {"matcher_total_rows", "total Hungarian rows across all rounds"},
+        {"auction_bids", "price raises across all rounds (approx>0)"},
+        {"auction_cold_restarts",
+         "warm starts whose certificate failed and were re-run cold"}};
     AppendScenarioDiagnosticDocs(&docs);
     return docs;
   }
@@ -82,8 +102,15 @@ class OnlinePolicySolver : public Solver {
     std::string perr;
     sim.record_backlog = options.IntParamOr("record_backlog", 0, &perr) != 0;
     sim.validate = options.IntParamOr("validate", 1, &perr) != 0;
+    MatchingOptions matching;
+    matching.warmstart = options.IntParamOr("warmstart", 1, &perr) != 0;
+    matching.approx_eps = options.DoubleParamOr("approx", 0.0, &perr);
     if (!perr.empty()) {
       report.error = perr;
+      return report;
+    }
+    if (matching.approx_eps < 0.0) {
+      report.error = "approx must be >= 0";
       return report;
     }
     ScenarioScript script;
@@ -92,7 +119,7 @@ class OnlinePolicySolver : public Solver {
       return report;
     }
     if (has_scenario) sim.scenario = &script;
-    auto policy = MakePolicy(policy_, options.seed);
+    auto policy = MakePolicy(policy_, options.seed, matching);
     const SimulationResult r = Simulate(instance, *policy, sim);
     if (r.truncated) {
       report.error = r.error;
@@ -112,6 +139,18 @@ class OnlinePolicySolver : public Solver {
     report.diagnostics["rounds_simulated"] = r.rounds;
     report.diagnostics["avg_port_utilization"] = r.avg_port_utilization;
     report.diagnostics["peak_backlog"] = r.peak_backlog;
+    const PolicyMatchingStats ms = policy->matching_stats();
+    if (ms.matcher_solves > 0) {
+      report.diagnostics["matcher_cache_hits"] = ms.matcher_cache_hits;
+      report.diagnostics["matcher_prefix_resumes"] = ms.matcher_prefix_resumes;
+      report.diagnostics["matcher_full_solves"] = ms.matcher_full_solves;
+      report.diagnostics["matcher_reused_rows"] = ms.matcher_reused_rows;
+      report.diagnostics["matcher_total_rows"] = ms.matcher_total_rows;
+    }
+    if (ms.auction_bids > 0) {
+      report.diagnostics["auction_bids"] = ms.auction_bids;
+      report.diagnostics["auction_cold_restarts"] = ms.auction_cold_restarts;
+    }
     if (sim.record_backlog && !r.backlog_trace.empty()) {
       report.diagnostics["max_backlog"] =
           *std::max_element(r.backlog_trace.begin(), r.backlog_trace.end());
@@ -122,7 +161,7 @@ class OnlinePolicySolver : public Solver {
       SimulationOptions base_sim = sim;
       base_sim.scenario = nullptr;
       base_sim.record_backlog = false;
-      auto base_policy = MakePolicy(policy_, options.seed);
+      auto base_policy = MakePolicy(policy_, options.seed, matching);
       const SimulationResult base = Simulate(instance, *base_policy, base_sim);
       AddScenarioDiagnostics(script, r.rounds, r.downtime_rounds,
                              r.peak_backlog, r.metrics.total_response,

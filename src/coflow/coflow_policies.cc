@@ -221,13 +221,36 @@ void CoflowMaxWeightPolicy::SelectFlowsInto(
     // makes edges of nearly-drained groups outbid edges of heavy ones.
     weight_[i] = 1.0 + 1.0 / (1.0 + rem);
   }
-  matcher_.Solve(g, weight_, picked);
+  if (matching_.approx_eps > 0.0) {
+    auction_.Solve(g, weight_, matching_.approx_eps, picked);
+  } else if (matching_.warmstart) {
+    warm_.Solve(g, weight_, picked);
+  } else {
+    matcher_.Solve(g, weight_, picked);
+  }
 }
 
-std::unique_ptr<SchedulingPolicy> MakeCoflowPolicy(std::string_view name,
-                                                   std::uint64_t /*seed*/) {
+PolicyMatchingStats CoflowMaxWeightPolicy::matching_stats() const {
+  PolicyMatchingStats s;
+  const IncrementalMatcher::Stats& w = warm_.stats();
+  s.matcher_solves = w.solves;
+  s.matcher_cache_hits = w.cache_hits;
+  s.matcher_prefix_resumes = w.prefix_resumes;
+  s.matcher_full_solves = w.full_solves;
+  s.matcher_reused_rows = w.reused_rows;
+  s.matcher_total_rows = w.total_rows;
+  s.auction_bids = auction_.stats().bids;
+  s.auction_cold_restarts = auction_.stats().cold_restarts;
+  return s;
+}
+
+std::unique_ptr<SchedulingPolicy> MakeCoflowPolicy(
+    std::string_view name, std::uint64_t /*seed*/,
+    const MatchingOptions& matching) {
   if (name == "sebf") return std::make_unique<CoflowSebfPolicy>();
-  if (name == "maxweight") return std::make_unique<CoflowMaxWeightPolicy>();
+  if (name == "maxweight") {
+    return std::make_unique<CoflowMaxWeightPolicy>(matching);
+  }
   if (name == "fifo") return std::make_unique<CoflowFifoPolicy>();
   FS_CHECK_MSG(false, "unknown coflow policy: " << std::string(name));
   return nullptr;

@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "core/online/policy.h"
+#include "graph/auction_matching.h"
+#include "graph/incremental_matching.h"
 #include "graph/max_weight_matching.h"
 
 namespace flowsched {
@@ -144,28 +146,41 @@ class CoflowFifoPolicy : public CoflowGreedyPolicyBase {
 
 class CoflowMaxWeightPolicy : public SchedulingPolicy {
  public:
+  explicit CoflowMaxWeightPolicy(const MatchingOptions& matching = {})
+      : matching_(matching) {}
+
   std::string_view name() const override { return "coflow-maxweight"; }
   bool RequiresUnitDemands() const override { return true; }
   void SelectFlowsInto(const SwitchSpec& sw, Round t,
                        std::span<const PendingFlow> pending,
                        std::vector<int>* picked) override;
-  void Reset() override { stats_.Clear(); }
+  void Reset() override {
+    stats_.Clear();
+    warm_.Reset();
+    auction_.Reset();
+  }
   void RetireFlows(std::span<const FlowId> completed_untagged,
                    std::span<const CoflowId> drained_groups) override {
     stats_.Retire(completed_untagged, drained_groups);
   }
+  PolicyMatchingStats matching_stats() const override;
 
  private:
+  MatchingOptions matching_;
   CoflowBacklogStats stats_;
   BacklogGraphBuilder builder_;
   MaxWeightMatcher matcher_;
+  IncrementalMatcher warm_;
+  AuctionMatcher auction_;
   std::vector<double> weight_;
 };
 
 // Factory mirroring MakePolicy: "sebf", "maxweight", "fifo". The seed is
 // accepted for interface symmetry; all three policies are deterministic.
-std::unique_ptr<SchedulingPolicy> MakeCoflowPolicy(std::string_view name,
-                                                   std::uint64_t seed = 1);
+// `matching` tunes the maxweight matching kernels (ignored by sebf/fifo).
+std::unique_ptr<SchedulingPolicy> MakeCoflowPolicy(
+    std::string_view name, std::uint64_t seed = 1,
+    const MatchingOptions& matching = {});
 
 // All policy names available through MakeCoflowPolicy.
 std::vector<std::string> AllCoflowPolicyNames();

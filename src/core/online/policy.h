@@ -10,6 +10,7 @@
 #ifndef FLOWSCHED_CORE_ONLINE_POLICY_H_
 #define FLOWSCHED_CORE_ONLINE_POLICY_H_
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -32,6 +33,33 @@ struct PendingFlow {
   Capacity demand = 1;
   Round release = 0;
   CoflowId coflow = kNoCoflow;
+};
+
+// Matching-kernel knobs for the maxweight policy family (graph/
+// incremental_matching.h, graph/auction_matching.h). Non-matching policies
+// ignore them.
+struct MatchingOptions {
+  // Reuse the previous round's Hungarian work (cache hits and per-row
+  // checkpoint resumes). Bit-exact: the warm path provably reproduces the
+  // from-scratch solve, so this is safe to leave on everywhere.
+  bool warmstart = true;
+  // > 0 switches to the eps-approximate auction matcher: matched weight is
+  // within backlog·eps of optimal, schedules may differ from the exact
+  // solver. Off (0) by default — approximations are opt-in (ROADMAP 4).
+  double approx_eps = 0.0;
+};
+
+// Matching-kernel counters surfaced as solver diagnostics; all zero for
+// policies that never run a matcher.
+struct PolicyMatchingStats {
+  std::int64_t matcher_solves = 0;
+  std::int64_t matcher_cache_hits = 0;
+  std::int64_t matcher_prefix_resumes = 0;
+  std::int64_t matcher_full_solves = 0;
+  std::int64_t matcher_reused_rows = 0;
+  std::int64_t matcher_total_rows = 0;
+  std::int64_t auction_bids = 0;
+  std::int64_t auction_cold_restarts = 0;
 };
 
 class SchedulingPolicy {
@@ -72,6 +100,10 @@ class SchedulingPolicy {
   // Default no-op: the flow-level policies here key nothing on flow ids.
   virtual void RetireFlows(std::span<const FlowId> /*completed_untagged*/,
                            std::span<const CoflowId> /*drained_groups*/) {}
+
+  // Matching-kernel counters accumulated since construction (or the last
+  // Reset), for diagnostics. Default: all zeros.
+  virtual PolicyMatchingStats matching_stats() const { return {}; }
 };
 
 // Buffer-reusing builder for the backlog multigraph over *port replicas*:
@@ -107,9 +139,11 @@ BipartiteGraph BuildBacklogGraph(const SwitchSpec& sw,
 
 // Factory for the policies evaluated in the paper plus extra baselines and
 // extensions: "maxcard", "minrtime", "maxweight", "fifo", "random", "srpt",
-// "hybrid".
-std::unique_ptr<SchedulingPolicy> MakePolicy(std::string_view name,
-                                             std::uint64_t seed = 1);
+// "hybrid". `matching` tunes the maxweight matching kernels and is ignored
+// by every other policy.
+std::unique_ptr<SchedulingPolicy> MakePolicy(
+    std::string_view name, std::uint64_t seed = 1,
+    const MatchingOptions& matching = {});
 
 // All policy names available through MakePolicy.
 std::vector<std::string> AllPolicyNames();

@@ -37,8 +37,9 @@ ShardRun SimulateShard(const Instance& shard_instance, int shard,
   const std::uint64_t seed = Rng::DeriveSeed(options.seed,
                                              static_cast<std::uint64_t>(shard));
   std::unique_ptr<SchedulingPolicy> policy =
-      options.coflow_aware ? MakeCoflowPolicy(options.policy, seed)
-                           : MakePolicy(options.policy, seed);
+      options.coflow_aware
+          ? MakeCoflowPolicy(options.policy, seed, options.matching)
+          : MakePolicy(options.policy, seed, options.matching);
   SimulationOptions sim;
   if (options.max_rounds > 0) sim.max_rounds = options.max_rounds;
   sim.validate = options.validate;

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "core/online/policy.h"
 #include "fabric/fabric_partition.h"
 #include "model/schedule.h"
 #include "scenario/scenario.h"
@@ -47,6 +48,9 @@ struct FabricRunOptions {
   Round max_rounds = 0;
   /// Per-round selection audits (SimulationOptions::validate).
   bool validate = true;
+  /// Matching-kernel knobs for the maxweight policies (warm-start on by
+  /// default — bit-exact; approx_eps > 0 opts into the auction matcher).
+  MatchingOptions matching;
   /// Optional fault-injection script (scenario/scenario.h), expressed in
   /// *global* host / pod coordinates. RunFabric projects each event onto
   /// every shard's local ports (ProjectScenarioOps below) — a host outage

@@ -64,7 +64,14 @@ class FabricPolicySolver : public Solver {
              "byte-identical for any value)"},
             ScenarioParamDoc(),
             {"validate",
-             "0/1 (default 1): per-round selection audits inside each pod"}};
+             "0/1 (default 1): per-round selection audits inside each pod"},
+            {"warmstart",
+             "0/1 (default 1, maxweight only): reuse each pod's previous "
+             "round of Hungarian work via the incremental matcher "
+             "(bit-exact)"},
+            {"approx",
+             "eps > 0 (default 0 = exact, maxweight only): eps-approximate "
+             "auction matcher inside each pod"}};
   }
   std::vector<SolverKeyDoc> DiagnosticDocs() const override {
     std::vector<SolverKeyDoc> docs = {
@@ -130,8 +137,15 @@ class FabricPolicySolver : public Solver {
     }
     const int jobs = static_cast<int>(options.IntParamOr("jobs", 1, &perr));
     const bool validate = options.IntParamOr("validate", 1, &perr) != 0;
+    MatchingOptions matching;
+    matching.warmstart = options.IntParamOr("warmstart", 1, &perr) != 0;
+    matching.approx_eps = options.DoubleParamOr("approx", 0.0, &perr);
     if (!perr.empty()) {
       report.error = perr;
+      return report;
+    }
+    if (matching.approx_eps < 0.0) {
+      report.error = "approx must be >= 0";
       return report;
     }
     if (shards < 1) {
@@ -152,6 +166,7 @@ class FabricPolicySolver : public Solver {
     run_options.seed = options.seed;
     run_options.jobs = jobs;
     run_options.validate = validate;
+    run_options.matching = matching;
     if (options.max_rounds > 0) {
       // Every pod's safe horizon is bounded by the global one (fewer
       // flows, same releases), so the global check covers all pods.

@@ -1,0 +1,244 @@
+#include "graph/auction_matching.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace flowsched {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+void AuctionMatcher::BuildAdjacency(const BipartiteGraph& g,
+                                    std::span<const double> weight) {
+  // Counting sort of edges by left vertex: persons_ comes out in ascending
+  // raw id order and each person's edge list preserves input edge order,
+  // which pins the deterministic bid/tie-break sequence.
+  degree_.assign(g.num_left(), 0);
+  for (const auto& e : g.edges()) ++degree_[e.u];
+  persons_.clear();
+  adj_start_.clear();
+  int total = 0;
+  for (int u = 0; u < g.num_left(); ++u) {
+    if (degree_[u] == 0) continue;
+    persons_.push_back(u);
+    adj_start_.push_back(total);
+    total += degree_[u];
+    degree_[u] = static_cast<int>(persons_.size()) - 1;  // u -> person slot.
+  }
+  adj_start_.push_back(total);
+  adj_obj_.resize(total);
+  adj_edge_.resize(total);
+  adj_w_.resize(total);
+  // Fill cursors, then dedup in place: parallel (u, v) edges can never both
+  // be matched, so keep only the best — strictly greater weight replaces,
+  // the first edge wins ties (same rule as the dense matrix build).
+  dedup_stamp_.assign(g.num_right(), -1);
+  dedup_pos_.assign(g.num_right(), 0);
+  std::vector<int>& fill = queue_;  // Reuse scratch; rebuilt by RunAuction.
+  fill.assign(persons_.size(), 0);
+  for (int e = 0; e < g.num_edges(); ++e) {
+    FS_CHECK_GE(weight[e], 0.0);
+    const auto& edge = g.edge(e);
+    const int slot = degree_[edge.u];
+    const int base = adj_start_[slot];
+    if (dedup_stamp_[edge.v] == slot) {
+      const int pos = dedup_pos_[edge.v];
+      if (weight[e] > adj_w_[pos]) {
+        adj_w_[pos] = weight[e];
+        adj_edge_[pos] = e;
+      }
+      continue;
+    }
+    const int pos = base + fill[slot]++;
+    dedup_stamp_[edge.v] = slot;
+    dedup_pos_[edge.v] = pos;
+    adj_obj_[pos] = edge.v;
+    adj_edge_[pos] = e;
+    adj_w_[pos] = weight[e];
+  }
+  // Compact the per-person ranges after dedup.
+  int write = 0;
+  for (std::size_t s = 0; s < persons_.size(); ++s) {
+    const int base = adj_start_[s];
+    const int kept = fill[s];
+    if (write != base) {
+      std::copy(adj_obj_.begin() + base, adj_obj_.begin() + base + kept,
+                adj_obj_.begin() + write);
+      std::copy(adj_edge_.begin() + base, adj_edge_.begin() + base + kept,
+                adj_edge_.begin() + write);
+      std::copy(adj_w_.begin() + base, adj_w_.begin() + base + kept,
+                adj_w_.begin() + write);
+    }
+    adj_start_[s] = write;
+    write += kept;
+  }
+  adj_start_[persons_.size()] = write;
+  adj_obj_.resize(write);
+  adj_edge_.resize(write);
+  adj_w_.resize(write);
+}
+
+void AuctionMatcher::RunAuction(double eps, std::int64_t max_bids) {
+  const int np = static_cast<int>(persons_.size());
+  matched_obj_.assign(np, -1);
+  matched_edge_.assign(np, -1);
+  std::fill(owner_.begin(), owner_.end(), -1);
+  queue_.resize(np);
+  for (int s = 0; s < np; ++s) queue_[s] = s;
+  head_ = 0;
+  std::int64_t bids = 0;
+  while (head_ < queue_.size()) {
+    const int s = queue_[head_++];
+    // Best and second-best net value over this person's objects; first
+    // argmax wins ties (strict > to replace), for determinism.
+    double v1 = kNegInf;
+    double v2 = kNegInf;
+    int best_k = -1;
+    for (int k = adj_start_[s]; k < adj_start_[s + 1]; ++k) {
+      const double val = adj_w_[k] - price_[adj_obj_[k]];
+      if (val > v1) {
+        v2 = v1;
+        v1 = val;
+        best_k = k;
+      } else if (val > v2) {
+        v2 = val;
+      }
+    }
+    // Staying unmatched is worth 0; prices only rise within a run, so a
+    // person priced out now stays priced out — drop them for good.
+    if (best_k < 0 || v1 < 0.0) continue;
+    // Bid: raise the winner's price to the point of indifference with the
+    // runner-up (the implicit zero-value "stay unmatched" option counts as
+    // a runner-up), plus eps. Guarantees the price rises by >= eps, which
+    // bounds the run by (max weight / eps) bids per object.
+    const int obj = adj_obj_[best_k];
+    price_[obj] = adj_w_[best_k] - std::max(v2, 0.0) + eps;
+    const int prev = owner_[obj];
+    if (prev >= 0) {
+      matched_obj_[prev] = -1;
+      matched_edge_[prev] = -1;
+      queue_.push_back(prev);
+    }
+    owner_[obj] = s;
+    matched_obj_[s] = obj;
+    matched_edge_[s] = adj_edge_[best_k];
+    ++bids;
+    FS_CHECK_LE(bids, max_bids);
+  }
+  stats_.bids += bids;
+}
+
+double AuctionMatcher::ComputeCertificateBound() const {
+  // Weak LP duality: any (pi, p) >= 0 with pi_i + p_j >= w_ij bounds OPT
+  // from above by sum(pi) + sum(p). pi_i := max(0, max_j (w_ij - p_j)) is
+  // feasible by construction.
+  double bound = 0.0;
+  for (std::size_t s = 0; s < persons_.size(); ++s) {
+    double v1 = 0.0;
+    for (int k = adj_start_[s]; k < adj_start_[s + 1]; ++k) {
+      v1 = std::max(v1, adj_w_[k] - price_[adj_obj_[k]]);
+    }
+    bound += v1;
+  }
+  // Only objects adjacent to some person can carry weight in the primal;
+  // still sum every positive price — zeroing of unmatched objects below
+  // keeps stray prices from accumulating round over round.
+  for (double p : price_) bound += p;
+  return bound;
+}
+
+void AuctionMatcher::Solve(const BipartiteGraph& g,
+                           std::span<const double> weight, double eps,
+                           std::vector<int>* out) {
+  FS_CHECK_EQ(static_cast<int>(weight.size()), g.num_edges());
+  FS_CHECK_GT(eps, 0.0);
+  out->clear();
+  ++stats_.solves;
+  last_bound_ = 0.0;
+  last_weight_ = 0.0;
+  if (g.num_edges() == 0) return;
+  BuildAdjacency(g, weight);
+  // Prices persist across solves keyed by raw right-vertex id; a changed
+  // switch shape invalidates them.
+  if (static_cast<int>(price_.size()) != g.num_right()) {
+    price_.assign(g.num_right(), 0.0);
+  }
+  if (static_cast<int>(owner_.size()) != g.num_right()) {
+    owner_.assign(g.num_right(), -1);
+  }
+  // An object with no edges this round cannot be matched; a stale price on
+  // it would only inflate the certificate. BuildAdjacency left
+  // dedup_stamp_[v] >= 0 exactly for the adjacent objects.
+  for (int v = 0; v < g.num_right(); ++v) {
+    if (dedup_stamp_[v] < 0) price_[v] = 0.0;
+  }
+  double max_w = 0.0;
+  for (double w : adj_w_) max_w = std::max(max_w, w);
+  // Every bid raises one price by >= eps and no price exceeds max_w + eps,
+  // so any run terminates within |objects|·(max_w/eps + 1) bids; the cap
+  // only trips on a logic error, not on slow instances.
+  const std::int64_t max_bids =
+      64 + static_cast<std::int64_t>(
+               std::min(1e15, static_cast<double>(g.num_right()) *
+                                  (max_w / eps + 2.0)));
+
+  // Backoff: while a cold streak is active, skip the doomed warm attempt
+  // and go straight to a cold run, which certifies unconditionally.
+  const bool forced_cold = cold_streak_ > 0;
+  if (forced_cold) {
+    --cold_streak_;
+    ++stats_.forced_colds;
+    std::fill(price_.begin(), price_.end(), 0.0);
+  }
+  const int np = static_cast<int>(persons_.size());
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    RunAuction(eps, max_bids);
+    // Hygiene before the certificate: an object left unmatched at a
+    // positive price attracted no bids, so cutting it to zero changes no
+    // one's assignment — and the certificate below is computed against the
+    // cut price vector (any non-negative prices induce a feasible dual),
+    // so warm-start leftovers don't inflate the bound.
+    for (int v = 0; v < g.num_right(); ++v) {
+      if (owner_[v] < 0) price_[v] = 0.0;
+    }
+    double achieved = 0.0;
+    for (int s = 0; s < np; ++s) {
+      if (matched_edge_[s] >= 0) achieved += weight[matched_edge_[s]];
+    }
+    last_weight_ = achieved;
+    last_bound_ = ComputeCertificateBound();
+    // Cold runs satisfy gap <= n·eps unconditionally (eps-complementary
+    // slackness + all unmatched objects at price 0). A warm start can void
+    // it — stale positive prices on objects nobody wants anymore — in
+    // which case we pay for one cold re-run and keep the guarantee.
+    const double tolerance =
+        static_cast<double>(np) * eps + 1e-9 * (1.0 + max_w);
+    if (last_bound_ - last_weight_ <= tolerance) {
+      // A warm attempt that certifies means prices are tracking the
+      // workload again: lift the backoff.
+      if (attempt == 0 && !forced_cold) warm_penalty_ = 1;
+      break;
+    }
+    FS_CHECK_EQ(attempt, 0);  // The cold run always certifies.
+    ++stats_.cold_restarts;
+    warm_penalty_ = std::min(warm_penalty_ * 2, 64);
+    cold_streak_ = warm_penalty_;
+    std::fill(price_.begin(), price_.end(), 0.0);
+  }
+  for (int s = 0; s < np; ++s) {
+    if (matched_edge_[s] >= 0) out->push_back(matched_edge_[s]);
+  }
+}
+
+void AuctionMatcher::Reset() {
+  price_.clear();
+  owner_.clear();
+  cold_streak_ = 0;
+  warm_penalty_ = 1;
+}
+
+}  // namespace flowsched

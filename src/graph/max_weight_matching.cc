@@ -1,5 +1,6 @@
 #include "graph/max_weight_matching.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 
@@ -241,12 +242,10 @@ ScanRowFn ResolveScanRow() {
 
 }  // namespace
 
-void MaxWeightMatcher::Solve(const BipartiteGraph& g,
-                             std::span<const double> weight,
-                             std::vector<int>* out) {
+bool MaxWeightMatcher::PrepareProblem(const BipartiteGraph& g,
+                                      std::span<const double> weight) {
   FS_CHECK_EQ(static_cast<int>(weight.size()), g.num_edges());
-  out->clear();
-  if (g.num_edges() == 0) return;
+  if (g.num_edges() == 0) return false;
 
   // Only left/right vertices that actually carry edges participate; compact
   // them so the dense matrix stays as small as the backlog, not the switch.
@@ -268,39 +267,75 @@ void MaxWeightMatcher::Solve(const BipartiteGraph& g,
   const int nr = static_cast<int>(right_ids_.size());
   // Keep, per (u, v) cell, the best (max-weight) edge; parallel edges can
   // never both be matched. Cells without an edge cost 0 == "leave unmatched".
-  const bool transpose = nl > nr;
-  const int rows = transpose ? nr : nl;
-  const int cols = transpose ? nl : nr;
-  cost_.assign(static_cast<std::size_t>(rows) * cols, 0.0);
-  best_edge_.assign(static_cast<std::size_t>(rows) * cols, -1);
+  transpose_ = nl > nr;
+  rows_ = transpose_ ? nr : nl;
+  cols_ = transpose_ ? nl : nr;
+  cost_.assign(static_cast<std::size_t>(rows_) * cols_, 0.0);
+  best_edge_.assign(static_cast<std::size_t>(rows_) * cols_, -1);
   for (int e = 0; e < g.num_edges(); ++e) {
     FS_CHECK_GE(weight[e], 0.0);
     int r = left_index_[g.edge(e).u];
     int c = right_index_[g.edge(e).v];
-    if (transpose) std::swap(r, c);
-    const std::size_t rc = static_cast<std::size_t>(r) * cols + c;
+    if (transpose_) std::swap(r, c);
+    const std::size_t rc = static_cast<std::size_t>(r) * cols_ + c;
     if (best_edge_[rc] == -1 || weight[e] > -cost_[rc]) {
       cost_[rc] = -weight[e];
       best_edge_[rc] = e;
     }
   }
+  return true;
+}
 
-  // Hungarian algorithm (potentials + shortest augmenting path), minimizing
-  // cost over the dense rows x cols matrix with rows <= cols. Classic
-  // cp-algorithms formulation restructured for streaming over flat reused
-  // arrays; the restructure is value-preserving (see HungarianScanRow and
-  // the masked-potential scheme), so the matching comes back identical to
-  // the historical implementation edge for edge.
-  static const ScanRowFn scan_row = ResolveScanRow();
-  const int n = rows;
-  const int m = cols;
+void MaxWeightMatcher::InitDuals() {
+  const int n = rows_;
+  const int m = cols_;
   u_.assign(n + 1, 0.0);
   v_.assign(m + 1, 0.0);
   vv_.assign(m + 1, 0.0);  // == v_ while a column is open, -inf once used.
   p_.assign(m + 1, 0);     // p_[j] = row matched to column j (1-based).
   way_.assign(m + 1, 0);
   minv_.resize(m + 1);
-  for (int i = 1; i <= n; ++i) {
+}
+
+void MaxWeightMatcher::RestoreCheckpoint(const HungarianCheckpoints& from,
+                                         int row) {
+  FS_CHECK_EQ(from.n, rows_);
+  FS_CHECK_EQ(from.m, cols_);
+  FS_CHECK_GE(row, 1);
+  FS_CHECK_LE(row, from.recorded);
+  const int n = rows_;
+  const int m = cols_;
+  const std::size_t slot = static_cast<std::size_t>(row - 1);
+  const double* cu = from.u.data() + slot * (n + 1);
+  const double* cv = from.v.data() + slot * (m + 1);
+  const int* cp = from.p.data() + slot * (m + 1);
+  u_.assign(cu, cu + n + 1);
+  v_.assign(cv, cv + m + 1);
+  // Between row insertions every column is open, so the masked copy of the
+  // potentials is just the potentials (vv_[0] is never read).
+  vv_.assign(cv, cv + m + 1);
+  p_.assign(cp, cp + m + 1);
+  // way_ and minv_ are write-before-read within each row; reset them the
+  // same way InitDuals does so resumed state matches a fresh run exactly.
+  way_.assign(m + 1, 0);
+  minv_.resize(m + 1);
+}
+
+void MaxWeightMatcher::RunRows(int first_row, HungarianCheckpoints* record) {
+  // Hungarian algorithm (potentials + shortest augmenting path), minimizing
+  // cost over the dense rows x cols matrix with rows <= cols. Classic
+  // cp-algorithms formulation restructured for streaming over flat reused
+  // arrays; the restructure is value-preserving (see ScanRowScalar and the
+  // masked-potential scheme), so the matching comes back identical to the
+  // historical implementation edge for edge.
+  static const ScanRowFn scan_row = ResolveScanRow();
+  const int n = rows_;
+  const int m = cols_;
+  if (record != nullptr) {
+    FS_CHECK_EQ(record->n, n);
+    FS_CHECK_EQ(record->m, m);
+  }
+  for (int i = first_row; i <= n; ++i) {
     p_[0] = i;
     int j0 = 0;
     for (int j = 1; j <= m; ++j) minv_[j] = kInf;
@@ -335,23 +370,48 @@ void MaxWeightMatcher::Solve(const BipartiteGraph& g,
       p_[j0] = p_[j1];
       j0 = j1;
     } while (j0 != 0);
+    if (record != nullptr) {
+      // The state after row i is a pure function of matrix rows 1..i;
+      // snapshot it so a later solve whose matrix first differs at some row
+      // k > i can resume here instead of re-running the unchanged prefix.
+      const std::size_t slot = static_cast<std::size_t>(i - 1);
+      std::copy(u_.begin(), u_.end(), record->u.begin() + slot * (n + 1));
+      std::copy(v_.begin(), v_.end(), record->v.begin() + slot * (m + 1));
+      std::copy(p_.begin(), p_.end(), record->p.begin() + slot * (m + 1));
+      record->recorded = i;
+    }
   }
+}
+
+void MaxWeightMatcher::EmitMatching(std::span<const double> weight,
+                                    std::vector<int>* out) {
+  const int n = rows_;
+  const int m = cols_;
   assignment_.assign(n, -1);
   for (int j = 1; j <= m; ++j) {
     if (p_[j] != 0) assignment_[p_[j] - 1] = j - 1;
   }
-
-  for (int r = 0; r < rows; ++r) {
+  for (int r = 0; r < n; ++r) {
     const int c = assignment_[r];
     if (c < 0) continue;
     // Zero-weight cells are "unmatched" pads; only keep real positive picks
     // plus real zero-weight edges (harmless either way, so require an edge).
-    const std::size_t rc = static_cast<std::size_t>(r) * cols + c;
+    const std::size_t rc = static_cast<std::size_t>(r) * m + c;
     if (best_edge_[rc] != -1 && weight[best_edge_[rc]] >= 0.0 &&
         cost_[rc] < 0.0) {
       out->push_back(best_edge_[rc]);
     }
   }
+}
+
+void MaxWeightMatcher::Solve(const BipartiteGraph& g,
+                             std::span<const double> weight,
+                             std::vector<int>* out) {
+  out->clear();
+  if (!PrepareProblem(g, weight)) return;
+  InitDuals();
+  RunRows(1, nullptr);
+  EmitMatching(weight, out);
 }
 
 std::vector<int> MaxWeightMatching(const BipartiteGraph& g,

@@ -13,6 +13,14 @@
 // inner loops were restructured (flat matrix, inert-column sentinels) but
 // every floating-point operation sequence that feeds a comparison is
 // preserved, so the same matching comes back edge for edge.
+//
+// The solve is decomposed into resumable phases (PrepareProblem / InitDuals
+// / RunRows / EmitMatching) so the warm-start layer in
+// graph/incremental_matching.h can snapshot the per-row Hungarian state and
+// resume a solve at the first row a backlog delta invalidated. Solve() is
+// exactly InitDuals + RunRows(1) + EmitMatching, so every path through the
+// incremental layer computes the same operation sequence as a from-scratch
+// call.
 #ifndef FLOWSCHED_GRAPH_MAX_WEIGHT_MATCHING_H_
 #define FLOWSCHED_GRAPH_MAX_WEIGHT_MATCHING_H_
 
@@ -24,6 +32,33 @@
 
 namespace flowsched {
 
+// Snapshots of the Hungarian (u, v, p) state after each processed row,
+// recorded by MaxWeightMatcher::RunRows and replayed by the warm-start
+// layer. State after row i (1-based) lives in slot i-1. The state after row
+// i is a pure function of matrix rows 1..i, so restoring slot k and running
+// rows k+1..n replays the exact from-scratch operation sequence — this is
+// what makes warm-started solves provably bit-identical.
+struct HungarianCheckpoints {
+  int n = 0;         // Rows of the problem the snapshots belong to.
+  int m = 0;         // Columns.
+  int recorded = 0;  // Slots 0..recorded-1 are valid.
+  // Flat per-slot storage: u is (n+1) doubles, v is (m+1) doubles, p is
+  // (m+1) ints per slot.
+  std::vector<double> u;
+  std::vector<double> v;
+  std::vector<int> p;
+
+  // Invalidates every slot and sizes storage for an n x m problem.
+  void Reset(int rows, int cols) {
+    n = rows;
+    m = cols;
+    recorded = 0;
+    u.resize(static_cast<std::size_t>(rows) * (rows + 1));
+    v.resize(static_cast<std::size_t>(rows) * (cols + 1));
+    p.resize(static_cast<std::size_t>(rows) * (cols + 1));
+  }
+};
+
 class MaxWeightMatcher {
  public:
   // Overwrites *out with edge indices of a maximum-weight matching of `g`
@@ -34,12 +69,38 @@ class MaxWeightMatcher {
              std::vector<int>* out);
 
  private:
+  // The warm-start layer drives the phase entry points directly.
+  friend class IncrementalMatcher;
+
+  // Phase 1: vertex compaction + dense matrix build. Returns false when the
+  // graph has no edges (nothing to solve; *out must just stay empty). Does
+  // not touch the Hungarian state, so a caller that detects an unchanged
+  // matrix afterwards can still EmitMatching() from the previous solve.
+  bool PrepareProblem(const BipartiteGraph& g, std::span<const double> weight);
+  // Phase 2: resets duals and matching for a from-scratch run.
+  void InitDuals();
+  // Phase 3: inserts rows first_row..rows_ (1-based). When `record` is
+  // non-null, snapshots the (u, v, p) state after every processed row into
+  // its slots (record->recorded advances to rows_); slots below
+  // first_row-1 are left untouched, so a resumed run keeps the prefix
+  // recorded by the earlier solve.
+  void RunRows(int first_row, HungarianCheckpoints* record);
+  // Restores the state snapshot taken after row `row` (1-based); the next
+  // RunRows(row + 1, ...) continues exactly where that solve was.
+  void RestoreCheckpoint(const HungarianCheckpoints& from, int row);
+  // Phase 4: extracts the matching as edge indices into *out (appends; the
+  // caller clears).
+  void EmitMatching(std::span<const double> weight, std::vector<int>* out);
+
   // Vertex compaction scratch.
   std::vector<int> left_index_;
   std::vector<int> right_index_;
   std::vector<int> left_ids_;
   std::vector<int> right_ids_;
-  // Dense matrix over compacted vertices, row-major (rows <= cols).
+  // Dense matrix over compacted vertices, row-major (rows_ <= cols_).
+  int rows_ = 0;
+  int cols_ = 0;
+  bool transpose_ = false;
   std::vector<double> cost_;
   std::vector<int> best_edge_;
   // Hungarian state (1-based over cols, index 0 is the virtual column).

@@ -10,18 +10,19 @@ namespace flowsched {
 
 std::unique_ptr<SchedulingPolicy> MakeServePolicy(const std::string& name,
                                                   std::string* error,
-                                                  std::uint64_t seed) {
+                                                  std::uint64_t seed,
+                                                  const MatchingOptions& matching) {
   const auto dot = name.find('.');
   const std::string family = name.substr(0, dot);
   const std::string policy =
       dot == std::string::npos ? std::string() : name.substr(dot + 1);
   if (family == "online" && !policy.empty()) {
     for (const std::string& known : AllPolicyNames()) {
-      if (known == policy) return MakePolicy(policy, seed);
+      if (known == policy) return MakePolicy(policy, seed, matching);
     }
   } else if (family == "coflow" && !policy.empty()) {
     for (const std::string& known : AllCoflowPolicyNames()) {
-      if (known == policy) return MakeCoflowPolicy(policy, seed);
+      if (known == policy) return MakeCoflowPolicy(policy, seed, matching);
     }
   }
   if (error != nullptr) {
@@ -38,7 +39,7 @@ StreamingSummary RunWireSession(const SwitchSpec& sw, std::istream& in,
                                 const ServeOptions& options) {
   std::string policy_error;
   const auto policy = MakeServePolicy(options.policy, &policy_error,
-                                      options.seed);
+                                      options.seed, options.matching);
   if (policy == nullptr) {
     out << "ERROR " << policy_error << '\n';
     StreamingSummary summary;
@@ -128,7 +129,7 @@ StreamingSummary RunSourceSession(StreamingFlowSource& source,
                                   const ServeOptions& options) {
   std::string policy_error;
   const auto policy = MakeServePolicy(options.policy, &policy_error,
-                                      options.seed);
+                                      options.seed, options.matching);
   if (policy == nullptr) {
     out << "ERROR " << policy_error << '\n';
     StreamingSummary summary;

@@ -36,14 +36,19 @@ struct ServeOptions {
   // Cooperative shutdown flag (SIGINT/SIGTERM): pull sessions finish the
   // round in flight and emit DONE (StreamingOptions::stop).
   const volatile std::sig_atomic_t* stop = nullptr;
+  // Matching-kernel knobs for the maxweight policies (warm-start Hungarian
+  // on by default; approx_eps > 0 opts into the auction matcher). Streams
+  // are exactly where warm starts pay off: one long-lived policy, small
+  // per-round backlog deltas.
+  MatchingOptions matching;
 };
 
 // Builds the policy behind a registry-style name: "online.<p>" maps to
 // MakePolicy(p), "coflow.<p>" to MakeCoflowPolicy(p). Null + *error for
 // anything else.
-std::unique_ptr<SchedulingPolicy> MakeServePolicy(const std::string& name,
-                                                  std::string* error,
-                                                  std::uint64_t seed = 1);
+std::unique_ptr<SchedulingPolicy> MakeServePolicy(
+    const std::string& name, std::string* error, std::uint64_t seed = 1,
+    const MatchingOptions& matching = {});
 
 // Wire-protocol session: reads commands from `in` until STOP or EOF,
 // writes MATCH/STATS/ERROR lines and the final DONE summary to `out`.

@@ -1,0 +1,223 @@
+// Differential harness for the warm-start Hungarian layer: the whole point
+// of IncrementalMatcher is that it is bit-identical to MaxWeightMatcher, so
+// every test here runs both solvers side by side over randomized backlog
+// mutation sequences (insert / retire / reweight, the three things a
+// simulator round can do to the backlog graph) and requires the exact same
+// edge set back, plus a feasible-and-tight dual certificate after every
+// repair step.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "graph/incremental_matching.h"
+#include "graph/max_weight_matching.h"
+#include "util/rng.h"
+
+namespace flowsched {
+namespace {
+
+struct BacklogEdge {
+  int u;
+  int v;
+  double w;
+};
+
+// Rebuilds the graph + weights from the current mutable edge set. Edge
+// indices are positional, and both solvers see the same graph, so exact
+// output comparison is well-defined.
+BipartiteGraph MaterializeGraph(const std::vector<BacklogEdge>& edges, int nl,
+                                int nr, std::vector<double>* weight) {
+  BipartiteGraph g(nl, nr);
+  weight->clear();
+  for (const auto& e : edges) {
+    g.AddEdge(e.u, e.v);
+    weight->push_back(e.w);
+  }
+  return g;
+}
+
+// One simulated round's worth of backlog churn. Integer-valued weights by
+// default (the online maxweight weights are queue lengths); `float_weights`
+// switches to coflow-style 1 + 1/(1+rem) values.
+void MutateBacklog(std::vector<BacklogEdge>* edges, int nl, int nr,
+                   bool float_weights, Rng& rng) {
+  auto draw_weight = [&]() -> double {
+    if (float_weights) return 1.0 + 1.0 / (1.0 + rng.UniformInt(0, 40));
+    return static_cast<double>(rng.UniformInt(0, 12));
+  };
+  const int ops = rng.UniformInt(1, 4);
+  for (int k = 0; k < ops; ++k) {
+    const int kind = rng.UniformInt(0, 9);
+    if (kind < 4 || edges->empty()) {
+      // Insert; occasionally a parallel duplicate of an existing pair to
+      // exercise the dense dedup path.
+      if (!edges->empty() && rng.UniformInt(0, 4) == 0) {
+        const auto& base = (*edges)[rng.UniformU64(edges->size())];
+        edges->push_back({base.u, base.v, draw_weight()});
+      } else {
+        edges->push_back({rng.UniformInt(0, nl - 1),
+                          rng.UniformInt(0, nr - 1), draw_weight()});
+      }
+    } else if (kind < 7) {
+      // Retire (swap-erase, like slot recycling).
+      const std::size_t at = rng.UniformU64(edges->size());
+      (*edges)[at] = edges->back();
+      edges->pop_back();
+    } else {
+      // Reweight in place (queue lengths moved).
+      (*edges)[rng.UniformU64(edges->size())].w = draw_weight();
+    }
+  }
+}
+
+struct SequenceConfig {
+  int nl;
+  int nr;
+  int initial_edges;
+  bool float_weights;
+};
+
+// Runs `sequences` independent mutation sequences of `steps` rounds each
+// under one switch-shape config, asserting bit-identical matchings and the
+// dual certificate at every step.
+void RunDifferentialSequences(const SequenceConfig& cfg, int sequences,
+                              int steps, std::uint64_t seed, int* total) {
+  for (int s = 0; s < sequences; ++s) {
+    Rng rng(Rng::DeriveSeed(seed, static_cast<std::uint64_t>(s)));
+    std::vector<BacklogEdge> edges;
+    for (int e = 0; e < cfg.initial_edges; ++e) {
+      edges.push_back({rng.UniformInt(0, cfg.nl - 1),
+                       rng.UniformInt(0, cfg.nr - 1),
+                       cfg.float_weights
+                           ? 1.0 + 1.0 / (1.0 + rng.UniformInt(0, 40))
+                           : static_cast<double>(rng.UniformInt(0, 12))});
+    }
+    IncrementalMatcher warm;
+    MaxWeightMatcher scratch;
+    std::vector<double> weight;
+    std::vector<int> warm_out;
+    std::vector<int> scratch_out;
+    for (int t = 0; t < steps; ++t) {
+      const BipartiteGraph g =
+          MaterializeGraph(edges, cfg.nl, cfg.nr, &weight);
+      warm.Solve(g, weight, &warm_out);
+      scratch.Solve(g, weight, &scratch_out);
+      ASSERT_EQ(warm_out, scratch_out)
+          << "sequence " << s << " step " << t << " nl=" << cfg.nl
+          << " nr=" << cfg.nr << " edges=" << edges.size();
+      // Dual certificate after every repair: feasibility (u+v <= cost
+      // everywhere) and tightness on matched cells. Integer weights give
+      // exact duals; float weights accumulate at most a few ulps per
+      // update chain.
+      const double tol = cfg.float_weights ? 1e-9 : 0.0;
+      ASSERT_LE(warm.MaxDualViolation(), tol);
+      ASSERT_LE(warm.MaxMatchedSlack(), tol);
+      MutateBacklog(&edges, cfg.nl, cfg.nr, cfg.float_weights, rng);
+      // Occasionally drain the backlog completely (idle round).
+      if (rng.UniformInt(0, 39) == 0) edges.clear();
+    }
+    const auto& st = warm.stats();
+    ASSERT_EQ(st.cache_hits + st.prefix_resumes + st.full_solves +
+                  st.empty_graphs,
+              st.solves);
+    ASSERT_LE(st.reused_rows, st.total_rows);
+    ++*total;
+  }
+}
+
+// The headline differential test: >= 1000 random mutation sequences across
+// port counts, densities and both weight families.
+TEST(IncrementalMatcherDifferentialTest, MatchesScratchOverMutationSequences) {
+  const SequenceConfig configs[] = {
+      {3, 3, 2, false},   {4, 7, 6, false},   {8, 8, 10, false},
+      {8, 8, 30, false},  {16, 16, 20, false}, {16, 5, 25, false},
+      {32, 32, 40, false}, {32, 32, 110, false}, {6, 6, 8, true},
+      {16, 16, 30, true}, {24, 24, 70, true},  {40, 40, 60, false},
+  };
+  int total = 0;
+  std::uint64_t salt = 0;
+  for (const auto& cfg : configs) {
+    RunDifferentialSequences(cfg, 90, 14, /*seed=*/1000 + salt++, &total);
+  }
+  EXPECT_GE(total, 1000);
+}
+
+TEST(IncrementalMatcherTest, IdenticalProblemIsACacheHit) {
+  BipartiteGraph g(4, 4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(2, 3);
+  const std::vector<double> w = {3.0, 2.0, 5.0};
+  IncrementalMatcher warm;
+  std::vector<int> first;
+  std::vector<int> second;
+  warm.Solve(g, w, &first);
+  warm.Solve(g, w, &second);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(warm.stats().full_solves, 1);
+  EXPECT_EQ(warm.stats().cache_hits, 1);
+  EXPECT_EQ(MaxWeightMatching(g, w), second);
+}
+
+TEST(IncrementalMatcherTest, SuffixChangeResumesFromCheckpoint) {
+  // 6x8: rows are the left side (no transpose). Mutating only edges of the
+  // highest compacted row leaves the row prefix bitwise intact, so the
+  // second solve must take the prefix-resume path.
+  BipartiteGraph g(6, 8);
+  std::vector<double> w;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      g.AddEdge(i, j);
+      w.push_back(static_cast<double>((i * 31 + j * 17) % 11));
+    }
+  }
+  IncrementalMatcher warm;
+  MaxWeightMatcher scratch;
+  std::vector<int> warm_out;
+  std::vector<int> scratch_out;
+  warm.Solve(g, w, &warm_out);
+  // Reweight an edge of the last row only.
+  w[5 * 8 + 3] = 25.0;
+  warm.Solve(g, w, &warm_out);
+  scratch.Solve(g, w, &scratch_out);
+  EXPECT_EQ(warm_out, scratch_out);
+  EXPECT_EQ(warm.stats().prefix_resumes, 1);
+  EXPECT_EQ(warm.stats().reused_rows, 5);
+}
+
+TEST(IncrementalMatcherTest, ResetForcesFullSolve) {
+  BipartiteGraph g(3, 3);
+  g.AddEdge(0, 0);
+  g.AddEdge(1, 1);
+  const std::vector<double> w = {1.0, 2.0};
+  IncrementalMatcher warm;
+  std::vector<int> out;
+  warm.Solve(g, w, &out);
+  warm.Reset();
+  warm.Solve(g, w, &out);
+  EXPECT_EQ(warm.stats().full_solves, 2);
+  EXPECT_EQ(warm.stats().cache_hits, 0);
+}
+
+TEST(IncrementalMatcherTest, EmptyGraphAndRecovery) {
+  BipartiteGraph empty(4, 4);
+  const BipartiteGraph* cur = &empty;
+  IncrementalMatcher warm;
+  std::vector<int> out = {7};
+  warm.Solve(*cur, {}, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(warm.stats().empty_graphs, 1);
+  // A non-empty round after an idle one must run from scratch, not diff
+  // against stale state.
+  BipartiteGraph g(4, 4);
+  g.AddEdge(2, 2);
+  const std::vector<double> w = {4.0};
+  warm.Solve(g, w, &out);
+  EXPECT_EQ(out, std::vector<int>{0});
+  EXPECT_EQ(warm.stats().full_solves, 1);
+}
+
+}  // namespace
+}  // namespace flowsched

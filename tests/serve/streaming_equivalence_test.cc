@@ -178,6 +178,19 @@ TEST(StreamingEquivalenceTest, CoflowFifoReplay) {
   CheckReplayPath(kCoflows, "coflow.fifo");
 }
 
+// coflow.maxweight through streaming exercises the warm-start Hungarian
+// kernel under RetireFlows recycling: retired group slots perturb the
+// pending order round over round, and the incremental matcher must still
+// realize the byte-identical schedule batch Simulate() produces.
+TEST(StreamingEquivalenceTest, CoflowMaxWeightReplay) {
+  CheckReplayPath(kCoflows, "coflow.maxweight");
+  CheckReplayPath(kPoissonUnit, "coflow.maxweight");
+}
+
+TEST(StreamingEquivalenceTest, CoflowMaxWeightTrace) {
+  CheckTracePath(kCoflows, "coflow.maxweight");
+}
+
 // The generator sources must *also* reproduce batch exactly: the per-round
 // draw code is shared (AppendPoissonRound / AppendCoflowRound), so the RNG
 // consumption sequence cannot drift.

@@ -28,7 +28,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <map>
 #include <new>
 #include <string>
 #include <vector>
@@ -37,7 +39,10 @@
 #include "api/registry.h"
 #include "api/stream_source.h"
 #include "core/online/simulator.h"
+#include "graph/auction_matching.h"
 #include "graph/edge_coloring.h"
+#include "graph/incremental_matching.h"
+#include "graph/max_weight_matching.h"
 #include "scenario/scenario.h"
 #include "serve/daemon.h"
 #include "serve/streaming_simulator.h"
@@ -105,6 +110,27 @@ struct KernelCell {
   double wall_seconds = 0.0;
 };
 
+// One matching kernel timed over the same synthetic mutation sequence;
+// total_weight is the sanity channel: scratch and warmstart must agree to
+// the bit, the auction rows may trail by at most rounds·n·eps.
+struct MatcherCell {
+  std::string name;
+  long long rounds = 0;
+  long long edges = 0;  // Edges across all rounds of the sequence.
+  double wall_seconds = 0.0;
+  double total_weight = 0.0;
+};
+
+// Extra (instance, solver, params) cells benched next to the plain grid —
+// the maxweight kernel variants (scratch Hungarian, eps-auction) whose
+// deltas the CI smoke assertions pin against the warm-start default.
+struct VariantSpec {
+  std::string instance;
+  std::string solver;  // Registry name.
+  std::string label;   // Shown as the solver column / JSON solver field.
+  std::map<std::string, std::string> params;
+};
+
 struct ScenarioBenchSpec {
   std::string instance;  // Generator spec for the faulted run.
   std::string script;    // Scenario script text (scenario/scenario.h).
@@ -121,9 +147,14 @@ struct SuiteSpec {
   // script (online.srpt), measuring the degraded round loop and recording
   // backlog surge + recovery drain against the fault-free twin.
   std::vector<ScenarioBenchSpec> scenarios;
+  // Matching-kernel variant cells (see VariantSpec).
+  std::vector<VariantSpec> variants;
   // Dense multigraph for the edge-coloring kernel comparison.
   int coloring_side = 0;
   int coloring_edges = 0;
+  // Synthetic backlog mutation sequence for the matcher micro-bench.
+  int matcher_ports = 0;
+  int matcher_rounds = 0;
 };
 
 SuiteSpec MakeSuite(const std::string& name) {
@@ -161,8 +192,25 @@ SuiteSpec MakeSuite(const std::string& name) {
             {"poisson:ports=256,load=0.9,rounds=195,seed=1",
              "PODS 4\nPOD_DOWN 60 0\nPOD_UP 120 0\n"},
         },
+        {
+            // The maxweight kernel variants on the paper-scale cell: the
+            // from-scratch Hungarian (the bit-exactness baseline for the
+            // warm-start default benched above) and the opt-in eps-auction
+            // (the quantified approximation, campaigns/approx.json).
+            {"poisson:ports=256,load=1.0,rounds=195,seed=1",
+             "online.maxweight", "online.maxweight+scratch",
+             {{"warmstart", "0"}}},
+            {"poisson:ports=256,load=1.0,rounds=195,seed=1",
+             "online.maxweight", "online.maxweight+approx0.5",
+             {{"approx", "0.5"}}},
+            {"coflow:ports=256,load=1.0,rounds=195,width=16,skew=0.7,seed=1",
+             "coflow.maxweight", "coflow.maxweight+approx0.5",
+             {{"approx", "0.5"}}},
+        },
         /*coloring_side=*/256,
         /*coloring_edges=*/200000,
+        /*matcher_ports=*/256,
+        /*matcher_rounds=*/120,
     };
   }
   if (name == "smoke") {
@@ -185,8 +233,21 @@ SuiteSpec MakeSuite(const std::string& name) {
             {"poisson:ports=32,load=0.9,rounds=40,seed=1",
              "PODS 4\nPOD_DOWN 10 0\nPOD_UP 25 0\n"},
         },
+        {
+            {"poisson:ports=32,load=1.0,rounds=40,seed=1",
+             "online.maxweight", "online.maxweight+scratch",
+             {{"warmstart", "0"}}},
+            {"poisson:ports=32,load=1.0,rounds=40,seed=1",
+             "online.maxweight", "online.maxweight+approx0.5",
+             {{"approx", "0.5"}}},
+            {"coflow:ports=32,load=1.0,rounds=40,width=6,skew=0.7,seed=1",
+             "coflow.maxweight", "coflow.maxweight+approx0.5",
+             {{"approx", "0.5"}}},
+        },
         /*coloring_side=*/64,
         /*coloring_edges=*/4000,
+        /*matcher_ports=*/48,
+        /*matcher_rounds=*/40,
     };
   }
   return SuiteSpec{};
@@ -211,13 +272,16 @@ bool SkipCell(const std::string& instance_spec, const std::string& solver) {
 }
 
 BenchCell RunCell(const std::string& instance_spec, const Instance& instance,
-                  const std::string& solver, std::uint64_t seed, int repeat) {
+                  const std::string& solver, std::uint64_t seed, int repeat,
+                  const std::map<std::string, std::string>& extra_params = {},
+                  const std::string& label = "") {
   BenchCell cell;
   cell.instance = instance_spec;
-  cell.solver = solver;
+  cell.solver = label.empty() ? solver : label;
   SolveOptions options;
   options.seed = seed;
   options.params["validate"] = "0";
+  for (const auto& [key, value] : extra_params) options.params[key] = value;
   ResetPeakRss();
   for (int rep = 0; rep < repeat; ++rep) {
     const std::uint64_t allocs_before =
@@ -376,6 +440,129 @@ BenchCell RunScenarioCell(const ScenarioBenchSpec& spec, std::uint64_t seed,
   return cell;
 }
 
+// Synthetic backlog mutation sequence for the matcher micro-bench: a port
+// square with ~2 flows per port, where 3 of 4 rounds churn ~1/8 of the
+// backlog (arrivals + swap-erase retirements, the policy's access pattern)
+// and 1 in 4 repeats the previous graph verbatim (the cache-hit case the
+// incremental matcher recognizes). Weights are small integers fixed at
+// arrival, so scratch/warmstart totals must agree exactly.
+struct MatcherSequence {
+  std::vector<BipartiteGraph> graphs;
+  std::vector<std::vector<double>> weights;
+  long long total_edges = 0;
+};
+
+MatcherSequence BuildMatcherSequence(int ports, int rounds,
+                                     std::uint64_t seed) {
+  struct Backlogged {
+    int u, v;
+    double w;
+  };
+  Rng rng(seed);
+  auto draw = [&]() {
+    return Backlogged{rng.UniformInt(0, ports - 1),
+                      rng.UniformInt(0, ports - 1),
+                      static_cast<double>(rng.UniformInt(1, 16))};
+  };
+  std::vector<Backlogged> backlog;
+  for (int i = 0; i < 2 * ports; ++i) backlog.push_back(draw());
+  MatcherSequence seq;
+  for (int t = 0; t < rounds; ++t) {
+    if (t > 0 && rng.UniformInt(0, 3) != 0) {
+      const int churn = ports / 8 + 1;
+      for (int c = 0; c < churn && !backlog.empty(); ++c) {
+        const int k = rng.UniformInt(0, static_cast<int>(backlog.size()) - 1);
+        backlog[k] = backlog.back();
+        backlog.pop_back();
+      }
+      for (int c = 0; c < churn; ++c) backlog.push_back(draw());
+    }
+    BipartiteGraph g(ports, ports);
+    std::vector<double> w;
+    w.reserve(backlog.size());
+    for (const Backlogged& e : backlog) {
+      g.AddEdge(e.u, e.v);
+      w.push_back(e.w);
+    }
+    seq.total_edges += g.num_edges();
+    seq.graphs.push_back(std::move(g));
+    seq.weights.push_back(std::move(w));
+  }
+  return seq;
+}
+
+// `run` owns its matcher, replays the whole sequence, and returns the sum of
+// matched weights; the fastest of `repeat` replays is reported.
+MatcherCell RunMatcherKernel(
+    const std::string& name, const MatcherSequence& seq, int repeat,
+    const std::function<double(const MatcherSequence&)>& run) {
+  MatcherCell cell;
+  cell.name = name;
+  cell.rounds = static_cast<long long>(seq.graphs.size());
+  cell.edges = seq.total_edges;
+  for (int rep = 0; rep < repeat; ++rep) {
+    Stopwatch sw;
+    const double total = run(seq);
+    const double s = sw.ElapsedSeconds();
+    if (rep == 0 || s < cell.wall_seconds) cell.wall_seconds = s;
+    cell.total_weight = total;
+  }
+  return cell;
+}
+
+std::vector<MatcherCell> RunMatcherKernels(const SuiteSpec& suite,
+                                           std::uint64_t seed, int repeat) {
+  std::vector<MatcherCell> cells;
+  if (suite.matcher_ports <= 0) return cells;
+  const MatcherSequence seq =
+      BuildMatcherSequence(suite.matcher_ports, suite.matcher_rounds, seed);
+  auto matched_weight = [](const std::vector<double>& w,
+                           const std::vector<int>& out) {
+    double total = 0.0;
+    for (int e : out) total += w[e];
+    return total;
+  };
+  cells.push_back(RunMatcherKernel(
+      "matcher_scratch", seq, repeat, [&](const MatcherSequence& s) {
+        MaxWeightMatcher m;
+        std::vector<int> out;
+        double total = 0.0;
+        for (std::size_t i = 0; i < s.graphs.size(); ++i) {
+          m.Solve(s.graphs[i], s.weights[i], &out);
+          total += matched_weight(s.weights[i], out);
+        }
+        return total;
+      }));
+  cells.push_back(RunMatcherKernel(
+      "matcher_warmstart", seq, repeat, [&](const MatcherSequence& s) {
+        IncrementalMatcher m;
+        std::vector<int> out;
+        double total = 0.0;
+        for (std::size_t i = 0; i < s.graphs.size(); ++i) {
+          m.Solve(s.graphs[i], s.weights[i], &out);
+          total += matched_weight(s.weights[i], out);
+        }
+        return total;
+      }));
+  const std::pair<const char*, double> auction_eps[] = {{"0.5", 0.5},
+                                                        {"0.05", 0.05}};
+  for (const auto& [eps_label, eps] : auction_eps) {
+    cells.push_back(RunMatcherKernel(
+        std::string("matcher_auction_eps") + eps_label, seq, repeat,
+        [&, eps](const MatcherSequence& s) {
+          AuctionMatcher m;
+          std::vector<int> out;
+          double total = 0.0;
+          for (std::size_t i = 0; i < s.graphs.size(); ++i) {
+            m.Solve(s.graphs[i], s.weights[i], eps, &out);
+            total += matched_weight(s.weights[i], out);
+          }
+          return total;
+        }));
+  }
+  return cells;
+}
+
 KernelCell RunColoringKernel(const std::string& name,
                              EdgeColoringAlgorithm algorithm,
                              const BipartiteGraph& g, int repeat) {
@@ -395,7 +582,8 @@ KernelCell RunColoringKernel(const std::string& name,
 
 void WriteJson(std::ostream& out, const SuiteSpec& suite,
                const std::vector<BenchCell>& cells,
-               const std::vector<KernelCell>& kernels, int repeat,
+               const std::vector<KernelCell>& kernels,
+               const std::vector<MatcherCell>& matchers, int repeat,
                std::uint64_t seed) {
   long long total_rounds = 0;
   double total_wall = 0.0;
@@ -453,6 +641,16 @@ void WriteJson(std::ostream& out, const SuiteSpec& suite,
         << ", \"num_colors\": " << k.num_colors
         << ", \"wall_seconds\": " << JsonNum(k.wall_seconds) << "}"
         << (i + 1 < kernels.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"matchers\": [\n";
+  for (std::size_t i = 0; i < matchers.size(); ++i) {
+    const MatcherCell& m = matchers[i];
+    out << "    {\"name\": \"" << JsonEscape(m.name) << "\", \"rounds\": "
+        << m.rounds << ", \"edges\": " << m.edges
+        << ", \"wall_seconds\": " << JsonNum(m.wall_seconds)
+        << ", \"total_weight\": " << JsonNum(m.total_weight) << "}"
+        << (i + 1 < matchers.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
   out << "  \"suite_totals\": {\"rounds\": " << total_rounds
@@ -552,6 +750,37 @@ int Run(int argc, char** argv) {
     }
     cells.push_back(std::move(cell));
   }
+  for (const VariantSpec& spec : suite.variants) {
+    std::string error;
+    const auto instance = LoadInstance(spec.instance, &error);
+    if (!instance.has_value()) {
+      std::cerr << "error: " << spec.instance << ": " << error << "\n";
+      return 2;
+    }
+    BenchCell cell = RunCell(spec.instance, *instance, spec.solver, seed,
+                             repeat, spec.params, spec.label);
+    if (cell.ok) {
+      table.Row(cell.instance, cell.solver, cell.wall_seconds * 1e3,
+                cell.rounds, cell.rounds_per_sec, cell.peak_backlog,
+                cell.allocations, cell.peak_rss_kb);
+    } else {
+      table.Row(cell.instance, cell.solver, "FAIL: " + cell.error, "-", "-",
+                "-", "-", "-");
+    }
+    cells.push_back(std::move(cell));
+  }
+
+  // Matching-kernel micro-bench: one shared mutation sequence, one row per
+  // kernel, so the scratch/warmstart/auction tradeoff is visible without
+  // the simulator around it.
+  const std::vector<MatcherCell> matchers =
+      RunMatcherKernels(suite, seed, repeat);
+  for (const MatcherCell& m : matchers) {
+    table.Row(m.name,
+              "rounds=" + std::to_string(m.rounds) +
+                  " E=" + std::to_string(m.edges),
+              m.wall_seconds * 1e3, m.rounds, "-", "-", "-", "-");
+  }
 
   // Edge-coloring kernel comparison on one dense random multigraph.
   std::vector<KernelCell> kernels;
@@ -599,7 +828,7 @@ int Run(int argc, char** argv) {
     std::cerr << "error: cannot write " << out_path << "\n";
     return 2;
   }
-  WriteJson(out, suite, cells, kernels, repeat, seed);
+  WriteJson(out, suite, cells, kernels, matchers, repeat, seed);
   std::cout << "results written to " << out_path << "\n";
   return failures == 0 ? 0 : 1;
 }
